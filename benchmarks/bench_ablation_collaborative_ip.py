@@ -1,0 +1,74 @@
+"""Ablation — collaborative inner product computing (Lemma 2 / Theorem 5).
+
+Not a separate figure in the paper, but the design choice DESIGN.md calls
+out: with Lemma 2, the number of query-center inner products per traversal
+drops to (C_N + 1) / 2.  The benchmark verifies the counter relationship on
+real workloads and reports the wall-clock effect.
+"""
+
+from __future__ import annotations
+
+from repro import BCTree
+from repro.eval.reporting import print_and_save
+from repro.eval.runner import evaluate_index
+
+K = 10
+
+
+def test_ablation_collaborative_inner_products(benchmark, workloads, results_dir):
+    """Measure the inner-product savings of Lemma 2 (Theorem 5)."""
+    records = []
+    for name, workload in workloads.items():
+        ground_truth, _ = workload.truth(K)
+        with_lemma = BCTree(leaf_size=100, random_state=0)
+        without_lemma = BCTree(leaf_size=100, random_state=0,
+                               collaborative_ip=False)
+        results = {}
+        for label, index in (("with Lemma 2", with_lemma),
+                             ("without Lemma 2", without_lemma)):
+            evaluation = evaluate_index(
+                index, workload.points, workload.queries, K,
+                method_name=label, dataset_name=name,
+                ground_truth=ground_truth,
+            )
+            summary = evaluation.stats_summary()
+            results[label] = summary
+            records.append(
+                {
+                    "dataset": name,
+                    "method": label,
+                    "avg_query_ms": evaluation.avg_query_ms,
+                    "avg_center_inner_products": summary["center_inner_products"],
+                    "avg_nodes_visited": summary["nodes_visited"],
+                    "recall": evaluation.recall,
+                }
+            )
+        # Theorem 5: per query the collaborative count is (direct + 1) / 2,
+        # so on averages the ratio must sit very close to one half.
+        ratio = (
+            results["with Lemma 2"]["center_inner_products"]
+            / results["without Lemma 2"]["center_inner_products"]
+        )
+        records.append(
+            {
+                "dataset": name,
+                "method": "ratio (with / without)",
+                "avg_center_inner_products": ratio,
+            }
+        )
+        assert 0.45 <= ratio <= 0.55
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "method", "avg_query_ms", "avg_center_inner_products",
+         "avg_nodes_visited", "recall"],
+        title="Ablation: collaborative inner product computing (Theorem 5)",
+        json_path=results_dir / "ablation_collaborative_ip.json",
+    )
+
+    first = next(iter(workloads.values()))
+    tree = BCTree(leaf_size=100, random_state=0,
+                  collaborative_ip=False).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: tree.search(query, k=K))

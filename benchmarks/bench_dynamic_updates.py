@@ -1,0 +1,86 @@
+"""Extension — dynamic updates (insert / delete) on top of BC-Tree.
+
+The paper's applications (active learning, clustering) modify their pools
+between queries.  This benchmark measures the amortized cost of the
+main-index + delta-buffer + tombstone scheme: points are streamed in in
+batches, a fraction is deleted, and query correctness is checked against a
+fresh exact scan of the surviving points after every phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dynamic import DynamicP2HIndex
+from repro.eval.ground_truth import exact_ground_truth
+from repro.eval.reporting import print_and_save
+from repro.utils.timing import Timer
+
+K = 10
+BATCHES = 5
+DELETE_FRACTION = 0.1
+
+
+def test_dynamic_updates(benchmark, workloads, results_dir):
+    """Streaming inserts + deletes stay exact and cheap between rebuilds."""
+    records = []
+    for name, workload in workloads.items():
+        points = workload.points
+        queries = workload.queries
+        index = DynamicP2HIndex(random_state=0, rebuild_threshold=0.25)
+        batches = np.array_split(np.arange(points.shape[0]), BATCHES)
+        deleted = []
+
+        insert_seconds = 0.0
+        delete_seconds = 0.0
+        for batch in batches:
+            with Timer() as timer:
+                ids = index.insert(points[batch])
+            insert_seconds += timer.elapsed
+            # Delete a slice of the batch we just inserted.
+            drop = ids[: max(1, int(DELETE_FRACTION * ids.size))]
+            with Timer() as timer:
+                index.delete(drop)
+            delete_seconds += timer.elapsed
+            deleted.extend(int(i) for i in drop)
+
+        survivors_mask = np.ones(points.shape[0], dtype=bool)
+        survivors_mask[np.asarray(deleted, dtype=np.int64)] = False
+        survivors = points[survivors_mask]
+        truth_idx, truth_dist = exact_ground_truth(survivors, queries, K)
+
+        query_times = []
+        for query, distances in zip(queries, truth_dist):
+            with Timer() as timer:
+                result = index.search(query, k=K)
+            query_times.append(timer.elapsed)
+            np.testing.assert_allclose(
+                np.sort(result.distances), np.sort(distances), atol=1e-9
+            )
+
+        records.append(
+            {
+                "dataset": name,
+                "num_points": int(points.shape[0]),
+                "num_deleted": len(deleted),
+                "num_rebuilds": index.num_rebuilds,
+                "insert_seconds_total": insert_seconds,
+                "delete_seconds_total": delete_seconds,
+                "avg_query_ms": float(np.mean(query_times)) * 1000.0,
+            }
+        )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "num_points", "num_deleted", "num_rebuilds",
+         "insert_seconds_total", "delete_seconds_total", "avg_query_ms"],
+        title="Extension: dynamic inserts/deletes on the BC-Tree wrapper",
+        json_path=results_dir / "dynamic_updates.json",
+    )
+
+    first = next(iter(workloads.values()))
+    index = DynamicP2HIndex(random_state=0)
+    index.insert(first.points)
+    query = first.queries[0]
+    benchmark(lambda: index.search(query, k=K))

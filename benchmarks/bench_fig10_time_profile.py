@@ -1,0 +1,96 @@
+"""Figure 10 — time-profile visualization (where does query time go?).
+
+On the Cifar-10- and Sun-like surrogates, every method is tuned to roughly
+90% recall and its per-query time is broken down into candidate
+verification, lower-bound computation (trees) / table lookup (hashing), and
+other, reproducing the stacked bars of Figure 10.  The machine-independent
+work counters (candidates verified, inner products, buckets probed) are
+reported alongside.
+"""
+
+from __future__ import annotations
+
+from conftest import build_workload
+from repro import BallTree, BCTree, FHIndex, NHIndex
+from repro.eval.profiling import profile_from_stats
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import default_hash_settings, default_tree_settings
+
+K = 10
+TARGET_RECALL = 0.9
+PROFILE_DATASETS = ("Cifar-10", "Sun")
+NUM_TABLES = 32
+
+
+def _setting_reaching_recall(index, workload, settings, is_tree):
+    """Pick the cheapest search setting that reaches the target recall."""
+    from repro.eval.sweeps import sweep_index
+
+    ground_truth, _ = workload.truth(K)
+    curve = sweep_index(
+        index, workload.points, workload.queries, K,
+        settings=settings, ground_truth=ground_truth,
+    )
+    eligible = [p for p in curve if p.recall >= TARGET_RECALL]
+    chosen = min(eligible, key=lambda p: p.avg_query_ms) if eligible else max(
+        curve, key=lambda p: p.recall
+    )
+    return chosen.search_kwargs, chosen.recall
+
+
+def test_fig10_time_profile(benchmark, results_dir):
+    """Regenerate Figure 10 (time-profile breakdown at ~90% recall)."""
+    records = []
+    first_tree = None
+    first_query = None
+    for name in PROFILE_DATASETS:
+        workload = build_workload(name, k=K)
+        dim = workload.dim + 1
+        methods = {
+            "BC-Tree": (BCTree(leaf_size=100, random_state=0),
+                        default_tree_settings(), True),
+            "Ball-Tree": (BallTree(leaf_size=100, random_state=0),
+                          default_tree_settings(), True),
+            "NH": (NHIndex(num_tables=NUM_TABLES, sample_dim=4 * dim,
+                           random_state=0), default_hash_settings(), False),
+            "FH": (FHIndex(num_tables=NUM_TABLES, num_partitions=4,
+                           sample_dim=4 * dim, random_state=0),
+                   default_hash_settings(), False),
+        }
+        for method, (index, settings, is_tree) in methods.items():
+            setting, recall = _setting_reaching_recall(index, workload, settings,
+                                                       is_tree)
+            stats_list = []
+            times = []
+            for query in workload.queries:
+                kwargs = dict(setting)
+                if is_tree:
+                    kwargs["profile"] = True
+                result = index.search(query, k=K, **kwargs)
+                stats_list.append(result.stats)
+                times.append(result.stats.elapsed_seconds)
+            profile = profile_from_stats(
+                method, name, stats_list, query_seconds=times,
+                is_hashing=not is_tree,
+            )
+            record = profile.as_record()
+            record["recall"] = recall
+            record["setting"] = setting
+            records.append(record)
+            if first_tree is None and is_tree:
+                first_tree = index
+                first_query = workload.queries[0]
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "method", "recall", "verification_ms", "lower_bounds_ms",
+         "table_lookup_ms", "other_ms", "total_ms",
+         "avg_candidates_verified", "avg_center_inner_products",
+         "avg_buckets_probed"],
+        title="Figure 10: per-query time profile at ~90% recall",
+        json_path=results_dir / "fig10_time_profile.json",
+    )
+    assert records
+
+    benchmark(lambda: first_tree.search(first_query, k=K, profile=True))

@@ -1,0 +1,65 @@
+"""Figure 11 — impact of the leaf size N0 on BC-Tree.
+
+Sweeps N0 over the paper's grid (scaled to the surrogate sizes: leaves
+larger than the data set degenerate into a single node) and reports the
+time-recall frontier per leaf size, reproducing the finding that BC-Tree is
+not very sensitive to N0 but very small leaves hurt on high-dimensional
+data.
+"""
+
+from __future__ import annotations
+
+from repro import BCTree
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import default_tree_settings, pareto_frontier, sweep_index
+
+K = 10
+LEAF_SIZES = (20, 50, 100, 200, 500, 1000, 2000)
+
+
+def test_fig11_leaf_size(benchmark, workloads, results_dir):
+    """Regenerate Figure 11 (impact of the maximum leaf size N0)."""
+    records = []
+    for name, workload in workloads.items():
+        ground_truth, _ = workload.truth(K)
+        max_leaf = workload.points.shape[0]
+        for leaf_size in LEAF_SIZES:
+            if leaf_size > max_leaf:
+                continue
+            index = BCTree(leaf_size=leaf_size, random_state=0)
+            curve = sweep_index(
+                index,
+                workload.points,
+                workload.queries,
+                K,
+                settings=default_tree_settings(),
+                method_name=f"BC-Tree (N0={leaf_size})",
+                dataset_name=name,
+                ground_truth=ground_truth,
+            )
+            indexing_seconds = index.indexing_seconds
+            index_size_mb = index.index_size_bytes() / 2**20
+            for point in pareto_frontier(curve):
+                records.append(
+                    {
+                        "dataset": name,
+                        "leaf_size": leaf_size,
+                        "recall": point.recall,
+                        "avg_query_ms": point.avg_query_ms,
+                        "indexing_seconds": indexing_seconds,
+                        "index_size_mb": index_size_mb,
+                    }
+                )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "leaf_size", "recall", "avg_query_ms", "indexing_seconds",
+         "index_size_mb"],
+        title="Figure 11: impact of the leaf size N0 on BC-Tree",
+        json_path=results_dir / "fig11_leaf_size.json",
+    )
+    assert records
+
+    first = next(iter(workloads.values()))
+    benchmark(lambda: BCTree(leaf_size=500, random_state=0).fit(first.points))

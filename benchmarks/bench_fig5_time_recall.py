@@ -1,0 +1,124 @@
+"""Figure 5 — query time vs recall curves for top-10 P2HNNS.
+
+For every benchmark data set the script sweeps the accuracy/time knob of
+each method (candidate fraction for the trees, probes-per-table for NH/FH),
+reports the Pareto frontier of (recall, query time) — the paper plots "the
+lowest query time of a method for a certain recall from all its parameter
+combinations" — and prints the speed-up of the trees over the better of
+NH/FH at a set of recall targets.
+"""
+
+from __future__ import annotations
+
+from repro import BallTree, BCTree, FHIndex, NHIndex
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import (
+    default_hash_settings,
+    default_tree_settings,
+    pareto_frontier,
+    query_time_at_recall,
+    sweep_index,
+)
+
+K = 10
+NUM_TABLES = 32
+RECALL_TARGETS = (0.4, 0.6, 0.8)
+
+
+def _sweep_all_methods(workload):
+    dim = workload.dim + 1
+    ground_truth, _ = workload.truth(K)
+    methods = {
+        "BC-Tree": (BCTree(leaf_size=100, random_state=0), default_tree_settings()),
+        "Ball-Tree": (BallTree(leaf_size=100, random_state=0), default_tree_settings()),
+        "NH": (
+            NHIndex(num_tables=NUM_TABLES, sample_dim=4 * dim, random_state=0),
+            default_hash_settings(),
+        ),
+        "FH": (
+            FHIndex(num_tables=NUM_TABLES, num_partitions=4, sample_dim=4 * dim,
+                    random_state=0),
+            default_hash_settings(),
+        ),
+    }
+    curves = {}
+    for method, (index, settings) in methods.items():
+        curve = sweep_index(
+            index,
+            workload.points,
+            workload.queries,
+            K,
+            settings=settings,
+            method_name=method,
+            dataset_name=workload.name,
+            ground_truth=ground_truth,
+        )
+        curves[method] = pareto_frontier(curve)
+    return curves
+
+
+def test_fig5_query_time_vs_recall(benchmark, workloads, results_dir):
+    """Regenerate Figure 5 (query time - recall curves, k = 10)."""
+    curve_records = []
+    speedup_records = []
+    for name, workload in workloads.items():
+        curves = _sweep_all_methods(workload)
+        for method, frontier in curves.items():
+            for point in frontier:
+                curve_records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "recall": point.recall,
+                        "avg_query_ms": point.avg_query_ms,
+                        "setting": point.search_kwargs,
+                    }
+                )
+        for target in RECALL_TARGETS:
+            times = {
+                method: query_time_at_recall(frontier, target)
+                for method, frontier in curves.items()
+            }
+            best_hash = min(
+                (times[m] for m in ("NH", "FH") if times[m] is not None),
+                default=None,
+            )
+            for tree_method in ("BC-Tree", "Ball-Tree"):
+                tree_time = times[tree_method]
+                if tree_time is None or best_hash is None:
+                    speedup = None
+                else:
+                    speedup = best_hash / tree_time
+                speedup_records.append(
+                    {
+                        "dataset": name,
+                        "recall_target": target,
+                        "method": tree_method,
+                        "tree_ms": tree_time,
+                        "best_hash_ms": best_hash,
+                        "speedup_vs_best_hash": speedup,
+                    }
+                )
+
+    print()
+    print_and_save(
+        curve_records,
+        ["dataset", "method", "recall", "avg_query_ms", "setting"],
+        title="Figure 5: query time (ms) vs recall, k=10 (Pareto frontiers)",
+        json_path=results_dir / "fig5_time_recall.json",
+    )
+    print()
+    print_and_save(
+        speedup_records,
+        ["dataset", "recall_target", "method", "tree_ms", "best_hash_ms",
+         "speedup_vs_best_hash"],
+        title="Figure 5 summary: tree speed-up over the better of NH/FH",
+        json_path=results_dir / "fig5_speedups.json",
+    )
+    assert curve_records
+
+    # Benchmark a representative exact BC-Tree query on the first data set.
+    first = next(iter(workloads.values()))
+    tree = BCTree(leaf_size=100, random_state=0).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: tree.search(query, k=K))

@@ -1,0 +1,86 @@
+"""Figure 6 — query time vs k at roughly 80% recall.
+
+For k in {1, 10, 20, 40} every method is tuned to the cheapest setting that
+reaches the target recall (80%, falling back to its best achievable recall
+when the sweep never gets there), and the query time at that setting is
+reported — the series plotted in Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro import BallTree, BCTree, FHIndex, NHIndex
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import (
+    best_recall_point,
+    default_hash_settings,
+    default_tree_settings,
+    sweep_index,
+)
+
+K_VALUES = (1, 10, 20, 40)
+TARGET_RECALL = 0.8
+NUM_TABLES = 32
+
+
+def _time_at_target(curve, target):
+    eligible = [p for p in curve if p.recall >= target]
+    if eligible:
+        chosen = min(eligible, key=lambda p: p.avg_query_ms)
+        return chosen.avg_query_ms, chosen.recall
+    fallback = best_recall_point(curve)
+    return fallback.avg_query_ms, fallback.recall
+
+
+def test_fig6_query_time_vs_k(benchmark, workloads, results_dir):
+    """Regenerate Figure 6 (query time - k curves at ~80% recall)."""
+    records = []
+    for name, workload in workloads.items():
+        dim = workload.dim + 1
+        methods = {
+            "BC-Tree": (BCTree(leaf_size=100, random_state=0),
+                        default_tree_settings()),
+            "Ball-Tree": (BallTree(leaf_size=100, random_state=0),
+                          default_tree_settings()),
+            "NH": (NHIndex(num_tables=NUM_TABLES, sample_dim=4 * dim,
+                           random_state=0), default_hash_settings()),
+            "FH": (FHIndex(num_tables=NUM_TABLES, num_partitions=4,
+                           sample_dim=4 * dim, random_state=0),
+                   default_hash_settings()),
+        }
+        for method, (index, settings) in methods.items():
+            for k in K_VALUES:
+                ground_truth, _ = workload.truth(k)
+                curve = sweep_index(
+                    index,
+                    workload.points,
+                    workload.queries,
+                    k,
+                    settings=settings,
+                    method_name=method,
+                    dataset_name=name,
+                    ground_truth=ground_truth,
+                )
+                query_ms, achieved = _time_at_target(curve, TARGET_RECALL)
+                records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "k": k,
+                        "query_ms_at_80pct_recall": query_ms,
+                        "achieved_recall": achieved,
+                    }
+                )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "method", "k", "query_ms_at_80pct_recall", "achieved_recall"],
+        title="Figure 6: query time (ms) vs k at ~80% recall",
+        json_path=results_dir / "fig6_k_sensitivity.json",
+    )
+    assert records
+
+    first = next(iter(workloads.values()))
+    tree = BCTree(leaf_size=100, random_state=0).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: tree.search(query, k=40))

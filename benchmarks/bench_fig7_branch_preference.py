@@ -1,0 +1,66 @@
+"""Figure 7 — impact of the branch preference choice (center vs lower bound).
+
+Ball-Tree and BC-Tree are swept with both child-visit orderings; the paper's
+finding is that the center preference is uniformly better, especially below
+60% recall, because near the root both children's ball bounds are 0 and the
+lower-bound ordering degenerates.
+"""
+
+from __future__ import annotations
+
+from repro import BallTree, BCTree
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import default_tree_settings, pareto_frontier, sweep_index
+
+K = 10
+
+
+def test_fig7_branch_preference(benchmark, workloads, results_dir):
+    """Regenerate Figure 7 (center preference vs lower-bound preference)."""
+    records = []
+    for name, workload in workloads.items():
+        ground_truth, _ = workload.truth(K)
+        for index_name, index_cls in (("BC-Tree", BCTree), ("Ball-Tree", BallTree)):
+            for preference in ("center", "lower_bound"):
+                index = index_cls(
+                    leaf_size=100, branch_preference=preference, random_state=0
+                )
+                curve = sweep_index(
+                    index,
+                    workload.points,
+                    workload.queries,
+                    K,
+                    settings=default_tree_settings(),
+                    method_name=f"{index_name} ({preference})",
+                    dataset_name=name,
+                    ground_truth=ground_truth,
+                )
+                for point in pareto_frontier(curve):
+                    records.append(
+                        {
+                            "dataset": name,
+                            "method": index_name,
+                            "preference": preference,
+                            "recall": point.recall,
+                            "avg_query_ms": point.avg_query_ms,
+                            "avg_candidates": point.evaluation.stats_summary()[
+                                "candidates_verified"
+                            ],
+                        }
+                    )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "method", "preference", "recall", "avg_query_ms",
+         "avg_candidates"],
+        title="Figure 7: branch preference (center vs lower bound)",
+        json_path=results_dir / "fig7_branch_preference.json",
+    )
+    assert records
+
+    first = next(iter(workloads.values()))
+    tree = BCTree(leaf_size=100, branch_preference="lower_bound",
+                  random_state=0).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: tree.search(query, k=K))

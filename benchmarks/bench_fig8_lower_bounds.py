@@ -1,0 +1,86 @@
+"""Figure 8 — effectiveness of the individual point-level lower bounds.
+
+Compares the four BC-Tree variants of the paper at k in {1, 10, 20, 40}:
+
+* BC-Tree        — both point-level bounds,
+* BC-Tree-wo-C   — ball bound only,
+* BC-Tree-wo-B   — cone bound only,
+* BC-Tree-wo-BC  — no point-level pruning (plain exhaustive leaves).
+
+Besides wall-clock query time the table reports candidates verified and the
+per-bound pruning counters, which expose the mechanism even when Python's
+constant factors blur the wall-clock differences.
+"""
+
+from __future__ import annotations
+
+from repro import BCTree
+from repro.eval.runner import evaluate_index
+from repro.eval.reporting import print_and_save
+
+K_VALUES = (1, 10, 20, 40)
+
+VARIANTS = {
+    "BC-Tree": {"use_ball_bound": True, "use_cone_bound": True},
+    "BC-Tree-wo-C": {"use_ball_bound": True, "use_cone_bound": False},
+    "BC-Tree-wo-B": {"use_ball_bound": False, "use_cone_bound": True},
+    "BC-Tree-wo-BC": {"use_ball_bound": False, "use_cone_bound": False},
+}
+
+
+def test_fig8_point_level_bounds(benchmark, workloads, results_dir):
+    """Regenerate Figure 8 (BC-Tree vs its wo-B / wo-C / wo-BC variants)."""
+    records = []
+    for name, workload in workloads.items():
+        for variant, flags in VARIANTS.items():
+            index = BCTree(leaf_size=100, random_state=0, **flags)
+            fitted = False
+            for k in K_VALUES:
+                ground_truth, _ = workload.truth(k)
+                evaluation = evaluate_index(
+                    index,
+                    workload.points,
+                    workload.queries,
+                    k,
+                    method_name=variant,
+                    dataset_name=name,
+                    ground_truth=ground_truth,
+                    fit=not fitted,
+                )
+                fitted = True
+                summary = evaluation.stats_summary()
+                records.append(
+                    {
+                        "dataset": name,
+                        "variant": variant,
+                        "k": k,
+                        "avg_query_ms": evaluation.avg_query_ms,
+                        "avg_candidates": summary["candidates_verified"],
+                        "avg_pruned_ball": summary["points_pruned_ball"],
+                        "avg_pruned_cone": summary["points_pruned_cone"],
+                    }
+                )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "variant", "k", "avg_query_ms", "avg_candidates",
+         "avg_pruned_ball", "avg_pruned_cone"],
+        title="Figure 8: effectiveness of the point-level lower bounds (exact search)",
+        json_path=results_dir / "fig8_lower_bounds.json",
+    )
+
+    # Shape check: the full BC-Tree never verifies more candidates than the
+    # variant without point-level pruning.
+    by_key = {(r["dataset"], r["variant"], r["k"]): r for r in records}
+    for name in workloads:
+        for k in K_VALUES:
+            full = by_key[(name, "BC-Tree", k)]["avg_candidates"]
+            none = by_key[(name, "BC-Tree-wo-BC", k)]["avg_candidates"]
+            assert full <= none + 1e-9
+
+    first = next(iter(workloads.values()))
+    tree = BCTree(leaf_size=100, random_state=0,
+                  use_cone_bound=False).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: tree.search(query, k=10))

@@ -1,0 +1,111 @@
+"""Figure 9 — query performance on the large-scale data sets.
+
+The paper's Deep100M and Sift100M have 10^8 points; their surrogates here
+are the largest workloads the benchmark runs (default 50,000 points,
+``REPRO_BENCH_LARGE_POINTS`` to override).  The script reports the Figure 9
+time-recall frontiers for BC-Tree, Ball-Tree, NH, and FH with k = 10, plus
+the indexing overhead at this scale (the Table III rows for the two
+large-scale sets).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import bench_num_queries, build_workload
+from repro import BallTree, BCTree, FHIndex, NHIndex
+from repro.eval.metrics import indexing_report
+from repro.eval.reporting import print_and_save
+from repro.eval.sweeps import (
+    default_hash_settings,
+    default_tree_settings,
+    pareto_frontier,
+    sweep_index,
+)
+
+K = 10
+NUM_TABLES = 32
+LARGE_DATASETS = ("Deep100M", "Sift100M")
+
+
+def _large_scale_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_LARGE_POINTS", "50000"))
+
+
+def test_fig9_large_scale(benchmark, results_dir):
+    """Regenerate Figure 9 (large-scale data sets, k = 10)."""
+    curve_records = []
+    indexing_records = []
+    first_workload = None
+    for name in LARGE_DATASETS:
+        workload = build_workload(
+            name,
+            num_points=_large_scale_points(),
+            num_queries=min(bench_num_queries(), 10),
+            k=K,
+        )
+        if first_workload is None:
+            first_workload = workload
+        dim = workload.dim + 1
+        ground_truth, _ = workload.truth(K)
+        methods = {
+            "BC-Tree": (BCTree(leaf_size=200, random_state=0),
+                        default_tree_settings()),
+            "Ball-Tree": (BallTree(leaf_size=200, random_state=0),
+                          default_tree_settings()),
+            "NH": (NHIndex(num_tables=NUM_TABLES, sample_dim=2 * dim,
+                           random_state=0), default_hash_settings()),
+            "FH": (FHIndex(num_tables=NUM_TABLES, num_partitions=4,
+                           sample_dim=2 * dim, random_state=0),
+                   default_hash_settings()),
+        }
+        for method, (index, settings) in methods.items():
+            curve = sweep_index(
+                index,
+                workload.points,
+                workload.queries,
+                K,
+                settings=settings,
+                method_name=method,
+                dataset_name=name,
+                ground_truth=ground_truth,
+            )
+            report = indexing_report(index)
+            indexing_records.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "indexing_seconds": report["indexing_seconds"],
+                    "index_size_mb": report["index_size_mb"],
+                }
+            )
+            for point in pareto_frontier(curve):
+                curve_records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "recall": point.recall,
+                        "avg_query_ms": point.avg_query_ms,
+                        "setting": point.search_kwargs,
+                    }
+                )
+
+    print()
+    print_and_save(
+        curve_records,
+        ["dataset", "method", "recall", "avg_query_ms", "setting"],
+        title="Figure 9: query time (ms) vs recall on the large-scale surrogates",
+        json_path=results_dir / "fig9_large_scale.json",
+    )
+    print()
+    print_and_save(
+        indexing_records,
+        ["dataset", "method", "indexing_seconds", "index_size_mb"],
+        title="Figure 9 / Table III: indexing overhead on the large-scale surrogates",
+        json_path=results_dir / "fig9_indexing.json",
+    )
+    assert curve_records
+
+    tree = BCTree(leaf_size=200, random_state=0).fit(first_workload.points)
+    query = first_workload.queries[0]
+    benchmark(lambda: tree.search(query, k=K, candidate_fraction=0.05))

@@ -1,0 +1,70 @@
+"""Extension — sharded (partitioned) P2HNNS search.
+
+Section III-A motivates Ball-Tree partly by its suitability for splitting
+massive data sets into fine granularities for scalable and distributed
+search.  This benchmark shards each workload into 1/2/4/8 partitions with
+the paper's own seed-grow rule, builds one BC-Tree per shard, and measures
+how exact query cost and indexing cost move with the shard count (per-shard
+work shrinks, but every shard must be visited, so the merged exact search
+pays a little extra per shard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partitioned import PartitionedP2HIndex
+from repro.eval.metrics import average_recall
+from repro.eval.reporting import print_and_save
+from repro.utils.timing import Timer
+
+K = 10
+PARTITION_COUNTS = (1, 2, 4, 8)
+
+
+def test_partitioned_scaling(benchmark, workloads, results_dir):
+    """Exact sharded search: recall stays 1.0 for every shard count."""
+    records = []
+    for name, workload in workloads.items():
+        truth_idx, _ = workload.truth(K)
+        for num_partitions in PARTITION_COUNTS:
+            index = PartitionedP2HIndex(
+                num_partitions=num_partitions, random_state=0
+            ).fit(workload.points)
+            recalls = []
+            times = []
+            candidates = []
+            for query, truth in zip(workload.queries, truth_idx):
+                with Timer() as timer:
+                    result = index.search(query, k=K)
+                times.append(timer.elapsed)
+                candidates.append(result.stats.candidates_verified)
+                recalls.append(average_recall([result], truth[None, :]))
+            report = index.indexing_report()
+            records.append(
+                {
+                    "dataset": name,
+                    "num_partitions": num_partitions,
+                    "recall": float(np.mean(recalls)),
+                    "avg_query_ms": float(np.mean(times)) * 1000.0,
+                    "avg_candidates": float(np.mean(candidates)),
+                    "indexing_seconds": report["indexing_seconds"],
+                    "index_size_mb": report["index_size_bytes"] / (1024.0 * 1024.0),
+                }
+            )
+            # Exact merged search must keep full recall regardless of shards.
+            assert records[-1]["recall"] == 1.0
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "num_partitions", "recall", "avg_query_ms", "avg_candidates",
+         "indexing_seconds", "index_size_mb"],
+        title="Extension: partitioned (sharded) exact search scaling",
+        json_path=results_dir / "partitioned_scaling.json",
+    )
+
+    first = next(iter(workloads.values()))
+    index = PartitionedP2HIndex(num_partitions=4, random_state=0).fit(first.points)
+    query = first.queries[0]
+    benchmark(lambda: index.search(query, k=K))

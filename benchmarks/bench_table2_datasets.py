@@ -1,0 +1,60 @@
+"""Table II — statistics of the benchmark data sets and their surrogates.
+
+Prints, for every registered data set, the paper's original ``n``/``d``/type
+next to the surrogate size used in this reproduction, and benchmarks the
+surrogate generation itself (the cost of materializing one workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_dataset_names, bench_num_points
+from repro.datasets import load_dataset
+from repro.datasets.registry import DATASETS
+from repro.eval.reporting import print_and_save
+
+
+def _table_records():
+    records = []
+    for name, spec in DATASETS.items():
+        surrogate = load_dataset(name, num_points=min(spec.surrogate_points, 2000))
+        records.append(
+            {
+                "dataset": name,
+                "paper_n": spec.paper_points,
+                "paper_d": spec.paper_dim,
+                "data_type": spec.data_type,
+                "surrogate_generator": spec.generator,
+                "surrogate_n_default": spec.surrogate_points,
+                "surrogate_mean_norm": float(
+                    np.mean(np.linalg.norm(surrogate.points, axis=1))
+                ),
+            }
+        )
+    return records
+
+
+def test_table2_dataset_statistics(benchmark, results_dir):
+    """Regenerate Table II (data-set statistics) for the surrogates."""
+    records = _table_records()
+    print()
+    print_and_save(
+        records,
+        [
+            "dataset",
+            "paper_n",
+            "paper_d",
+            "data_type",
+            "surrogate_generator",
+            "surrogate_n_default",
+            "surrogate_mean_norm",
+        ],
+        title="Table II: data sets (paper statistics vs synthetic surrogates)",
+        json_path=results_dir / "table2_datasets.json",
+    )
+    assert len(records) == 16
+
+    # Benchmark the cost of materializing one benchmark workload.
+    name = bench_dataset_names()[0]
+    benchmark(lambda: load_dataset(name, num_points=bench_num_points()))

@@ -1,0 +1,102 @@
+"""Table III — indexing time and index size of BC-Tree, Ball-Tree, NH, FH.
+
+For every benchmark data set the script builds BC-Tree and Ball-Tree with
+N0 = 100 and NH / FH with the sampled transformation at lambda = d and
+lambda = 8d (m = 128 tables, the paper's reporting configuration), then
+prints the same columns as Table III: indexing time (seconds) and index size
+(megabytes) per method, plus the tree-vs-hashing overhead ratios the paper
+headlines (1-3 orders of magnitude smaller indexes).
+"""
+
+from __future__ import annotations
+
+from repro import BallTree, BCTree, FHIndex, NHIndex
+from repro.eval.metrics import indexing_report
+from repro.eval.reporting import print_and_save
+
+NUM_TABLES = 128
+LEAF_SIZE = 100
+
+
+def _method_factories(dim: int):
+    return {
+        "BC-Tree": lambda: BCTree(leaf_size=LEAF_SIZE, random_state=0),
+        "Ball-Tree": lambda: BallTree(leaf_size=LEAF_SIZE, random_state=0),
+        "NH (lambda=d)": lambda: NHIndex(
+            num_tables=NUM_TABLES, sample_dim=dim, random_state=0
+        ),
+        "NH (lambda=8d)": lambda: NHIndex(
+            num_tables=NUM_TABLES, sample_dim=8 * dim, random_state=0
+        ),
+        "FH (lambda=d)": lambda: FHIndex(
+            num_tables=NUM_TABLES, num_partitions=4, sample_dim=dim, random_state=0
+        ),
+        "FH (lambda=8d)": lambda: FHIndex(
+            num_tables=NUM_TABLES, num_partitions=4, sample_dim=8 * dim,
+            random_state=0
+        ),
+    }
+
+
+def test_table3_indexing_overhead(benchmark, workloads, results_dir):
+    """Regenerate Table III (indexing time and index size)."""
+    records = []
+    for name, workload in workloads.items():
+        dim = workload.dim + 1  # augmented dimension d
+        per_method = {}
+        for method, factory in _method_factories(dim).items():
+            index = factory().fit(workload.points)
+            report = indexing_report(index)
+            per_method[method] = report
+            records.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "indexing_seconds": report["indexing_seconds"],
+                    "index_size_mb": report["index_size_mb"],
+                }
+            )
+        # The paper's headline ratios: trees vs the better (smaller) of NH/FH.
+        tree_size = per_method["BC-Tree"]["index_size_mb"]
+        hash_size = min(
+            per_method["NH (lambda=d)"]["index_size_mb"],
+            per_method["FH (lambda=d)"]["index_size_mb"],
+        )
+        tree_time = per_method["BC-Tree"]["indexing_seconds"]
+        hash_time = min(
+            per_method["NH (lambda=d)"]["indexing_seconds"],
+            per_method["FH (lambda=d)"]["indexing_seconds"],
+        )
+        records.append(
+            {
+                "dataset": name,
+                "method": "ratio hash/tree (BC-Tree vs best of NH/FH, lambda=d)",
+                "indexing_seconds": hash_time / max(tree_time, 1e-12),
+                "index_size_mb": hash_size / max(tree_size, 1e-12),
+            }
+        )
+
+    print()
+    print_and_save(
+        records,
+        ["dataset", "method", "indexing_seconds", "index_size_mb"],
+        title="Table III: indexing time (s) and index size (MB)",
+        json_path=results_dir / "table3_indexing.json",
+    )
+
+    # Sanity of the reproduced shape: BC-Tree indexes are much smaller than
+    # NH/FH on every data set.
+    by_dataset = {}
+    for record in records:
+        by_dataset.setdefault(record["dataset"], {})[record["method"]] = record
+    for name, methods in by_dataset.items():
+        if "BC-Tree" not in methods:
+            continue
+        assert (
+            methods["NH (lambda=d)"]["index_size_mb"]
+            > 5 * methods["BC-Tree"]["index_size_mb"]
+        )
+
+    # Benchmark: BC-Tree construction on the first data set.
+    first = next(iter(workloads.values()))
+    benchmark(lambda: BCTree(leaf_size=LEAF_SIZE, random_state=0).fit(first.points))

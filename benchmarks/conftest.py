@@ -1,0 +1,109 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section V) at laptop scale: the data sets are the synthetic surrogates from
+:mod:`repro.datasets.registry` (same dimensions as the paper, scaled-down
+``n``), and the output is printed as a text table plus a JSON file under
+``benchmarks/results/``.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_POINTS`` — surrogate size per data set (default 4000).
+* ``REPRO_BENCH_QUERIES`` — number of hyperplane queries (default 20).
+* ``REPRO_BENCH_DATASETS`` — comma-separated data-set names to run
+  (default: a representative six-data-set subset).
+* ``REPRO_BENCH_FULL=1`` — run every non-large-scale data set at the default
+  registry sizes (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, random_hyperplane_queries
+from repro.datasets.registry import available_datasets
+from repro.eval import exact_ground_truth
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_DATASETS = ["Music", "GloVe", "Sift", "Msong", "Cifar-10", "Sun"]
+
+
+def bench_num_points() -> int:
+    return int(os.environ.get("REPRO_BENCH_POINTS", "4000"))
+
+
+def bench_num_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "20"))
+
+
+def bench_dataset_names() -> List[str]:
+    explicit = os.environ.get("REPRO_BENCH_DATASETS")
+    if explicit:
+        return [name.strip() for name in explicit.split(",") if name.strip()]
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return available_datasets(include_large_scale=False)
+    return list(DEFAULT_DATASETS)
+
+
+@dataclass
+class Workload:
+    """A materialized benchmark workload: points, queries, ground truth."""
+
+    name: str
+    points: np.ndarray
+    queries: np.ndarray
+    ground_truth_indices: Dict[int, np.ndarray]
+    ground_truth_distances: Dict[int, np.ndarray]
+
+    @property
+    def dim(self) -> int:
+        return int(self.points.shape[1])
+
+    def truth(self, k: int):
+        """Exact top-k indices/distances, computing and caching on demand."""
+        if k not in self.ground_truth_indices:
+            indices, distances = exact_ground_truth(self.points, self.queries, k)
+            self.ground_truth_indices[k] = indices
+            self.ground_truth_distances[k] = distances
+        return self.ground_truth_indices[k], self.ground_truth_distances[k]
+
+
+def build_workload(name: str, *, num_points=None, num_queries=None, k=10) -> Workload:
+    """Load one surrogate data set and its query workload."""
+    size = num_points if num_points is not None else bench_num_points()
+    if os.environ.get("REPRO_BENCH_FULL") == "1" and num_points is None:
+        size = None  # registry default size
+    dataset = load_dataset(name, num_points=size)
+    queries = random_hyperplane_queries(
+        dataset.points,
+        num_queries if num_queries is not None else bench_num_queries(),
+        rng=2023,
+    )
+    workload = Workload(
+        name=name,
+        points=dataset.points,
+        queries=queries,
+        ground_truth_indices={},
+        ground_truth_distances={},
+    )
+    workload.truth(k)
+    return workload
+
+
+@pytest.fixture(scope="session")
+def workloads() -> Dict[str, Workload]:
+    """Workloads for the configured benchmark data sets (built lazily)."""
+    return {name: build_workload(name) for name in bench_dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

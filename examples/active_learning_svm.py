@@ -1,0 +1,107 @@
+"""Pool-based active learning with P2HNNS (the paper's first motivation).
+
+Run with::
+
+    python examples/active_learning_svm.py
+
+Scenario: a pool of unlabelled points, a human annotator with a limited
+labelling budget, and a linear classifier.  Each round the learner retrains
+on the labelled points and asks for labels of the pool points *closest to
+the current decision hyperplane* — a top-k point-to-hyperplane query.  The
+script compares uncertainty sampling driven by a BC-Tree against random
+sampling with the same budget, and reports the accuracy trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BCTree
+from repro.apps import ActiveLearner, LinearModel
+from repro.datasets.synthetic import clustered_gaussian
+
+
+def make_classification_data(num_points: int, dim: int, seed: int):
+    """Two-class data: clustered points separated along a hidden direction.
+
+    Returns a single labelled point set; callers split it into the
+    unlabelled pool and the held-out evaluation set so both come from the
+    same distribution.
+    """
+    rng = np.random.default_rng(seed)
+    direction = rng.normal(size=dim)
+    direction /= np.linalg.norm(direction)
+    base = clustered_gaussian(num_points, dim, num_clusters=12,
+                              cluster_radius=2.5, center_spread=6.0, rng=seed)
+    labels = np.where(base @ direction > 0.0, 1.0, -1.0)
+    # Push the two classes apart a little so the problem is learnable but not
+    # trivial (some points stay close to the true boundary).
+    base += np.outer(labels, direction) * 1.5
+    order = rng.permutation(num_points)
+    return base[order], labels[order]
+
+
+def random_sampling_baseline(pool, labels, holdout, holdout_labels,
+                             num_rounds, batch_size, initial, seed):
+    """Label random points each round — the baseline active learning beats."""
+    rng = np.random.default_rng(seed)
+    labelled = list(rng.choice(pool.shape[0], size=initial, replace=False))
+    accuracies = []
+    model = LinearModel()
+    for _ in range(num_rounds):
+        model.fit(pool[labelled], labels[labelled])
+        accuracies.append(model.accuracy(holdout, holdout_labels))
+        remaining = np.setdiff1d(np.arange(pool.shape[0]), labelled)
+        labelled.extend(rng.choice(remaining, size=batch_size, replace=False))
+    return accuracies
+
+
+def main() -> None:
+    points, all_labels = make_classification_data(10_000, 64, seed=3)
+    pool, labels = points[:8_000], all_labels[:8_000]
+    holdout, holdout_labels = points[8_000:], all_labels[8_000:]
+
+    num_rounds, batch_size, initial = 8, 20, 20
+
+    def oracle(indices):
+        return labels[np.asarray(indices)]
+
+    print("active learning with BC-Tree-driven uncertainty sampling")
+    learner = ActiveLearner(
+        index_factory=lambda: BCTree(leaf_size=100, random_state=0),
+        batch_size=batch_size,
+        random_state=0,
+    )
+    learner.run(
+        pool,
+        oracle,
+        num_rounds=num_rounds,
+        initial_labels=initial,
+        holdout_points=holdout,
+        holdout_labels=holdout_labels,
+    )
+
+    random_curve = random_sampling_baseline(
+        pool, labels, holdout, holdout_labels, num_rounds, batch_size,
+        initial, seed=0,
+    )
+
+    print(f"\n{'round':>5s}  {'labels':>6s}  {'P2HNNS sampling':>15s}  "
+          f"{'random sampling':>15s}  {'query time (ms)':>15s}")
+    for round_info, random_accuracy in zip(learner.history, random_curve):
+        print(
+            f"{round_info.round_index:5d}  {round_info.labelled_count:6d}  "
+            f"{round_info.accuracy:15.3f}  {random_accuracy:15.3f}  "
+            f"{round_info.query_seconds * 1000:15.1f}"
+        )
+
+    final_accuracy = learner.model.accuracy(holdout, holdout_labels)
+    print(f"\nfinal hold-out accuracy with uncertainty sampling: "
+          f"{final_accuracy:.3f}")
+    print("the P2HNNS-driven learner concentrates its labelling budget on the"
+          " points nearest the decision hyperplane, which is exactly the"
+          " workload the BC-Tree index accelerates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Compare every index in the library on one workload.
+
+Run with::
+
+    python examples/index_comparison.py [dataset-name]
+
+For the chosen surrogate data set (default ``Cifar-10``) the script builds
+every index — BC-Tree, Ball-Tree, KD-Tree, linear scan, NH, FH — reports
+indexing time and index size (the Table III columns), and then sweeps each
+method's accuracy/time knob to print a compact time-recall table (the
+Figure 5 curves).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BallTree, BCTree, FHIndex, KDTree, LinearScan, NHIndex
+from repro.datasets import load_dataset, random_hyperplane_queries
+from repro.eval import exact_ground_truth
+from repro.eval.metrics import indexing_report
+from repro.eval.reporting import render_table
+from repro.eval.sweeps import (
+    default_hash_settings,
+    default_tree_settings,
+    pareto_frontier,
+    sweep_index,
+)
+
+K = 10
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "Cifar-10"
+    dataset = load_dataset(dataset_name, num_points=8_000)
+    points = dataset.points
+    queries = random_hyperplane_queries(points, num_queries=20, rng=17)
+    ground_truth, _ = exact_ground_truth(points, queries, K)
+    dim = points.shape[1] + 1
+
+    print(f"data set: {dataset.name}-like surrogate "
+          f"({dataset.num_points} points, {dataset.dim} dimensions), "
+          f"k = {K}, {len(queries)} hyperplane queries\n")
+
+    methods = {
+        "BC-Tree": (BCTree(leaf_size=100, random_state=0),
+                    default_tree_settings()),
+        "Ball-Tree": (BallTree(leaf_size=100, random_state=0),
+                      default_tree_settings()),
+        "KD-Tree": (KDTree(leaf_size=100), default_tree_settings()),
+        "LinearScan": (LinearScan(), [{}]),
+        "NH": (NHIndex(num_tables=32, sample_dim=4 * dim, random_state=0),
+               default_hash_settings()),
+        "FH": (FHIndex(num_tables=32, num_partitions=4, sample_dim=4 * dim,
+                       random_state=0), default_hash_settings()),
+    }
+
+    indexing_rows = []
+    curve_rows = []
+    for name, (index, settings) in methods.items():
+        curve = sweep_index(
+            index, points, queries, K,
+            settings=settings, method_name=name,
+            dataset_name=dataset.name, ground_truth=ground_truth,
+        )
+        report = indexing_report(index)
+        indexing_rows.append(
+            {
+                "method": name,
+                "indexing_seconds": report["indexing_seconds"],
+                "index_size_mb": report["index_size_mb"],
+            }
+        )
+        for point in pareto_frontier(curve):
+            curve_rows.append(
+                {
+                    "method": name,
+                    "recall": round(point.recall, 3),
+                    "avg_query_ms": round(point.avg_query_ms, 3),
+                    "setting": point.search_kwargs,
+                }
+            )
+
+    print(render_table(
+        indexing_rows, ["method", "indexing_seconds", "index_size_mb"],
+        title="Indexing overhead (Table III columns)",
+    ))
+    print()
+    print(render_table(
+        curve_rows, ["method", "recall", "avg_query_ms", "setting"],
+        title="Query time vs recall (Figure 5 Pareto frontiers)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

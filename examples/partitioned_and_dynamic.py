@@ -1,0 +1,109 @@
+"""Sharded and dynamic P2HNNS: the operational side of the index.
+
+Run with::
+
+    python examples/partitioned_and_dynamic.py
+
+The paper motivates Ball-Tree partly because a space-partition index can be
+sharded across machines for massive data sets (Section III-A) and because
+its construction is cheap enough to rebuild as the data changes.  This
+example shows both operational modes on a large surrogate:
+
+1. shard the Deep100M-like surrogate into BC-Tree partitions and compare
+   exact sharded search against a single monolithic index,
+2. stream inserts and deletes through the dynamic wrapper while keeping
+   every intermediate answer exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BCTree, LinearScan
+from repro.core.dynamic import DynamicP2HIndex
+from repro.core.partitioned import PartitionedP2HIndex
+from repro.datasets import load_dataset, random_hyperplane_queries
+from repro.utils.timing import Timer
+
+K = 10
+
+
+def sharded_search_demo(points: np.ndarray, queries: np.ndarray) -> None:
+    print("=== sharded (partitioned) search ===")
+    single = BCTree(leaf_size=200, random_state=0).fit(points)
+    print(f"single BC-Tree: built in {single.indexing_seconds:.2f} s")
+
+    for num_partitions in (2, 4, 8):
+        index = PartitionedP2HIndex(
+            num_partitions=num_partitions,
+            index_factory=lambda: BCTree(leaf_size=200, random_state=0),
+            strategy="ball",
+            random_state=0,
+        ).fit(points)
+        report = index.indexing_report()
+
+        agree = 0
+        with Timer() as timer:
+            for query in queries:
+                sharded = index.search(query, k=K)
+                reference = single.search(query, k=K)
+                agree += int(
+                    np.allclose(
+                        np.sort(sharded.distances), np.sort(reference.distances)
+                    )
+                )
+        print(
+            f"  {num_partitions} shards: sizes {index.shard_sizes()}, "
+            f"indexing {report['indexing_seconds']:.2f} s, "
+            f"avg query {timer.elapsed / (2 * len(queries)) * 1000:.2f} ms, "
+            f"exact matches {agree}/{len(queries)}"
+        )
+
+
+def dynamic_updates_demo(points: np.ndarray, queries: np.ndarray) -> None:
+    print("\n=== dynamic inserts and deletes ===")
+    index = DynamicP2HIndex(random_state=0, rebuild_threshold=0.25)
+
+    # Stream the points in three batches, dropping 5% of each batch again —
+    # the pattern of an active-learning pool that labels and retires points.
+    batches = np.array_split(np.arange(points.shape[0]), 3)
+    removed = []
+    for batch_number, batch in enumerate(batches, start=1):
+        ids = index.insert(points[batch])
+        drop = ids[:: 20]  # delete every 20th inserted point
+        index.delete(drop)
+        removed.extend(int(i) for i in drop)
+        print(
+            f"  batch {batch_number}: {ids.size} inserted, {drop.size} deleted, "
+            f"{index.num_points} live points, "
+            f"{index.num_rebuilds} rebuilds so far"
+        )
+
+    # Verify the final state against an exact scan over the surviving points.
+    survivors_mask = np.ones(points.shape[0], dtype=bool)
+    survivors_mask[np.asarray(removed, dtype=np.int64)] = False
+    scan = LinearScan().fit(points[survivors_mask])
+
+    query = queries[0]
+    dynamic_result = index.search(query, k=K)
+    exact_result = scan.search(query, k=K)
+    matches = np.allclose(
+        np.sort(dynamic_result.distances), np.sort(exact_result.distances)
+    )
+    print(f"  final top-{K} agrees with an exact scan of the live points: {matches}")
+
+
+def main() -> None:
+    dataset = load_dataset("Deep100M", num_points=20_000)
+    points = dataset.points
+    queries = random_hyperplane_queries(points, num_queries=10, rng=3)
+    print(
+        f"data set: {dataset.name}-like surrogate, "
+        f"{dataset.num_points} points, {dataset.dim} dimensions\n"
+    )
+    sharded_search_demo(points, queries)
+    dynamic_updates_demo(points, queries)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: index a point set and answer hyperplane queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the core workflow of the library:
+
+1. generate (or load) a point set,
+2. build a BC-Tree index over it,
+3. answer exact and approximate top-k point-to-hyperplane queries,
+4. inspect the work counters that explain where the speed comes from,
+5. compare against the exhaustive linear scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BallTree, BCTree, LinearScan
+from repro.datasets import load_dataset, random_hyperplane_queries
+from repro.eval import exact_ground_truth
+from repro.eval.metrics import recall_at_k
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    # A synthetic surrogate of the paper's Sift data set: 10,000 points in
+    # 128 dimensions with SIFT-like cluster structure.
+    dataset = load_dataset("Sift", num_points=10_000)
+    points = dataset.points
+    print(f"data set: {dataset.name}-like surrogate, "
+          f"{dataset.num_points} points, {dataset.dim} dimensions")
+
+    # A hyperplane query is a (d+1)-vector: the first d entries are the
+    # normal vector, the last one is the offset.
+    queries = random_hyperplane_queries(points, num_queries=5, rng=7)
+
+    # ----------------------------------------------------------------- index
+    tree = BCTree(leaf_size=100, random_state=7).fit(points)
+    print(f"BC-Tree built in {tree.indexing_seconds * 1000:.1f} ms, "
+          f"index size {tree.index_size_bytes() / 1024:.1f} KiB, "
+          f"{tree.num_leaves} leaves")
+
+    # ---------------------------------------------------------------- search
+    query = queries[0]
+    result = tree.search(query, k=10)
+    print("\nexact top-10 points closest to the hyperplane:")
+    for rank, (index, distance) in enumerate(result.as_tuples(), start=1):
+        print(f"  #{rank:2d}  point {index:6d}  distance {distance:.6f}")
+
+    stats = result.stats
+    print("\nwork counters for this query:")
+    print(f"  nodes visited          : {stats.nodes_visited}")
+    print(f"  center inner products  : {stats.center_inner_products}")
+    print(f"  candidates verified    : {stats.candidates_verified} "
+          f"(out of {dataset.num_points})")
+    print(f"  pruned by ball bound   : {stats.points_pruned_ball}")
+    print(f"  pruned by cone bound   : {stats.points_pruned_cone}")
+
+    # Approximate search: cap the number of verified candidates to trade
+    # recall for speed (the knob behind the paper's time-recall curves).
+    truth_idx, _ = exact_ground_truth(points, queries, 10)
+    print("\napproximate search (candidate budget sweep):")
+    for fraction in (0.01, 0.05, 0.2):
+        approx = tree.search(query, k=10, candidate_fraction=fraction)
+        recall = recall_at_k(approx.indices, truth_idx[0])
+        print(f"  fraction {fraction:5.2f}  ->  recall {recall:4.2f}, "
+              f"verified {approx.stats.candidates_verified} candidates, "
+              f"{approx.stats.elapsed_seconds * 1000:.2f} ms")
+
+    # ------------------------------------------------------------- baselines
+    print("\ncomparison on the same query (exact search):")
+    for name, index in (
+        ("LinearScan", LinearScan().fit(points)),
+        ("Ball-Tree", BallTree(leaf_size=100, random_state=7).fit(points)),
+        ("BC-Tree", tree),
+    ):
+        res = index.search(query, k=10)
+        print(f"  {name:11s}  {res.stats.elapsed_seconds * 1000:6.2f} ms, "
+              f"verified {res.stats.candidates_verified:6d} candidates")
+
+
+if __name__ == "__main__":
+    main()

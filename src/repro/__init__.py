@@ -1,0 +1,85 @@
+"""repro — Ball-Tree and BC-Tree for Point-to-Hyperplane Nearest Neighbor Search.
+
+A from-scratch Python reproduction of
+
+    Qiang Huang, Anthony K. H. Tung.
+    "Lightweight-Yet-Efficient: Revitalizing Ball-Tree for
+    Point-to-Hyperplane Nearest Neighbor Search." ICDE 2023.
+
+The package exposes:
+
+* the two tree indexes the paper proposes (:class:`BallTree`,
+  :class:`BCTree`),
+* the exact baseline (:class:`LinearScan`) and a KD-Tree comparison point
+  (:class:`KDTree`),
+* the hashing baselines the paper compares against (:class:`NHIndex`,
+  :class:`FHIndex`),
+* synthetic dataset surrogates and hyperplane query generators
+  (:mod:`repro.datasets`),
+* an evaluation harness that regenerates every table and figure of the
+  paper's experimental section (:mod:`repro.eval`, driven by the scripts in
+  ``benchmarks/``), and
+* the two motivating applications, active learning and maximum-margin
+  clustering (:mod:`repro.apps`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BCTree
+>>> rng = np.random.default_rng(7)
+>>> data = rng.normal(size=(1000, 32))          # points in R^{d-1}
+>>> query = rng.normal(size=33)                 # hyperplane (normal; offset)
+>>> tree = BCTree(leaf_size=64, random_state=7).fit(data)
+>>> result = tree.search(query, k=10)
+>>> len(result)
+10
+"""
+
+from repro.core.ball_tree import BallTree
+from repro.core.bc_tree import BCTree
+from repro.core.best_first import BestFirstSearcher, best_first_search
+from repro.core.distances import (
+    augment_points,
+    normalize_query,
+    p2h_distance,
+    p2h_distance_raw,
+)
+from repro.core.dynamic import DynamicP2HIndex
+from repro.core.index_base import NotFittedError, P2HIndex
+from repro.core.kd_tree import KDTree
+from repro.core.linear_scan import LinearScan
+from repro.core.mips import BallTreeMIPS, linear_mips
+from repro.core.partitioned import PartitionedP2HIndex
+from repro.core.policies import BranchPreference
+from repro.core.rp_tree import RPTree
+from repro.core.results import SearchResult, SearchStats
+from repro.hashing.fh import FHIndex
+from repro.hashing.nh import NHIndex
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "BallTree",
+    "BCTree",
+    "KDTree",
+    "RPTree",
+    "LinearScan",
+    "NHIndex",
+    "FHIndex",
+    "P2HIndex",
+    "NotFittedError",
+    "BranchPreference",
+    "SearchResult",
+    "SearchStats",
+    "BestFirstSearcher",
+    "best_first_search",
+    "BallTreeMIPS",
+    "linear_mips",
+    "DynamicP2HIndex",
+    "PartitionedP2HIndex",
+    "augment_points",
+    "normalize_query",
+    "p2h_distance",
+    "p2h_distance_raw",
+    "__version__",
+]

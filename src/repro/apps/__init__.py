@@ -1,0 +1,13 @@
+"""Application layers built on the P2HNNS API (the paper's motivating uses)."""
+
+from repro.apps.active_learning import ActiveLearner, LinearModel
+from repro.apps.dimension_reduction import LargeMarginReducer, ReductionResult
+from repro.apps.margin_clustering import MaxMarginClustering
+
+__all__ = [
+    "ActiveLearner",
+    "LinearModel",
+    "MaxMarginClustering",
+    "LargeMarginReducer",
+    "ReductionResult",
+]

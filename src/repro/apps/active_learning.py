@@ -1,0 +1,207 @@
+"""Pool-based active learning with a linear classifier and P2HNNS.
+
+The paper's first motivating application (Section I): when training an SVM
+with a human annotator in the loop, each round should request labels for the
+pool points *closest to the current decision hyperplane* (minimum margin),
+because those are the points the classifier is least certain about.  Finding
+them is exactly a P2HNNS query with the decision hyperplane as the query.
+
+This module provides a small, dependency-free active-learning loop:
+
+* :class:`LinearModel` — a regularized least-squares linear classifier
+  (a stand-in for a linear SVM; it produces the same kind of decision
+  hyperplane ``{p : <w, p> + b = 0}``).
+* :class:`ActiveLearner` — the uncertainty-sampling loop: fit the model on
+  the labelled pool, query the P2HNNS index for the unlabelled points
+  nearest the hyperplane, acquire their labels, repeat.
+
+The loop accepts any index implementing the :class:`~repro.core.index_base.P2HIndex`
+interface, so BC-Tree, Ball-Tree, the hashing baselines, and the linear scan
+are interchangeable — which is how the active-learning example compares
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bc_tree import BCTree
+from repro.core.index_base import P2HIndex
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+
+@dataclass
+class LinearModel:
+    """Regularized least-squares linear classifier.
+
+    Solves ``min_w ||A w - y||^2 + reg ||w||^2`` where ``A`` is the labelled
+    data with an appended bias column and ``y in {-1, +1}``.  The decision
+    hyperplane ``{p : <w[:-1], p> + w[-1] = 0}`` is exposed in the query
+    layout the P2HNNS indexes expect.
+    """
+
+    regularization: float = 1e-3
+    weights: Optional[np.ndarray] = None
+
+    def fit(self, points: np.ndarray, labels: np.ndarray) -> "LinearModel":
+        """Fit the classifier on labelled points."""
+        pts = check_points_matrix(points, name="points")
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.shape[0] != pts.shape[0]:
+            raise ValueError("labels must have one entry per point")
+        design = np.hstack([pts, np.ones((pts.shape[0], 1))])
+        gram = design.T @ design + self.regularization * np.eye(design.shape[1])
+        self.weights = np.linalg.solve(gram, design.T @ labels)
+        return self
+
+    def decision_hyperplane(self) -> np.ndarray:
+        """The decision hyperplane as a P2HNNS query vector (normal; offset)."""
+        if self.weights is None:
+            raise RuntimeError("LinearModel must be fitted first")
+        return self.weights.copy()
+
+    def decision_function(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance-like score ``<w, p> + b`` for each point."""
+        if self.weights is None:
+            raise RuntimeError("LinearModel must be fitted first")
+        pts = check_points_matrix(points, name="points")
+        return pts @ self.weights[:-1] + self.weights[-1]
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Predicted labels in ``{-1, +1}``."""
+        scores = self.decision_function(points)
+        return np.where(scores >= 0.0, 1.0, -1.0)
+
+    def accuracy(self, points: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on labelled points."""
+        labels = np.asarray(labels, dtype=np.float64)
+        return float(np.mean(self.predict(points) == np.sign(labels)))
+
+
+@dataclass
+class ActiveLearningRound:
+    """Bookkeeping for one round of the active-learning loop."""
+
+    round_index: int
+    queried_indices: List[int]
+    labelled_count: int
+    accuracy: Optional[float]
+    query_seconds: float
+
+
+class ActiveLearner:
+    """Uncertainty-sampling active learning driven by a P2HNNS index.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-argument callable returning a fresh (unfitted) P2H index; the
+        index is rebuilt over the *unlabelled pool* at each round (the pool
+        shrinks as labels are acquired).  Defaults to a BC-Tree.
+    batch_size:
+        Number of labels requested per round (the k of the P2HNNS query).
+    model:
+        The linear classifier to retrain each round.
+    random_state:
+        Seed controlling the initial labelled points.
+    """
+
+    def __init__(
+        self,
+        *,
+        index_factory: Optional[Callable[[], P2HIndex]] = None,
+        batch_size: int = 10,
+        model: Optional[LinearModel] = None,
+        random_state=None,
+    ) -> None:
+        self.index_factory = index_factory or (lambda: BCTree(leaf_size=64))
+        self.batch_size = check_positive_int(batch_size, name="batch_size")
+        self.model = model or LinearModel()
+        self.random_state = random_state
+        self.history: List[ActiveLearningRound] = []
+
+    def run(
+        self,
+        pool_points: np.ndarray,
+        oracle: Callable[[Sequence[int]], np.ndarray],
+        *,
+        num_rounds: int = 10,
+        initial_labels: int = 10,
+        holdout_points: Optional[np.ndarray] = None,
+        holdout_labels: Optional[np.ndarray] = None,
+    ) -> LinearModel:
+        """Run the active-learning loop.
+
+        Parameters
+        ----------
+        pool_points:
+            The unlabelled pool, shape ``(n, d-1)``.
+        oracle:
+            Callable mapping pool indices to their true labels (simulates the
+            human annotator).
+        num_rounds:
+            Number of query rounds after the initial random sample.
+        initial_labels:
+            Number of randomly selected seed labels.
+        holdout_points, holdout_labels:
+            Optional held-out set for accuracy tracking per round.
+
+        Returns
+        -------
+        LinearModel
+            The classifier after the final round.
+        """
+        import time
+
+        pool = check_points_matrix(pool_points, name="pool_points")
+        rng = ensure_rng(self.random_state)
+        num_rounds = check_positive_int(num_rounds, name="num_rounds")
+        initial_labels = check_positive_int(initial_labels, name="initial_labels")
+
+        n = pool.shape[0]
+        labelled_mask = np.zeros(n, dtype=bool)
+        seed_indices = rng.choice(n, size=min(initial_labels, n), replace=False)
+        labelled_mask[seed_indices] = True
+        labels = np.zeros(n, dtype=np.float64)
+        labels[seed_indices] = oracle(seed_indices)
+
+        self.history = []
+        for round_index in range(num_rounds):
+            labelled_idx = np.flatnonzero(labelled_mask)
+            self.model.fit(pool[labelled_idx], labels[labelled_idx])
+            unlabelled_idx = np.flatnonzero(~labelled_mask)
+            if unlabelled_idx.size == 0:
+                break
+
+            hyperplane = self.model.decision_hyperplane()
+            index = self.index_factory()
+            tic = time.perf_counter()
+            index.fit(pool[unlabelled_idx])
+            k = min(self.batch_size, unlabelled_idx.size)
+            result = index.search(hyperplane, k=k)
+            query_seconds = time.perf_counter() - tic
+
+            chosen = unlabelled_idx[result.indices]
+            labels[chosen] = oracle(chosen)
+            labelled_mask[chosen] = True
+
+            accuracy = None
+            if holdout_points is not None and holdout_labels is not None:
+                accuracy = self.model.accuracy(holdout_points, holdout_labels)
+            self.history.append(
+                ActiveLearningRound(
+                    round_index=round_index,
+                    queried_indices=[int(i) for i in chosen],
+                    labelled_count=int(labelled_mask.sum()),
+                    accuracy=accuracy,
+                    query_seconds=query_seconds,
+                )
+            )
+
+        labelled_idx = np.flatnonzero(labelled_mask)
+        self.model.fit(pool[labelled_idx], labels[labelled_idx])
+        return self.model

@@ -1,0 +1,238 @@
+"""Command-line interface for the library.
+
+The CLI exposes the three things a user most often wants to do without
+writing code:
+
+* ``python -m repro datasets`` — list the registered data-set surrogates.
+* ``python -m repro search``  — build an index over a data set (registry
+  surrogate or a file on disk) and answer random hyperplane queries,
+  printing recall and timing against the exact linear scan.
+* ``python -m repro run <experiment>`` — regenerate one of the paper's
+  tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
+  ``partitioned``) at a configurable scale, printing the same rows the
+  benchmark suite produces and optionally writing JSON/CSV.
+
+Every command is deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import BallTree, BCTree, FHIndex, LinearScan, NHIndex, __version__
+from repro.datasets import load_dataset, random_hyperplane_queries
+from repro.datasets.io import load_points
+from repro.datasets.registry import DATASETS, available_datasets
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.eval.plots import records_to_csv
+from repro.eval.reporting import render_table, save_json
+from repro.eval.runner import evaluate_index
+
+METHODS = {
+    "bc-tree": lambda args: BCTree(leaf_size=args.leaf_size, random_state=args.seed),
+    "ball-tree": lambda args: BallTree(
+        leaf_size=args.leaf_size, random_state=args.seed
+    ),
+    "linear": lambda args: LinearScan(),
+    "nh": lambda args: NHIndex(num_tables=args.num_tables, random_state=args.seed),
+    "fh": lambda args: FHIndex(num_tables=args.num_tables, random_state=args.seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Ball-Tree / BC-Tree point-to-hyperplane nearest neighbor search "
+            "(ICDE 2023 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list the registered data-set surrogates"
+    )
+    datasets_parser.add_argument(
+        "--include-large-scale",
+        action="store_true",
+        help="include the Deep100M / Sift100M surrogates in the listing",
+    )
+
+    search_parser = subparsers.add_parser(
+        "search", help="build an index and answer random hyperplane queries"
+    )
+    search_parser.add_argument(
+        "--dataset",
+        default="Cifar-10",
+        help="registry data-set name (default: Cifar-10)",
+    )
+    search_parser.add_argument(
+        "--data-file",
+        default=None,
+        help="load points from a file (.fvecs/.bvecs/.npy/.csv) instead of the registry",
+    )
+    search_parser.add_argument(
+        "--method",
+        default="bc-tree",
+        choices=sorted(METHODS),
+        help="index to build (default: bc-tree)",
+    )
+    search_parser.add_argument("--num-points", type=int, default=4000)
+    search_parser.add_argument("--num-queries", type=int, default=10)
+    search_parser.add_argument("--k", type=int, default=10)
+    search_parser.add_argument("--leaf-size", type=int, default=100)
+    search_parser.add_argument("--num-tables", type=int, default=32)
+    search_parser.add_argument(
+        "--candidate-fraction",
+        type=float,
+        default=None,
+        help="approximate search budget for the tree indexes",
+    )
+    search_parser.add_argument("--seed", type=int, default=0)
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate one of the paper's tables or figures"
+    )
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS),
+        help="experiment id (table2, table3, fig5 ... fig11, partitioned)",
+    )
+    run_parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated data-set names (default: a representative subset)",
+    )
+    run_parser.add_argument("--num-points", type=int, default=4000)
+    run_parser.add_argument("--num-queries", type=int, default=20)
+    run_parser.add_argument("--k", type=int, default=10)
+    run_parser.add_argument("--leaf-size", type=int, default=100)
+    run_parser.add_argument("--num-tables", type=int, default=32)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--json", default=None, help="write records to a JSON file")
+    run_parser.add_argument("--csv", default=None, help="write records to a CSV file")
+
+    return parser
+
+
+# ----------------------------------------------------------------- commands
+
+
+def _cmd_datasets(args) -> int:
+    names = available_datasets(include_large_scale=args.include_large_scale)
+    records = []
+    for name in names:
+        spec = DATASETS[name]
+        records.append(
+            {
+                "dataset": spec.name,
+                "paper_n": spec.paper_points,
+                "d": spec.paper_dim,
+                "data_type": spec.data_type,
+                "surrogate_n": spec.surrogate_points,
+                "generator": spec.generator,
+            }
+        )
+    print(
+        render_table(
+            records,
+            ["dataset", "paper_n", "d", "data_type", "surrogate_n", "generator"],
+            title="Registered data sets (Table II)",
+        )
+    )
+    return 0
+
+
+def _cmd_search(args) -> int:
+    if args.data_file:
+        points = load_points(args.data_file, max_vectors=args.num_points)
+        dataset_name = args.data_file
+    else:
+        dataset = load_dataset(args.dataset, num_points=args.num_points)
+        points = dataset.points
+        dataset_name = dataset.name
+    queries = random_hyperplane_queries(points, args.num_queries, rng=args.seed + 2023)
+
+    index = METHODS[args.method](args)
+    search_kwargs = {}
+    if args.candidate_fraction is not None and args.method in ("bc-tree", "ball-tree"):
+        search_kwargs["candidate_fraction"] = args.candidate_fraction
+
+    evaluation = evaluate_index(
+        index,
+        points,
+        queries,
+        args.k,
+        method_name=args.method,
+        dataset_name=dataset_name,
+        search_kwargs=search_kwargs,
+    )
+    record = evaluation.as_record()
+    columns = [
+        "method",
+        "dataset",
+        "k",
+        "recall",
+        "avg_query_ms",
+        "indexing_seconds",
+        "index_size_mb",
+    ]
+    print(render_table([record], columns, title="Search evaluation"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    datasets: Optional[Sequence[str]] = None
+    if args.datasets:
+        datasets = tuple(
+            name.strip() for name in args.datasets.split(",") if name.strip()
+        )
+    config = ExperimentConfig(
+        datasets=datasets or ExperimentConfig().datasets,
+        num_points=args.num_points,
+        num_queries=args.num_queries,
+        k=args.k,
+        leaf_size=args.leaf_size,
+        num_tables=args.num_tables,
+        seed=args.seed,
+    )
+    output = run_experiment(args.experiment, config)
+    print(render_table(output.records, output.columns, title=output.title))
+    if args.json:
+        save_json(output.records, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        records_to_csv(output.records, output.columns, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

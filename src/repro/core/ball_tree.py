@@ -1,0 +1,236 @@
+"""Ball-Tree index for P2HNNS (paper Section III, Algorithms 1-3).
+
+The index recursively partitions the augmented data with the seed-grow rule
+and stores, per node, the centroid and the radius of the enclosing ball.
+Search is a depth-first branch-and-bound (Algorithm 3): a node is pruned
+whenever its node-level ball bound (Theorem 2)
+
+    max(|<q, N.c>| - ||q|| * N.r, 0)
+
+is at least the current k-th best distance ``lambda``; leaves are scanned
+exhaustively.  The two children of an expanded internal node are visited in
+the order given by the *branch preference* (center preference by default;
+see :class:`~repro.core.policies.BranchPreference` and Figure 7).
+
+Approximate search is supported through a *candidate budget*: traversal
+stops once a given number (or fraction) of points has been verified, which
+is how the paper trades recall for query time in Figures 5-6.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import node_ball_bound
+from repro.core.index_base import P2HIndex
+from repro.core.policies import BranchPreference
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.tree_base import NO_CHILD, NodeView, TreeArrays, build_tree
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+class BallTree(P2HIndex):
+    """Ball-Tree index for point-to-hyperplane nearest neighbor search.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum number of points per leaf (``N0`` in the paper; default 100).
+    branch_preference:
+        Default child-visit ordering; ``"center"`` (paper default) or
+        ``"lower_bound"``.
+    random_state:
+        Seed or generator for the seed-grow split.
+    augment, normalize_queries:
+        See :class:`~repro.core.index_base.P2HIndex`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import BallTree
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(500, 16))
+    >>> query = rng.normal(size=17)
+    >>> tree = BallTree(leaf_size=32, random_state=0).fit(data)
+    >>> result = tree.search(query, k=5)
+    >>> len(result)
+    5
+    """
+
+    def __init__(
+        self,
+        leaf_size: int = 100,
+        *,
+        branch_preference=BranchPreference.CENTER,
+        random_state=None,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
+        self.branch_preference = BranchPreference.coerce(branch_preference)
+        self.random_state = random_state
+        self.tree: Optional[TreeArrays] = None
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        self.tree = build_tree(
+            points,
+            self.leaf_size,
+            rng=self.random_state,
+            centers_from_children=False,
+        )
+
+    @property
+    def root(self) -> NodeView:
+        """Read-only view of the root node (for inspection and tests)."""
+        self._check_fitted()
+        return NodeView(self.tree, 0, self._points)
+
+    @property
+    def num_nodes(self) -> int:
+        self._check_fitted()
+        return self.tree.num_nodes
+
+    @property
+    def num_leaves(self) -> int:
+        self._check_fitted()
+        return self.tree.num_leaves
+
+    def depth(self) -> int:
+        """Tree height (root = 1)."""
+        self._check_fitted()
+        return self.tree.depth()
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        if self.tree is None:
+            return ()
+        return self.tree.payload_arrays()
+
+    # ---------------------------------------------------------------- search
+
+    def _resolve_budget(self, candidate_fraction, max_candidates) -> float:
+        """Translate the approximate-search knobs into a candidate budget."""
+        candidate_fraction = check_fraction(
+            candidate_fraction, name="candidate_fraction"
+        )
+        if max_candidates is not None:
+            max_candidates = check_positive_int(max_candidates, name="max_candidates")
+        if candidate_fraction is not None and max_candidates is not None:
+            raise ValueError(
+                "pass either candidate_fraction or max_candidates, not both"
+            )
+        if candidate_fraction is not None:
+            return max(1.0, candidate_fraction * self.num_points)
+        if max_candidates is not None:
+            return float(max_candidates)
+        return float("inf")
+
+    def _search_one(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        candidate_fraction: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+        branch_preference=None,
+        profile: bool = False,
+    ) -> SearchResult:
+        """Branch-and-bound traversal (Algorithm 3) generalized to top-k."""
+        preference = (
+            self.branch_preference
+            if branch_preference is None
+            else BranchPreference.coerce(branch_preference)
+        )
+        budget = self._resolve_budget(candidate_fraction, max_candidates)
+
+        tree = self.tree
+        points = self._points
+        centers = tree.centers
+        radii = tree.radii
+        query_norm = float(np.linalg.norm(query))
+
+        stats = SearchStats()
+        collector = TopKCollector(k)
+
+        # Stack entries are (node_id, ip_center); the inner product of the
+        # query and the node's center is computed at the parent (for branch
+        # ordering) and handed down so it is counted exactly once per node.
+        root_ip = float(centers[0] @ query)
+        stats.center_inner_products += 1
+        stack = [(0, root_ip)]
+
+        while stack:
+            if stats.candidates_verified >= budget:
+                break
+            node, ip_node = stack.pop()
+            stats.nodes_visited += 1
+
+            tic = time.perf_counter() if profile else 0.0
+            lower_bound = node_ball_bound(ip_node, query_norm, radii[node])
+            if profile:
+                stats.stage_seconds["lower_bounds"] = (
+                    stats.stage_seconds.get("lower_bounds", 0.0)
+                    + (time.perf_counter() - tic)
+                )
+            if lower_bound >= collector.threshold:
+                continue
+
+            left = tree.left_child[node]
+            if left == NO_CHILD:
+                self._scan_leaf(node, query, collector, stats, profile)
+                continue
+
+            right = tree.right_child[node]
+            tic = time.perf_counter() if profile else 0.0
+            ip_left = float(centers[left] @ query)
+            ip_right = float(centers[right] @ query)
+            stats.center_inner_products += 2
+            if profile:
+                stats.stage_seconds["lower_bounds"] = (
+                    stats.stage_seconds.get("lower_bounds", 0.0)
+                    + (time.perf_counter() - tic)
+                )
+
+            if preference is BranchPreference.CENTER:
+                left_first = abs(ip_left) < abs(ip_right)
+            else:
+                lb_left = node_ball_bound(ip_left, query_norm, radii[left])
+                lb_right = node_ball_bound(ip_right, query_norm, radii[right])
+                left_first = lb_left < lb_right
+
+            if left_first:
+                stack.append((right, ip_right))
+                stack.append((left, ip_left))
+            else:
+                stack.append((left, ip_left))
+                stack.append((right, ip_right))
+
+        return collector.to_result(stats)
+
+    def _scan_leaf(
+        self,
+        node: int,
+        query: np.ndarray,
+        collector: TopKCollector,
+        stats: SearchStats,
+        profile: bool,
+    ) -> None:
+        """Exhaustive scan of a leaf (Algorithm 3, ``ExhaustiveScan``)."""
+        tree = self.tree
+        start, end = tree.start[node], tree.end[node]
+        indices = tree.perm[start:end]
+        tic = time.perf_counter() if profile else 0.0
+        distances = np.abs(self._points[indices] @ query)
+        collector.offer_batch(indices, distances)
+        if profile:
+            stats.stage_seconds["verification"] = (
+                stats.stage_seconds.get("verification", 0.0)
+                + (time.perf_counter() - tic)
+            )
+        stats.candidates_verified += int(indices.shape[0])
+        stats.leaves_scanned += 1

@@ -1,0 +1,378 @@
+"""BC-Tree index for P2HNNS (paper Section IV, Algorithms 4-5).
+
+BC-Tree is a Ball-Tree whose leaves additionally store, per point, the
+*ball* and *cone* structures relative to the leaf center ``c``:
+
+* ``r_x = ||x - c||`` — used by the point-level ball bound (Corollary 1),
+  with leaf points sorted by descending ``r_x`` so the bound prunes the
+  remaining points in a batch;
+* ``||x|| cos(phi_x)`` and ``||x|| sin(phi_x)`` — used by the tighter
+  point-level cone bound (Theorem 3).
+
+Internal-node centers are computed from the children's centers via the
+linear property of the centroid (Lemma 1), and during search the inner
+product of the query with the right child's center is derived in O(1) from
+the parent's and left child's inner products (Lemma 2, the *collaborative
+inner product computing* strategy, Theorem 5).
+
+The ablation variants of Figure 8 are exposed through the
+``use_ball_bound`` / ``use_cone_bound`` constructor flags:
+
+=================  ==========================  ==========================
+Paper name          ``use_ball_bound``           ``use_cone_bound``
+=================  ==========================  ==========================
+BC-Tree             True                         True
+BC-Tree-wo-B        False                        True
+BC-Tree-wo-C        True                         False
+BC-Tree-wo-BC       False                        False
+=================  ==========================  ==========================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import (
+    node_ball_bound,
+    point_ball_bound,
+    point_cone_bound,
+    query_angle_terms,
+)
+from repro.core.ball_tree import BallTree
+from repro.core.policies import BranchPreference
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.tree_base import NO_CHILD, build_tree
+
+
+class BCTree(BallTree):
+    """BC-Tree index for point-to-hyperplane nearest neighbor search.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum number of points per leaf (``N0``; default 100).
+    branch_preference:
+        Child-visit ordering (center preference by default).
+    use_ball_bound, use_cone_bound:
+        Enable / disable the two point-level lower bounds (Figure 8
+        ablation); both enabled by default.
+    collaborative_ip:
+        Enable Lemma 2's O(1) derivation of the right child's inner product
+        (Theorem 5); enabled by default.  Disabling it only changes the work
+        counters, never the results.
+    scan_mode:
+        ``"vectorized"`` (default) evaluates the point-level bounds for the
+        whole leaf in NumPy batch operations using the pruning threshold at
+        leaf entry; ``"sequential"`` follows Algorithm 5 point by point and
+        tightens the threshold inside the leaf.  Both return identical
+        results; the sequential mode verifies slightly fewer candidates at a
+        much higher interpreter cost, and exists for fidelity tests.
+    random_state, augment, normalize_queries:
+        See :class:`~repro.core.ball_tree.BallTree`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import BCTree
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(500, 16))
+    >>> query = rng.normal(size=17)
+    >>> tree = BCTree(leaf_size=32, random_state=0).fit(data)
+    >>> result = tree.search(query, k=5)
+    >>> len(result)
+    5
+    """
+
+    def __init__(
+        self,
+        leaf_size: int = 100,
+        *,
+        branch_preference=BranchPreference.CENTER,
+        use_ball_bound: bool = True,
+        use_cone_bound: bool = True,
+        collaborative_ip: bool = True,
+        scan_mode: str = "vectorized",
+        random_state=None,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(
+            leaf_size,
+            branch_preference=branch_preference,
+            random_state=random_state,
+            augment=augment,
+            normalize_queries=normalize_queries,
+        )
+        if scan_mode not in ("vectorized", "sequential"):
+            raise ValueError(
+                f"scan_mode must be 'vectorized' or 'sequential', got {scan_mode!r}"
+            )
+        self.use_ball_bound = bool(use_ball_bound)
+        self.use_cone_bound = bool(use_cone_bound)
+        self.collaborative_ip = bool(collaborative_ip)
+        self.scan_mode = scan_mode
+        # Per-point leaf structures, aligned with the tree's ``perm`` order.
+        self.point_radius: Optional[np.ndarray] = None
+        self.point_cos: Optional[np.ndarray] = None
+        self.point_sin: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        """Algorithm 4: Ball-Tree construction plus leaf ball/cone structures."""
+        self.tree = build_tree(
+            points,
+            self.leaf_size,
+            rng=self.random_state,
+            centers_from_children=True,
+        )
+        tree = self.tree
+        n = points.shape[0]
+        self.point_radius = np.zeros(n, dtype=np.float64)
+        self.point_cos = np.zeros(n, dtype=np.float64)
+        self.point_sin = np.zeros(n, dtype=np.float64)
+
+        for node in range(tree.num_nodes):
+            if not tree.is_leaf(node):
+                continue
+            start, end = tree.start[node], tree.end[node]
+            indices = tree.perm[start:end]
+            leaf_points = points[indices]
+            center = tree.centers[node]
+            center_norm = float(np.linalg.norm(center))
+
+            radii = np.linalg.norm(leaf_points - center, axis=1)
+            # Sort leaf points by descending r_x (Algorithm 4 line 9) so the
+            # point-level ball bound prunes the tail of the leaf in a batch.
+            order = np.argsort(-radii, kind="stable")
+            indices = indices[order]
+            leaf_points = leaf_points[order]
+            radii = radii[order]
+            tree.perm[start:end] = indices
+
+            norms = np.linalg.norm(leaf_points, axis=1)
+            if center_norm > 0.0:
+                x_cos = (leaf_points @ center) / center_norm
+            else:
+                x_cos = np.zeros_like(norms)
+            x_sin = np.sqrt(np.maximum(norms * norms - x_cos * x_cos, 0.0))
+
+            self.point_radius[start:end] = radii
+            self.point_cos[start:end] = x_cos
+            self.point_sin[start:end] = x_sin
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        arrays = list(super()._payload_arrays())
+        for extra in (self.point_radius, self.point_cos, self.point_sin):
+            if extra is not None:
+                arrays.append(extra)
+        return arrays
+
+    # ---------------------------------------------------------------- search
+
+    def _search_one(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        candidate_fraction: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+        branch_preference=None,
+        profile: bool = False,
+    ) -> SearchResult:
+        """Algorithm 5 generalized to top-k with an optional candidate budget."""
+        preference = (
+            self.branch_preference
+            if branch_preference is None
+            else BranchPreference.coerce(branch_preference)
+        )
+        budget = self._resolve_budget(candidate_fraction, max_candidates)
+
+        tree = self.tree
+        centers = tree.centers
+        radii = tree.radii
+        start_arr = tree.start
+        end_arr = tree.end
+        query_norm = float(np.linalg.norm(query))
+
+        stats = SearchStats()
+        collector = TopKCollector(k)
+
+        root_ip = float(centers[0] @ query)
+        stats.center_inner_products += 1
+        stack = [(0, root_ip)]
+
+        while stack:
+            if stats.candidates_verified >= budget:
+                break
+            node, ip_node = stack.pop()
+            stats.nodes_visited += 1
+
+            tic = time.perf_counter() if profile else 0.0
+            lower_bound = node_ball_bound(ip_node, query_norm, radii[node])
+            if profile:
+                stats.stage_seconds["lower_bounds"] = (
+                    stats.stage_seconds.get("lower_bounds", 0.0)
+                    + (time.perf_counter() - tic)
+                )
+            if lower_bound >= collector.threshold:
+                continue
+
+            left = tree.left_child[node]
+            if left == NO_CHILD:
+                self._scan_leaf_with_pruning(
+                    node, ip_node, query, query_norm, collector, stats, profile
+                )
+                continue
+
+            right = tree.right_child[node]
+            tic = time.perf_counter() if profile else 0.0
+            ip_left = float(centers[left] @ query)
+            stats.center_inner_products += 1
+            if self.collaborative_ip:
+                # Lemma 2: derive the right child's inner product in O(1).
+                size = end_arr[node] - start_arr[node]
+                left_size = end_arr[left] - start_arr[left]
+                right_size = end_arr[right] - start_arr[right]
+                ip_right = (size * ip_node - left_size * ip_left) / right_size
+            else:
+                ip_right = float(centers[right] @ query)
+                stats.center_inner_products += 1
+            if profile:
+                stats.stage_seconds["lower_bounds"] = (
+                    stats.stage_seconds.get("lower_bounds", 0.0)
+                    + (time.perf_counter() - tic)
+                )
+
+            if preference is BranchPreference.CENTER:
+                left_first = abs(ip_left) < abs(ip_right)
+            else:
+                lb_left = node_ball_bound(ip_left, query_norm, radii[left])
+                lb_right = node_ball_bound(ip_right, query_norm, radii[right])
+                left_first = lb_left < lb_right
+
+            if left_first:
+                stack.append((right, ip_right))
+                stack.append((left, ip_left))
+            else:
+                stack.append((left, ip_left))
+                stack.append((right, ip_right))
+
+        return collector.to_result(stats)
+
+    # ------------------------------------------------------------ leaf scans
+
+    def _scan_leaf_with_pruning(
+        self,
+        node: int,
+        ip_node: float,
+        query: np.ndarray,
+        query_norm: float,
+        collector: TopKCollector,
+        stats: SearchStats,
+        profile: bool,
+    ) -> None:
+        """Algorithm 5's ``ScanWithPruning`` with the point-level bounds."""
+        stats.leaves_scanned += 1
+        if self.scan_mode == "sequential":
+            self._scan_leaf_sequential(
+                node, ip_node, query, query_norm, collector, stats
+            )
+            return
+
+        tree = self.tree
+        start, end = tree.start[node], tree.end[node]
+        indices = tree.perm[start:end]
+        size = int(end - start)
+        threshold = collector.threshold
+
+        tic = time.perf_counter() if profile else 0.0
+        keep = slice(0, size)
+        if self.use_ball_bound and np.isfinite(threshold):
+            radii = self.point_radius[start:end]
+            ball_bounds = point_ball_bound(ip_node, query_norm, radii)
+            # Leaf points are sorted by descending r_x, so the ball bound is
+            # non-decreasing along the leaf: the first position at which it
+            # reaches the threshold prunes the whole tail (batch pruning).
+            cut = int(np.searchsorted(ball_bounds, threshold, side="left"))
+            stats.points_pruned_ball += size - cut
+            keep = slice(0, cut)
+
+        survivors = indices[keep]
+        # The cone bound costs a handful of vectorized operations per leaf;
+        # when only a few points survive the ball bound, verifying them
+        # directly is cheaper than evaluating it.
+        if (
+            survivors.shape[0] > 8
+            and self.use_cone_bound
+            and np.isfinite(threshold)
+        ):
+            center_norm = float(np.linalg.norm(tree.centers[node]))
+            q_cos, q_sin = query_angle_terms(ip_node, query_norm, center_norm)
+            cone_bounds = point_cone_bound(
+                q_cos,
+                q_sin,
+                self.point_cos[start:end][keep],
+                self.point_sin[start:end][keep],
+            )
+            mask = cone_bounds < threshold
+            stats.points_pruned_cone += int(survivors.shape[0] - mask.sum())
+            survivors = survivors[mask]
+        if profile:
+            stats.stage_seconds["lower_bounds"] = (
+                stats.stage_seconds.get("lower_bounds", 0.0)
+                + (time.perf_counter() - tic)
+            )
+
+        if survivors.shape[0] == 0:
+            return
+        tic = time.perf_counter() if profile else 0.0
+        distances = np.abs(self._points[survivors] @ query)
+        collector.offer_batch(survivors, distances)
+        if profile:
+            stats.stage_seconds["verification"] = (
+                stats.stage_seconds.get("verification", 0.0)
+                + (time.perf_counter() - tic)
+            )
+        stats.candidates_verified += int(survivors.shape[0])
+
+    def _scan_leaf_sequential(
+        self,
+        node: int,
+        ip_node: float,
+        query: np.ndarray,
+        query_norm: float,
+        collector: TopKCollector,
+        stats: SearchStats,
+    ) -> None:
+        """Point-by-point leaf scan exactly as written in Algorithm 5."""
+        tree = self.tree
+        start, end = tree.start[node], tree.end[node]
+        center_norm = float(np.linalg.norm(tree.centers[node]))
+        q_cos, q_sin = query_angle_terms(ip_node, query_norm, center_norm)
+        points = self._points
+
+        for pos in range(start, end):
+            threshold = collector.threshold
+            if self.use_ball_bound:
+                ball = float(
+                    point_ball_bound(ip_node, query_norm, self.point_radius[pos])
+                )
+                if ball >= threshold:
+                    # Remaining points have larger or equal bounds: batch prune.
+                    stats.points_pruned_ball += end - pos
+                    return
+            if self.use_cone_bound:
+                cone = point_cone_bound(
+                    q_cos, q_sin, self.point_cos[pos], self.point_sin[pos]
+                )
+                if cone >= threshold:
+                    stats.points_pruned_cone += 1
+                    continue
+            index = int(tree.perm[pos])
+            distance = float(abs(points[index] @ query))
+            stats.candidates_verified += 1
+            collector.offer(index, distance)

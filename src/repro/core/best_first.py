@@ -1,0 +1,204 @@
+"""Best-first (priority-queue) traversal for Ball-Tree and BC-Tree.
+
+The paper's Algorithms 3 and 5 traverse the tree depth-first, ordering the
+two children of every expanded node by the branch preference.  A classical
+alternative for ball trees is *best-first* search: keep a global priority
+queue of frontier nodes ordered by their node-level ball bound (Theorem 2)
+and always expand the most promising node next.
+
+Best-first search visits nodes in non-decreasing bound order, so with an
+unlimited budget it expands the minimum possible number of nodes for the
+bound it uses.  Its price is the priority-queue overhead and the loss of
+the cheap, cache-friendly stack discipline — which is exactly the trade-off
+the ablation benchmark ``bench_ablation_traversal_order.py`` measures.
+
+The searcher operates on an already-fitted :class:`~repro.core.ball_tree.BallTree`
+or :class:`~repro.core.bc_tree.BCTree` and reuses the owning index's leaf
+scan (so BC-Tree's point-level pruning still applies).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ball_tree import BallTree
+from repro.core.bc_tree import BCTree
+from repro.core.bounds import node_ball_bound
+from repro.core.index_base import NotFittedError
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.tree_base import NO_CHILD
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+class BestFirstSearcher:
+    """Best-first P2HNNS search over a fitted Ball-Tree or BC-Tree.
+
+    Parameters
+    ----------
+    index:
+        A fitted :class:`BallTree` or :class:`BCTree`.  The searcher reads
+        the index's tree arrays; it never mutates the index.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import BCTree
+    >>> from repro.core.best_first import BestFirstSearcher
+    >>> rng = np.random.default_rng(3)
+    >>> data = rng.normal(size=(400, 12))
+    >>> tree = BCTree(leaf_size=32, random_state=3).fit(data)
+    >>> searcher = BestFirstSearcher(tree)
+    >>> result = searcher.search(rng.normal(size=13), k=5)
+    >>> len(result)
+    5
+    """
+
+    def __init__(self, index: BallTree) -> None:
+        if not isinstance(index, BallTree):
+            raise TypeError(
+                "BestFirstSearcher requires a BallTree or BCTree, "
+                f"got {type(index).__name__}"
+            )
+        if index.tree is None:
+            raise NotFittedError("the index must be fitted before best-first search")
+        self.index = index
+
+    # ------------------------------------------------------------------ API
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        *,
+        candidate_fraction: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+    ) -> SearchResult:
+        """Return the top-``k`` nearest points to the hyperplane ``query``.
+
+        Parameters
+        ----------
+        query:
+            Hyperplane coefficients of shape ``(d,)``; normalized according
+            to the owning index's ``normalize_queries`` setting.
+        k:
+            Number of neighbors to return.
+        candidate_fraction, max_candidates:
+            Optional approximate-search budget, interpreted exactly as by
+            :meth:`BallTree.search`.
+        """
+        index = self.index
+        # Reuse the owning index's validation and normalization path so a
+        # best-first search sees exactly the same query as a DFS search.
+        from repro.core.distances import normalize_query
+        from repro.utils.validation import check_query_vector
+
+        q = check_query_vector(query, expected_dim=index.dim, name="query")
+        if index.normalize_queries:
+            q = normalize_query(q)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), index.num_points)
+        budget = self._resolve_budget(candidate_fraction, max_candidates)
+        return self._search_normalized(q, k, budget)
+
+    # ------------------------------------------------------------ internals
+
+    def _resolve_budget(self, candidate_fraction, max_candidates) -> float:
+        candidate_fraction = check_fraction(
+            candidate_fraction, name="candidate_fraction"
+        )
+        if max_candidates is not None:
+            max_candidates = check_positive_int(max_candidates, name="max_candidates")
+        if candidate_fraction is not None and max_candidates is not None:
+            raise ValueError(
+                "pass either candidate_fraction or max_candidates, not both"
+            )
+        if candidate_fraction is not None:
+            return max(1.0, candidate_fraction * self.index.num_points)
+        if max_candidates is not None:
+            return float(max_candidates)
+        return float("inf")
+
+    def _search_normalized(
+        self, query: np.ndarray, k: int, budget: float
+    ) -> SearchResult:
+        index = self.index
+        tree = index.tree
+        centers = tree.centers
+        radii = tree.radii
+        query_norm = float(np.linalg.norm(query))
+
+        stats = SearchStats()
+        collector = TopKCollector(k)
+        counter = itertools.count()  # tie-breaker so heap never compares tuples deeper
+
+        root_ip = float(centers[0] @ query)
+        stats.center_inner_products += 1
+        root_bound = node_ball_bound(root_ip, query_norm, radii[0])
+        frontier = [(root_bound, next(counter), 0, root_ip)]
+
+        is_bc = isinstance(index, BCTree)
+
+        while frontier:
+            if stats.candidates_verified >= budget:
+                break
+            bound, _, node, ip_node = heapq.heappop(frontier)
+            # Frontier bounds only grow, so the first bound at or above the
+            # current threshold terminates the whole search.
+            if bound >= collector.threshold:
+                break
+            stats.nodes_visited += 1
+
+            left = tree.left_child[node]
+            if left == NO_CHILD:
+                if is_bc:
+                    index._scan_leaf_with_pruning(
+                        node, ip_node, query, query_norm, collector, stats, False
+                    )
+                else:
+                    index._scan_leaf(node, query, collector, stats, False)
+                continue
+
+            right = tree.right_child[node]
+            ip_left = float(centers[left] @ query)
+            stats.center_inner_products += 1
+            if is_bc and index.collaborative_ip:
+                size = tree.end[node] - tree.start[node]
+                left_size = tree.end[left] - tree.start[left]
+                right_size = tree.end[right] - tree.start[right]
+                ip_right = (size * ip_node - left_size * ip_left) / right_size
+            else:
+                ip_right = float(centers[right] @ query)
+                stats.center_inner_products += 1
+
+            lb_left = node_ball_bound(ip_left, query_norm, radii[left])
+            lb_right = node_ball_bound(ip_right, query_norm, radii[right])
+            threshold = collector.threshold
+            if lb_left < threshold:
+                heapq.heappush(frontier, (lb_left, next(counter), left, ip_left))
+            if lb_right < threshold:
+                heapq.heappush(frontier, (lb_right, next(counter), right, ip_right))
+
+        return collector.to_result(stats)
+
+
+def best_first_search(
+    index: BallTree,
+    query: np.ndarray,
+    k: int = 1,
+    *,
+    candidate_fraction: Optional[float] = None,
+    max_candidates: Optional[int] = None,
+) -> SearchResult:
+    """Convenience wrapper: one-off best-first search on a fitted tree index."""
+    searcher = BestFirstSearcher(index)
+    return searcher.search(
+        query,
+        k=k,
+        candidate_fraction=candidate_fraction,
+        max_candidates=max_candidates,
+    )

@@ -1,0 +1,153 @@
+"""Point-to-hyperplane (P2H) geometry.
+
+The paper (Section II) reduces the P2H distance
+
+    d_P2H(p, q) = |q_d + sum_i p_i q_i| / ||q_{1..d-1}||        (Eq. 1)
+
+to an absolute inner product by two pre-processing steps:
+
+1. *Dimension appending*: every data point ``p in R^{d-1}`` becomes
+   ``x = (p; 1) in R^d`` (:func:`augment_points`).
+2. *Query rescaling*: the hyperplane query ``q in R^d`` is rescaled so the
+   normal vector (its first ``d-1`` coordinates) has unit l2 norm
+   (:func:`normalize_query`).
+
+After both steps ``d_P2H(p, q) = |<x, q>|`` (Eq. 2), which is what every
+index in this library minimizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_points_matrix, check_query_vector
+
+
+def augment_points(points: np.ndarray) -> np.ndarray:
+    """Append a constant ``1`` coordinate to every data point.
+
+    Parameters
+    ----------
+    points:
+        Raw data points of shape ``(n, d-1)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Augmented points ``x = (p; 1)`` of shape ``(n, d)``.
+    """
+    pts = check_points_matrix(points, name="points")
+    ones = np.ones((pts.shape[0], 1), dtype=pts.dtype)
+    return np.ascontiguousarray(np.hstack([pts, ones]))
+
+
+def is_augmented(points: np.ndarray, *, atol: float = 0.0) -> bool:
+    """Return ``True`` if the last coordinate of every row equals 1."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] < 2:
+        return False
+    return bool(np.allclose(pts[:, -1], 1.0, atol=atol))
+
+
+def normalize_query(query: np.ndarray) -> np.ndarray:
+    """Rescale a hyperplane query so its normal vector has unit norm.
+
+    The hyperplane is ``{p : <n, p> + b = 0}`` with normal
+    ``n = q[:-1]`` and offset ``b = q[-1]``.  Rescaling by ``1/||n||``
+    leaves the hyperplane (and therefore the nearest-neighbor ranking)
+    unchanged but makes ``|<x, q>|`` equal to the geometric P2H distance.
+
+    Parameters
+    ----------
+    query:
+        Hyperplane coefficients of shape ``(d,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The rescaled query.
+
+    Raises
+    ------
+    ValueError
+        If the normal vector is (numerically) zero — such a "hyperplane"
+        is degenerate and has no meaningful P2H distance.
+    """
+    q = check_query_vector(query, name="query")
+    if q.shape[0] < 2:
+        raise ValueError("a hyperplane query needs at least 2 coefficients")
+    norm = float(np.linalg.norm(q[:-1]))
+    if norm <= 0.0 or not np.isfinite(norm):
+        raise ValueError("degenerate hyperplane: normal vector has zero norm")
+    return q / norm
+
+
+def p2h_distance_raw(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """P2H distance in the paper's *raw* formulation (Eq. 1).
+
+    Parameters
+    ----------
+    points:
+        Raw (non-augmented) data points of shape ``(n, d-1)`` or ``(d-1,)``.
+    query:
+        Hyperplane coefficients of shape ``(d,)`` — *not* required to have a
+        unit-norm normal vector.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distances of shape ``(n,)`` (or a scalar array for a single point).
+    """
+    q = check_query_vector(query, name="query")
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if pts.shape[1] != q.shape[0] - 1:
+        raise ValueError(
+            f"points have dimension {pts.shape[1]}, expected {q.shape[0] - 1}"
+        )
+    normal = q[:-1]
+    denom = float(np.linalg.norm(normal))
+    if denom <= 0.0:
+        raise ValueError("degenerate hyperplane: normal vector has zero norm")
+    numer = np.abs(pts @ normal + q[-1])
+    result = numer / denom
+    if np.asarray(points).ndim == 1:
+        return result[0]
+    return result
+
+
+def p2h_distance(augmented_points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """P2H distance in the simplified formulation ``|<x, q>|`` (Eq. 2).
+
+    Parameters
+    ----------
+    augmented_points:
+        Augmented data points ``x = (p; 1)`` of shape ``(n, d)`` or ``(d,)``.
+    query:
+        Normalized hyperplane query of shape ``(d,)`` (see
+        :func:`normalize_query`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``|<x, q>|`` for every row.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    pts = np.atleast_2d(np.asarray(augmented_points, dtype=np.float64))
+    if pts.shape[1] != q.shape[0]:
+        raise ValueError(
+            f"augmented points have dimension {pts.shape[1]}, "
+            f"expected {q.shape[0]}"
+        )
+    result = np.abs(pts @ q)
+    if np.asarray(augmented_points).ndim == 1:
+        return result[0]
+    return result
+
+
+def absolute_inner_products(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Vectorized ``|<x, q>|`` for a 2-D block of points (no validation).
+
+    This is the hot inner loop shared by every index's verification step;
+    callers guarantee matching shapes.
+    """
+    return np.abs(points @ query)

@@ -1,0 +1,257 @@
+"""Dynamic P2HNNS index supporting inserts and deletes.
+
+The paper's Ball-Tree and BC-Tree are static, bulk-built structures.  A
+downstream user of the library (e.g. an active-learning loop that keeps
+labeling and removing points, Section I) needs an index that stays correct
+under updates without paying a full rebuild per update.  This module wraps
+any static :class:`~repro.core.index_base.P2HIndex` with the standard
+*main index + delta buffer + tombstones* scheme:
+
+* **Inserts** land in a small brute-force buffer that is scanned exactly at
+  query time (the buffer is tiny compared to the main index, so the extra
+  cost is one vectorized inner-product pass).
+* **Deletes** mark points in a tombstone set; searches over-fetch from the
+  main index and filter tombstoned candidates out.
+* When the buffer or the tombstones exceed a configurable fraction of the
+  indexed points, the structure is **rebuilt** from scratch (Ball-Tree /
+  BC-Tree construction is roughly linear, so periodic rebuilds keep the
+  amortized update cost low — this is precisely the "lightweight
+  construction" property the paper emphasizes).
+
+The wrapper exposes the same ``search`` contract as the static indexes and
+adds ``insert`` / ``delete`` / ``rebuild``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+import numpy as np
+
+from repro.core.bc_tree import BCTree
+from repro.core.distances import augment_points, normalize_query
+from repro.core.index_base import NotFittedError, P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.utils.validation import check_points_matrix, check_query_vector
+
+
+class DynamicP2HIndex:
+    """Insert/delete-capable wrapper around a static P2HNNS index.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-argument callable returning a fresh, unfitted static index
+        (default: ``BCTree()``).  A new instance is created at every rebuild.
+    rebuild_threshold:
+        Rebuild when ``(buffered inserts + tombstoned deletes)`` exceeds this
+        fraction of the points currently owned by the static index
+        (default 0.25).
+    auto_rebuild:
+        If False, rebuilds only happen when :meth:`rebuild` is called
+        explicitly; queries remain correct either way.
+
+    Notes
+    -----
+    Point identifiers are stable: every inserted point receives a
+    monotonically increasing integer id, and search results report these ids
+    (not positions inside the current static index).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.dynamic import DynamicP2HIndex
+    >>> rng = np.random.default_rng(0)
+    >>> index = DynamicP2HIndex(random_state=0)
+    >>> ids = index.insert(rng.normal(size=(200, 8)))
+    >>> more = index.insert(rng.normal(size=(50, 8)))
+    >>> index.delete(ids[:10])
+    >>> result = index.search(rng.normal(size=9), k=5)
+    >>> len(result)
+    5
+    """
+
+    def __init__(
+        self,
+        index_factory: Optional[Callable[[], P2HIndex]] = None,
+        *,
+        rebuild_threshold: float = 0.25,
+        auto_rebuild: bool = True,
+        random_state=None,
+    ) -> None:
+        if rebuild_threshold <= 0.0:
+            raise ValueError(
+                f"rebuild_threshold must be positive, got {rebuild_threshold}"
+            )
+        if index_factory is None:
+            index_factory = lambda: BCTree(random_state=random_state)  # noqa: E731
+        self.index_factory = index_factory
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.auto_rebuild = bool(auto_rebuild)
+
+        self._static_index: Optional[P2HIndex] = None
+        # Raw (non-augmented) points of every live id, keyed by insertion order.
+        self._static_ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self._static_points: Optional[np.ndarray] = None
+        self._buffer_ids: List[int] = []
+        self._buffer_points: List[np.ndarray] = []
+        self._tombstones: Set[int] = set()
+        self._next_id: int = 0
+        self.num_rebuilds: int = 0
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def num_points(self) -> int:
+        """Number of live (inserted and not deleted) points."""
+        return int(self._static_ids.size + len(self._buffer_ids) - len(self._tombstones))
+
+    @property
+    def dim(self) -> Optional[int]:
+        """Raw point dimension (``d - 1``), or None before the first insert."""
+        if self._static_points is not None:
+            return int(self._static_points.shape[1])
+        if self._buffer_points:
+            return int(self._buffer_points[0].shape[0])
+        return None
+
+    @property
+    def buffer_size(self) -> int:
+        """Number of points waiting in the brute-force insert buffer."""
+        return len(self._buffer_ids)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Number of deleted points not yet purged by a rebuild."""
+        return len(self._tombstones)
+
+    # ------------------------------------------------------------------ API
+
+    def insert(self, points: np.ndarray) -> np.ndarray:
+        """Insert one or more raw points; returns their assigned ids."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        pts = check_points_matrix(pts, name="points")
+        expected = self.dim
+        if expected is not None and pts.shape[1] != expected:
+            raise ValueError(
+                f"points have dimension {pts.shape[1]}, expected {expected}"
+            )
+        ids = np.arange(self._next_id, self._next_id + pts.shape[0], dtype=np.int64)
+        self._next_id += pts.shape[0]
+        for row, point_id in zip(pts, ids):
+            self._buffer_ids.append(int(point_id))
+            self._buffer_points.append(row.copy())
+        self._maybe_rebuild()
+        return ids
+
+    def delete(self, ids) -> int:
+        """Delete points by id; returns the number of points actually removed."""
+        requested = {int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))}
+        live = self._live_ids()
+        removable = requested & live
+        self._tombstones.update(removable)
+        self._maybe_rebuild()
+        return len(removable)
+
+    def search(self, query: np.ndarray, k: int = 1, **search_kwargs) -> SearchResult:
+        """Top-``k`` P2HNNS over all live points (static index + buffer)."""
+        if self.num_points == 0:
+            raise NotFittedError("the dynamic index contains no points")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+        expected_dim = self.dim + 1
+        q = check_query_vector(query, expected_dim=expected_dim, name="query")
+        q = normalize_query(q)
+
+        stats = SearchStats()
+        collector = TopKCollector(k)
+
+        # Main index: over-fetch to survive tombstone filtering.
+        if self._static_index is not None and self._static_ids.size:
+            static_tombstoned = sum(
+                1 for i in self._static_ids if int(i) in self._tombstones
+            )
+            fetch = min(int(self._static_ids.size), k + static_tombstoned)
+            static_result = self._static_index.search(q, k=fetch, **search_kwargs)
+            stats.merge(static_result.stats)
+            for pos, dist in zip(static_result.indices, static_result.distances):
+                point_id = int(self._static_ids[int(pos)])
+                if point_id in self._tombstones:
+                    continue
+                collector.offer(point_id, float(dist))
+
+        # Insert buffer: exact vectorized scan.
+        if self._buffer_ids:
+            buffer_ids = np.asarray(self._buffer_ids, dtype=np.int64)
+            live_mask = np.array(
+                [int(i) not in self._tombstones for i in buffer_ids], dtype=bool
+            )
+            if live_mask.any():
+                buffer_points = augment_points(np.vstack(self._buffer_points))
+                distances = np.abs(buffer_points[live_mask] @ q)
+                collector.offer_batch(buffer_ids[live_mask], distances)
+                stats.candidates_verified += int(live_mask.sum())
+
+        return collector.to_result(stats)
+
+    def rebuild(self) -> None:
+        """Fold the buffer and purge tombstones into a freshly built index."""
+        live_points, live_ids = self._live_points()
+        self._buffer_ids = []
+        self._buffer_points = []
+        self._tombstones = set()
+        if live_ids.size == 0:
+            self._static_index = None
+            self._static_ids = np.empty(0, dtype=np.int64)
+            self._static_points = None
+            return
+        self._static_points = live_points
+        self._static_ids = live_ids
+        self._static_index = self.index_factory().fit(live_points)
+        self.num_rebuilds += 1
+
+    def point(self, point_id: int) -> np.ndarray:
+        """Return the raw coordinates of a live point by id."""
+        point_id = int(point_id)
+        if point_id in self._tombstones:
+            raise KeyError(f"point {point_id} has been deleted")
+        positions = np.nonzero(self._static_ids == point_id)[0]
+        if positions.size:
+            return self._static_points[int(positions[0])].copy()
+        for buffered_id, row in zip(self._buffer_ids, self._buffer_points):
+            if buffered_id == point_id:
+                return row.copy()
+        raise KeyError(f"unknown point id {point_id}")
+
+    # ------------------------------------------------------------ internals
+
+    def _live_ids(self) -> Set[int]:
+        ids = {int(i) for i in self._static_ids}
+        ids.update(self._buffer_ids)
+        ids -= self._tombstones
+        return ids
+
+    def _live_points(self):
+        rows: List[np.ndarray] = []
+        ids: List[int] = []
+        if self._static_points is not None:
+            for row, point_id in zip(self._static_points, self._static_ids):
+                if int(point_id) not in self._tombstones:
+                    rows.append(row)
+                    ids.append(int(point_id))
+        for point_id, row in zip(self._buffer_ids, self._buffer_points):
+            if point_id not in self._tombstones:
+                rows.append(row)
+                ids.append(point_id)
+        if not rows:
+            return np.empty((0, 0)), np.empty(0, dtype=np.int64)
+        return np.vstack(rows), np.asarray(ids, dtype=np.int64)
+
+    def _maybe_rebuild(self) -> None:
+        if not self.auto_rebuild:
+            return
+        base = max(int(self._static_ids.size), 1)
+        pending = len(self._buffer_ids) + len(self._tombstones)
+        if self._static_index is None or pending > self.rebuild_threshold * base:
+            self.rebuild()

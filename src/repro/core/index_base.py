@@ -1,0 +1,182 @@
+"""Common interface shared by every P2HNNS index in the library.
+
+All indexes — Ball-Tree, BC-Tree, KD-Tree, the linear scan, and the NH/FH
+hashing baselines — implement the same small contract:
+
+* ``fit(points)`` builds the index over augmented points ``x = (p; 1)``.
+* ``search(query, k, ...)`` returns a :class:`~repro.core.results.SearchResult`
+  holding the top-k nearest points to the hyperplane together with work
+  counters.
+* ``batch_search(queries, k, ...)`` runs many queries and returns a list of
+  results.
+* ``index_size_bytes()`` reports the memory footprint of the index payload
+  (Table III's "Size" column).
+* ``save(path)`` / ``load(path)`` persist the fitted index.
+
+The base class also owns the augmented data matrix, dimension checks, and
+indexing-time bookkeeping, so concrete indexes only implement ``_build`` and
+``_search_one``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distances import augment_points, is_augmented, normalize_query
+from repro.core.results import SearchResult
+from repro.utils.timing import Timer
+from repro.utils.validation import check_points_matrix, check_query_vector
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``search`` is called before ``fit``."""
+
+
+class P2HIndex:
+    """Abstract base class for point-to-hyperplane nearest-neighbor indexes.
+
+    Parameters
+    ----------
+    augment:
+        If True (default), ``fit`` treats its input as *raw* points in
+        ``R^{d-1}`` and appends the constant 1 coordinate.  If False, the
+        input is assumed to already be augmented (last column all ones).
+    normalize_queries:
+        If True (default), queries are rescaled so the hyperplane normal has
+        unit norm before searching; the returned distances are then true
+        geometric P2H distances.
+    """
+
+    def __init__(self, *, augment: bool = True, normalize_queries: bool = True):
+        self.augment = bool(augment)
+        self.normalize_queries = bool(normalize_queries)
+        self._points: Optional[np.ndarray] = None
+        self.num_points: int = 0
+        self.dim: int = 0
+        self.indexing_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ API
+
+    def fit(self, points: np.ndarray) -> "P2HIndex":
+        """Build the index over ``points``.
+
+        Parameters
+        ----------
+        points:
+            Shape ``(n, d-1)`` raw points (default) or ``(n, d)`` augmented
+            points when ``augment=False``.
+
+        Returns
+        -------
+        P2HIndex
+            ``self``, to allow ``Index(...).fit(data)`` chaining.
+        """
+        pts = check_points_matrix(points, name="points")
+        if self.augment:
+            pts = augment_points(pts)
+        elif not is_augmented(pts):
+            raise ValueError(
+                "augment=False requires points whose last column is all ones"
+            )
+        self._points = pts
+        self.num_points, self.dim = pts.shape
+        with Timer() as timer:
+            self._build(pts)
+        self.indexing_seconds = timer.elapsed
+        return self
+
+    def search(self, query: np.ndarray, k: int = 1, **kwargs) -> SearchResult:
+        """Return the top-``k`` nearest points to the hyperplane ``query``.
+
+        Parameters
+        ----------
+        query:
+            Hyperplane coefficients of shape ``(d,)`` — the first ``d-1``
+            entries are the normal vector, the last is the offset.
+        k:
+            Number of neighbors to return.
+        kwargs:
+            Index-specific search options (e.g. ``candidate_fraction`` for
+            the trees, ``max_candidates`` for the hashing baselines).
+        """
+        self._check_fitted()
+        q = check_query_vector(query, expected_dim=self.dim, name="query")
+        if self.normalize_queries:
+            q = normalize_query(q)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+        with Timer() as timer:
+            result = self._search_one(q, k, **kwargs)
+        result.stats.elapsed_seconds = timer.elapsed
+        return result
+
+    def batch_search(
+        self, queries: np.ndarray, k: int = 1, **kwargs
+    ) -> List[SearchResult]:
+        """Run :meth:`search` for every row of ``queries``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.search(q, k=k, **kwargs) for q in queries]
+
+    def index_size_bytes(self) -> int:
+        """Memory footprint of the index payload in bytes.
+
+        The base implementation counts only what subclasses report via
+        :meth:`_payload_arrays`; the raw data matrix is *not* counted, to
+        mirror the paper's "index size" (which excludes the data set itself).
+        """
+        self._check_fitted()
+        return int(sum(arr.nbytes for arr in self._payload_arrays()))
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Serialize the fitted index (including data) to ``path``."""
+        self._check_fitted()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "P2HIndex":
+        """Load an index previously stored with :meth:`save`."""
+        with Path(path).open("rb") as handle:
+            obj = pickle.load(handle)
+        if not isinstance(obj, cls):
+            raise TypeError(
+                f"{path} does not contain a {cls.__name__} (got {type(obj).__name__})"
+            )
+        return obj
+
+    # --------------------------------------------------------------- helpers
+
+    @property
+    def points(self) -> np.ndarray:
+        """The augmented data matrix the index was fitted on."""
+        self._check_fitted()
+        return self._points
+
+    def _check_fitted(self) -> None:
+        if self._points is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before it can be used"
+            )
+
+    # ------------------------------------------------------------- overrides
+
+    def _build(self, points: np.ndarray) -> None:
+        """Build index structures over the augmented ``points``."""
+        raise NotImplementedError
+
+    def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+        """Answer a single normalized query."""
+        raise NotImplementedError
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        """Arrays that constitute the index payload (for size accounting)."""
+        return ()

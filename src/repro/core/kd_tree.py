@@ -1,0 +1,199 @@
+"""KD-Tree baseline with an axis-aligned bounding-box bound for P2HNNS.
+
+Section III-A of the paper argues that bounding-box trees (KD-Tree, R-Tree)
+are less attractive for the P2H distance because the box bound has to reason
+about the sign of the inner product per dimension.  The bound itself is
+nevertheless well defined — the inner product over a box ranges over an
+interval computable in O(d) (see :func:`repro.core.bounds.kd_box_bound`) —
+so we implement the KD-Tree as an additional comparison point and ablation
+for the "why Ball-Tree?" design discussion.
+
+The tree uses the classic median split on the widest dimension and the same
+search API as the other indexes (branch-and-bound with a candidate budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import kd_box_bound
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.utils.validation import check_fraction, check_positive_int
+
+NO_CHILD = -1
+
+
+@dataclass
+class _KDArrays:
+    """Flat representation of the KD-Tree."""
+
+    lower: np.ndarray        # (num_nodes, d) box lower corners
+    upper: np.ndarray        # (num_nodes, d) box upper corners
+    start: np.ndarray
+    end: np.ndarray
+    left_child: np.ndarray
+    right_child: np.ndarray
+    perm: np.ndarray
+
+    def payload_arrays(self):
+        return (
+            self.lower,
+            self.upper,
+            self.start,
+            self.end,
+            self.left_child,
+            self.right_child,
+            self.perm,
+        )
+
+
+class KDTree(P2HIndex):
+    """KD-Tree with a box interval bound on ``|<x, q>|``.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum number of points per leaf.
+    augment, normalize_queries:
+        See :class:`~repro.core.index_base.P2HIndex`.
+    """
+
+    def __init__(
+        self,
+        leaf_size: int = 100,
+        *,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
+        self.tree: Optional[_KDArrays] = None
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        n, d = points.shape
+        perm = np.arange(n, dtype=np.int64)
+        lowers: List[np.ndarray] = []
+        uppers: List[np.ndarray] = []
+        starts: List[int] = []
+        ends: List[int] = []
+        lefts: List[int] = []
+        rights: List[int] = []
+
+        def allocate(start: int, end: int) -> int:
+            node_id = len(starts)
+            lowers.append(np.zeros(d))
+            uppers.append(np.zeros(d))
+            starts.append(start)
+            ends.append(end)
+            lefts.append(NO_CHILD)
+            rights.append(NO_CHILD)
+            return node_id
+
+        root = allocate(0, n)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            start, end = starts[node], ends[node]
+            node_points = points[perm[start:end]]
+            lowers[node] = node_points.min(axis=0)
+            uppers[node] = node_points.max(axis=0)
+            size = end - start
+            if size <= self.leaf_size:
+                continue
+            spreads = uppers[node] - lowers[node]
+            axis = int(np.argmax(spreads))
+            if spreads[axis] <= 0.0:
+                continue  # all points identical: keep as a leaf
+            values = node_points[:, axis]
+            order = np.argsort(values, kind="stable")
+            perm[start:end] = perm[start:end][order]
+            mid = start + size // 2
+            left = allocate(start, mid)
+            right = allocate(mid, end)
+            lefts[node] = left
+            rights[node] = right
+            stack.append(right)
+            stack.append(left)
+
+        self.tree = _KDArrays(
+            lower=np.asarray(lowers),
+            upper=np.asarray(uppers),
+            start=np.asarray(starts, dtype=np.int64),
+            end=np.asarray(ends, dtype=np.int64),
+            left_child=np.asarray(lefts, dtype=np.int64),
+            right_child=np.asarray(rights, dtype=np.int64),
+            perm=perm,
+        )
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        if self.tree is None:
+            return ()
+        return self.tree.payload_arrays()
+
+    @property
+    def num_nodes(self) -> int:
+        self._check_fitted()
+        return int(self.tree.start.shape[0])
+
+    # ---------------------------------------------------------------- search
+
+    def _search_one(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        candidate_fraction: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+        **kwargs,
+    ) -> SearchResult:
+        if kwargs:
+            unexpected = ", ".join(sorted(kwargs))
+            raise TypeError(f"KDTree.search got unexpected options: {unexpected}")
+        candidate_fraction = check_fraction(candidate_fraction, name="candidate_fraction")
+        if max_candidates is not None:
+            max_candidates = check_positive_int(max_candidates, name="max_candidates")
+        if candidate_fraction is not None:
+            budget = max(1.0, candidate_fraction * self.num_points)
+        elif max_candidates is not None:
+            budget = float(max_candidates)
+        else:
+            budget = float("inf")
+
+        tree = self.tree
+        stats = SearchStats()
+        collector = TopKCollector(k)
+        stack = [0]
+        while stack:
+            if stats.candidates_verified >= budget:
+                break
+            node = stack.pop()
+            stats.nodes_visited += 1
+            bound = kd_box_bound(query, tree.lower[node], tree.upper[node])
+            if bound >= collector.threshold:
+                continue
+            left = tree.left_child[node]
+            if left == NO_CHILD:
+                start, end = tree.start[node], tree.end[node]
+                indices = tree.perm[start:end]
+                distances = np.abs(self._points[indices] @ query)
+                collector.offer_batch(indices, distances)
+                stats.candidates_verified += int(indices.shape[0])
+                stats.leaves_scanned += 1
+                continue
+            right = tree.right_child[node]
+            bound_left = kd_box_bound(query, tree.lower[left], tree.upper[left])
+            bound_right = kd_box_bound(query, tree.lower[right], tree.upper[right])
+            # Visit the child with the smaller box bound first.
+            if bound_left < bound_right:
+                stack.append(right)
+                stack.append(left)
+            else:
+                stack.append(left)
+                stack.append(right)
+        return collector.to_result(stats)

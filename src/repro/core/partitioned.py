@@ -1,0 +1,231 @@
+"""Partitioned P2HNNS index for scalable / sharded search.
+
+Section III-A of the paper motivates Ball-Tree partly because "as it is a
+space partition method, we can leverage it to split massive data sets into
+fine granularities for scalable and distributed P2HNNS".  This module is
+that layer: it shards the data into disjoint partitions, builds one static
+index (Ball-Tree, BC-Tree, or any other :class:`P2HIndex`) per shard, and
+answers queries by searching every shard and merging the per-shard top-k
+lists.
+
+Three partitioning strategies are provided:
+
+* ``"contiguous"`` — split the input in order into equal-size blocks
+  (mirrors range-sharding of a stored data set).
+* ``"round_robin"`` — deal points to shards one by one (balances any
+  ordering bias in the input).
+* ``"ball"`` — recursively apply the paper's own seed-grow split until the
+  requested number of shards is reached, so each shard is spatially
+  coherent and its index prunes better (the "fine granularities" the paper
+  refers to).
+
+Exactness: with no per-shard budget the merged result equals the result of
+a single index over the full data, because every shard searches exhaustively
+within its own points.  Per-shard candidate budgets turn the structure into
+an approximate index whose recall/time trade-off is measured by
+``benchmarks/bench_partitioned_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bc_tree import BCTree
+from repro.core.index_base import NotFittedError, P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.splits import seed_grow_split
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+PARTITION_STRATEGIES = ("contiguous", "round_robin", "ball")
+
+
+def partition_indices(
+    points: np.ndarray,
+    num_partitions: int,
+    strategy: str = "ball",
+    *,
+    rng=None,
+) -> List[np.ndarray]:
+    """Split ``range(n)`` into ``num_partitions`` disjoint index arrays.
+
+    Parameters
+    ----------
+    points:
+        The raw data matrix ``(n, d-1)``; only used by the ``"ball"``
+        strategy (the other two depend only on ``n``).
+    num_partitions:
+        Number of shards; must be between 1 and ``n``.
+    strategy:
+        One of ``"contiguous"``, ``"round_robin"``, ``"ball"``.
+    rng:
+        Seed or generator for the ``"ball"`` strategy's seed-grow splits.
+    """
+    pts = check_points_matrix(points, name="points")
+    n = pts.shape[0]
+    num_partitions = check_positive_int(num_partitions, name="num_partitions")
+    if num_partitions > n:
+        raise ValueError(
+            f"num_partitions={num_partitions} exceeds the number of points ({n})"
+        )
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+        )
+
+    all_indices = np.arange(n, dtype=np.int64)
+    if strategy == "contiguous":
+        return [np.ascontiguousarray(chunk) for chunk in np.array_split(all_indices, num_partitions)]
+    if strategy == "round_robin":
+        return [all_indices[offset::num_partitions].copy() for offset in range(num_partitions)]
+
+    # "ball": repeatedly split the largest shard with the seed-grow rule.
+    rng = ensure_rng(rng)
+    shards: List[np.ndarray] = [all_indices]
+    while len(shards) < num_partitions:
+        largest = max(range(len(shards)), key=lambda i: shards[i].size)
+        shard = shards.pop(largest)
+        if shard.size < 2:
+            # Cannot split further; fall back to peeling one point off.
+            shards.append(shard[:1])
+            shards.append(shard[1:])
+            continue
+        left_rows, right_rows = seed_grow_split(pts[shard], rng)
+        shards.append(shard[left_rows])
+        shards.append(shard[right_rows])
+    return shards
+
+
+class PartitionedP2HIndex:
+    """Sharded P2HNNS index: one sub-index per partition, merged top-k.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of shards to build (default 4).
+    index_factory:
+        Zero-argument callable returning a fresh, unfitted static index for
+        each shard (default: ``BCTree()``).
+    strategy:
+        Partitioning strategy (see :func:`partition_indices`).
+    random_state:
+        Seed for the ``"ball"`` strategy and the default sub-index factory.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.partitioned import PartitionedP2HIndex
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(600, 16))
+    >>> index = PartitionedP2HIndex(num_partitions=4, random_state=0).fit(data)
+    >>> result = index.search(rng.normal(size=17), k=10)
+    >>> len(result)
+    10
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 4,
+        *,
+        index_factory: Optional[Callable[[], P2HIndex]] = None,
+        strategy: str = "ball",
+        random_state=None,
+    ) -> None:
+        self.num_partitions = check_positive_int(num_partitions, name="num_partitions")
+        if strategy not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
+            )
+        if index_factory is None:
+            index_factory = lambda: BCTree(random_state=random_state)  # noqa: E731
+        self.index_factory = index_factory
+        self.strategy = strategy
+        self.random_state = random_state
+
+        self.shards: List[P2HIndex] = []
+        self.shard_point_ids: List[np.ndarray] = []
+        self.num_points: int = 0
+        self.dim: int = 0
+        self.indexing_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ API
+
+    def fit(self, points: np.ndarray) -> "PartitionedP2HIndex":
+        """Partition ``points`` and build one sub-index per shard."""
+        pts = check_points_matrix(points, name="points")
+        self.num_points = pts.shape[0]
+        self.dim = pts.shape[1] + 1
+        with Timer() as timer:
+            shard_ids = partition_indices(
+                pts, self.num_partitions, self.strategy, rng=self.random_state
+            )
+            self.shard_point_ids = shard_ids
+            self.shards = []
+            for ids in shard_ids:
+                sub_index = self.index_factory()
+                sub_index.fit(pts[ids])
+                self.shards.append(sub_index)
+        self.indexing_seconds = timer.elapsed
+        return self
+
+    def search(self, query: np.ndarray, k: int = 1, **search_kwargs) -> SearchResult:
+        """Search every shard and merge the per-shard top-k lists."""
+        self._check_fitted()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+
+        stats = SearchStats()
+        collector = TopKCollector(k)
+        with Timer() as timer:
+            for sub_index, ids in zip(self.shards, self.shard_point_ids):
+                shard_k = min(k, int(ids.size))
+                result = sub_index.search(query, k=shard_k, **search_kwargs)
+                stats.merge(result.stats)
+                global_ids = ids[result.indices]
+                collector.offer_batch(global_ids, result.distances)
+        merged = collector.to_result(stats)
+        merged.stats.elapsed_seconds = timer.elapsed
+        return merged
+
+    def batch_search(
+        self, queries: np.ndarray, k: int = 1, **search_kwargs
+    ) -> List[SearchResult]:
+        """Run :meth:`search` for every row of ``queries``."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return [self.search(q, k=k, **search_kwargs) for q in queries]
+
+    def index_size_bytes(self) -> int:
+        """Total payload size across all shards (plus the id maps)."""
+        self._check_fitted()
+        total = sum(shard.index_size_bytes() for shard in self.shards)
+        total += sum(ids.nbytes for ids in self.shard_point_ids)
+        return int(total)
+
+    def shard_sizes(self) -> List[int]:
+        """Number of points per shard."""
+        self._check_fitted()
+        return [int(ids.size) for ids in self.shard_point_ids]
+
+    def indexing_report(self) -> Dict[str, float]:
+        """Summary of the sharded build (for benchmarks)."""
+        self._check_fitted()
+        sizes = self.shard_sizes()
+        return {
+            "num_partitions": len(self.shards),
+            "indexing_seconds": self.indexing_seconds,
+            "index_size_bytes": float(self.index_size_bytes()),
+            "min_shard": float(min(sizes)),
+            "max_shard": float(max(sizes)),
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _check_fitted(self) -> None:
+        if not self.shards:
+            raise NotFittedError(
+                "PartitionedP2HIndex must be fitted before it can be used"
+            )

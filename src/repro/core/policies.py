@@ -1,0 +1,36 @@
+"""Branch preference policies for the depth-first tree traversal.
+
+The paper (Section III-C, Figure 7) compares two ways of ordering the two
+children of an internal node during search:
+
+* ``CENTER`` — visit first the child whose center has the smaller absolute
+  inner product with the query (Algorithm 3 lines 10-16).  This is the
+  default and the uniformly better choice in the paper's experiments.
+* ``LOWER_BOUND`` — visit first the child with the smaller node-level ball
+  bound.  Near the root the radii are large so both bounds are often 0 and
+  the order degenerates, which is why this policy loses.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class BranchPreference(str, Enum):
+    """How to order the two children of an internal node during search."""
+
+    CENTER = "center"
+    LOWER_BOUND = "lower_bound"
+
+    @classmethod
+    def coerce(cls, value) -> "BranchPreference":
+        """Accept an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown branch preference {value!r}; expected one of: {valid}"
+            ) from exc

@@ -1,0 +1,168 @@
+"""Search results, statistics counters, and the bounded top-k collector."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SearchStats:
+    """Machine-independent work counters for a single query.
+
+    These counters are what the Figure 10 time profile and the
+    collaborative-inner-product ablation (Theorem 5) are measured from:
+
+    * ``nodes_visited`` — tree nodes whose bound was evaluated.
+    * ``center_inner_products`` — full O(d) inner products between the query
+      and node centers (the cost Lemma 2 cuts roughly in half).
+    * ``candidates_verified`` — points whose exact ``|<x, q>|`` was computed.
+    * ``points_pruned_ball`` / ``points_pruned_cone`` — leaf points skipped by
+      the point-level ball / cone bound (BC-Tree only).
+    * ``leaves_scanned`` — leaf nodes reached.
+    * ``buckets_probed`` — hash buckets probed (hashing baselines only).
+    """
+
+    nodes_visited: int = 0
+    center_inner_products: int = 0
+    candidates_verified: int = 0
+    points_pruned_ball: int = 0
+    points_pruned_cone: int = 0
+    leaves_scanned: int = 0
+    buckets_probed: int = 0
+    elapsed_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another query's counters into this one."""
+        self.nodes_visited += other.nodes_visited
+        self.center_inner_products += other.center_inner_products
+        self.candidates_verified += other.candidates_verified
+        self.points_pruned_ball += other.points_pruned_ball
+        self.points_pruned_cone += other.points_pruned_cone
+        self.leaves_scanned += other.leaves_scanned
+        self.buckets_probed += other.buckets_probed
+        self.elapsed_seconds += other.elapsed_seconds
+        for stage, seconds in other.stage_seconds.items():
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a flat dictionary (for reports / JSON)."""
+        out = {
+            "nodes_visited": self.nodes_visited,
+            "center_inner_products": self.center_inner_products,
+            "candidates_verified": self.candidates_verified,
+            "points_pruned_ball": self.points_pruned_ball,
+            "points_pruned_cone": self.points_pruned_cone,
+            "leaves_scanned": self.leaves_scanned,
+            "buckets_probed": self.buckets_probed,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        for stage, seconds in self.stage_seconds.items():
+            out[f"stage_{stage}_seconds"] = seconds
+        return out
+
+
+@dataclass
+class SearchResult:
+    """Top-k P2HNNS result for one query.
+
+    Attributes
+    ----------
+    indices:
+        Indices (into the fitted point matrix) of the k nearest points to the
+        hyperplane, ordered by increasing P2H distance.
+    distances:
+        The matching ``|<x, q>|`` values.
+    stats:
+        Work counters for the query.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return int(self.indices.shape[0])
+
+    def as_tuples(self) -> List[Tuple[int, float]]:
+        """Return ``[(index, distance), ...]`` pairs."""
+        return [
+            (int(i), float(d)) for i, d in zip(self.indices, self.distances)
+        ]
+
+
+class TopKCollector:
+    """Bounded max-heap of the k smallest distances seen so far.
+
+    The paper's search keeps ``q.bm`` (best match) and ``q.lambda`` (current
+    minimum ``|<x, q>|``); for top-k search the natural generalization is a
+    max-heap of size k whose root is the running pruning threshold
+    ``lambda`` (the k-th smallest distance so far, or ``+inf`` while fewer
+    than k candidates have been seen).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        # Heap of (-distance, index) so the root is the largest distance kept.
+        self._heap: List[Tuple[float, int]] = []
+
+    @property
+    def threshold(self) -> float:
+        """Current pruning threshold ``lambda`` (k-th best distance)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, index: int, distance: float) -> bool:
+        """Offer a candidate; returns True if it was kept."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, index))
+            return True
+        if distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-distance, index))
+            return True
+        return False
+
+    def offer_batch(self, indices: np.ndarray, distances: np.ndarray) -> None:
+        """Offer a batch of candidates (vectorized fast path).
+
+        Only candidates strictly below the current threshold can enter the
+        heap, so the batch is pre-filtered before the per-element pushes.
+        """
+        if len(indices) == 0:
+            return
+        threshold = self.threshold
+        if np.isinf(threshold):
+            order = np.argsort(distances, kind="stable")
+            for pos in order:
+                self.offer(int(indices[pos]), float(distances[pos]))
+            return
+        mask = distances < threshold
+        if not mask.any():
+            return
+        for idx, dist in zip(indices[mask], distances[mask]):
+            self.offer(int(idx), float(dist))
+
+    def to_result(self, stats: SearchStats = None) -> SearchResult:
+        """Materialize the collected candidates as a sorted :class:`SearchResult`."""
+        if not self._heap:
+            return SearchResult(
+                indices=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float64),
+                stats=stats or SearchStats(),
+            )
+        pairs = sorted(((-neg, idx) for neg, idx in self._heap))
+        distances = np.array([p[0] for p in pairs], dtype=np.float64)
+        indices = np.array([p[1] for p in pairs], dtype=np.int64)
+        return SearchResult(
+            indices=indices, distances=distances, stats=stats or SearchStats()
+        )

@@ -1,0 +1,87 @@
+"""Node splitting rules for Ball-Tree / BC-Tree construction.
+
+The paper uses the classic *seed-grow* rule (Algorithm 2): pick a random
+point ``v``, take the point ``x_l`` furthest from ``v`` and the point
+``x_r`` furthest from ``x_l`` as pivots, then assign every point to its
+closer pivot.  We also provide a deterministic PCA-style fallback used when
+the seed-grow rule degenerates (all points identical), and expose the split
+as a pure function on index arrays so trees can share it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def seed_grow_pivots(
+    points: np.ndarray, rng: np.random.Generator
+) -> Tuple[int, int]:
+    """Select two far-apart pivot rows with the seed-grow rule (Algorithm 2).
+
+    Parameters
+    ----------
+    points:
+        The points of the node being split, shape ``(m, d)`` with ``m >= 2``.
+    rng:
+        Random generator used to draw the seed point.
+
+    Returns
+    -------
+    (int, int)
+        Row indices (local to ``points``) of the left and right pivots.
+    """
+    m = points.shape[0]
+    if m < 2:
+        raise ValueError("need at least two points to pick split pivots")
+    seed = int(rng.integers(0, m))
+    dist_to_seed = np.linalg.norm(points - points[seed], axis=1)
+    left = int(np.argmax(dist_to_seed))
+    dist_to_left = np.linalg.norm(points - points[left], axis=1)
+    right = int(np.argmax(dist_to_left))
+    return left, right
+
+
+def seed_grow_split(
+    points: np.ndarray, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition ``points`` into two halves around seed-grow pivots.
+
+    Every point goes to the pivot it is closer to (ties to the left pivot,
+    matching Algorithm 1 line 8).  If the rule degenerates — all points are
+    identical so both pivots coincide — the node is split by position into
+    two near-equal halves so construction always terminates.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        Boolean-free local index arrays ``(left_rows, right_rows)``; both are
+        non-empty whenever ``points`` has at least two rows.
+    """
+    m = points.shape[0]
+    left_pivot, right_pivot = seed_grow_pivots(points, rng)
+    if left_pivot == right_pivot or np.allclose(
+        points[left_pivot], points[right_pivot]
+    ):
+        half = m // 2
+        return np.arange(half), np.arange(half, m)
+
+    dist_left = np.linalg.norm(points - points[left_pivot], axis=1)
+    dist_right = np.linalg.norm(points - points[right_pivot], axis=1)
+    to_left = dist_left <= dist_right
+    left_rows = np.flatnonzero(to_left)
+    right_rows = np.flatnonzero(~to_left)
+    if left_rows.size == 0 or right_rows.size == 0:
+        # Numerically possible when many duplicates collapse on one pivot:
+        # fall back to a positional split to guarantee progress.
+        half = m // 2
+        return np.arange(half), np.arange(half, m)
+    return left_rows, right_rows
+
+
+def make_split_rng(seed) -> np.random.Generator:
+    """Helper for constructors: coerce a seed into a generator."""
+    return ensure_rng(seed)

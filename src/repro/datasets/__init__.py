@@ -1,0 +1,73 @@
+"""Synthetic dataset surrogates, hyperplane query generators, and file I/O."""
+
+from repro.datasets.io import (
+    load_points,
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    save_points,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.datasets.labels import (
+    LabeledDataset,
+    linearly_separable,
+    train_test_split,
+    two_clusters,
+)
+from repro.datasets.queries import (
+    bisector_hyperplane_queries,
+    random_hyperplane_queries,
+    svm_like_hyperplane_queries,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    clustered_gaussian,
+    correlated_gaussian,
+    heavy_tailed,
+    low_rank_embedding,
+    uniform_hypercube,
+)
+from repro.datasets.transforms import (
+    TransformPipeline,
+    center,
+    pca_project,
+    standardize,
+    unit_normalize,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "random_hyperplane_queries",
+    "bisector_hyperplane_queries",
+    "svm_like_hyperplane_queries",
+    "clustered_gaussian",
+    "correlated_gaussian",
+    "low_rank_embedding",
+    "heavy_tailed",
+    "uniform_hypercube",
+    "load_points",
+    "save_points",
+    "read_fvecs",
+    "read_bvecs",
+    "read_ivecs",
+    "write_fvecs",
+    "write_ivecs",
+    "TransformPipeline",
+    "unit_normalize",
+    "center",
+    "standardize",
+    "pca_project",
+    "LabeledDataset",
+    "linearly_separable",
+    "two_clusters",
+    "train_test_split",
+]

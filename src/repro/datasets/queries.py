@@ -1,0 +1,167 @@
+"""Hyperplane query generators.
+
+The paper follows Huang et al. (SIGMOD 2021) and generates 100 random
+hyperplane queries per data set.  We provide three generators that together
+cover the protocols used in the P2HNNS literature and the paper's
+motivating applications:
+
+* :func:`random_hyperplane_queries` — Gaussian normal vector, offset chosen
+  so the hyperplane passes near a randomly chosen data point (so queries cut
+  through the data and have non-trivial nearest neighbors).
+* :func:`bisector_hyperplane_queries` — the perpendicular bisector of two
+  randomly chosen data points (a hyperplane that provably separates data).
+* :func:`svm_like_hyperplane_queries` — a least-squares separating
+  hyperplane between two random clusters of points, imitating an SVM
+  decision boundary in the active-learning application.
+
+Every generator returns an array of shape ``(num_queries, d)`` where the
+first ``d-1`` coordinates are the hyperplane normal and the last one is the
+offset — the query layout every index in this library expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+
+def random_hyperplane_queries(
+    points: np.ndarray,
+    num_queries: int = 100,
+    *,
+    protocol: str = "gaussian",
+    offset_jitter: float = 0.1,
+    rng=None,
+) -> np.ndarray:
+    """Random hyperplane queries.
+
+    Two protocols are supported:
+
+    * ``"gaussian"`` (default, the protocol of the paper and of Huang et al.
+      SIGMOD 2021): all ``d`` coefficients are drawn i.i.d. from ``N(0, 1)``
+      and then rescaled so the normal vector has unit norm.  The resulting
+      offsets are tiny (``~ 1/sqrt(d-1)``), so hyperplanes pass near the
+      origin and ``||q|| ~ 1`` — the regime in which the node-level ball
+      bound (Theorem 2) is effective.
+    * ``"anchored"``: the normal is Gaussian but the offset is chosen so the
+      hyperplane passes through a randomly chosen data point (perturbed by
+      ``offset_jitter`` times the data scale).  Such queries have large
+      offsets, which inflate ``||q||`` and weaken the paper's bounds — kept
+      as an option to study that sensitivity.
+
+    Parameters
+    ----------
+    points:
+        Raw data points of shape ``(n, d-1)`` the queries should target.
+    num_queries:
+        Number of hyperplanes to generate.
+    protocol:
+        ``"gaussian"`` or ``"anchored"``.
+    offset_jitter:
+        Relative perturbation of the offset (anchored protocol only).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Queries of shape ``(num_queries, d)``.
+    """
+    pts = check_points_matrix(points, name="points")
+    num_queries = check_positive_int(num_queries, name="num_queries")
+    if protocol not in ("gaussian", "anchored"):
+        raise ValueError(
+            f"protocol must be 'gaussian' or 'anchored', got {protocol!r}"
+        )
+    generator = ensure_rng(rng)
+    n, raw_dim = pts.shape
+
+    normals = generator.normal(size=(num_queries, raw_dim))
+    norms = np.linalg.norm(normals, axis=1, keepdims=True)
+    if protocol == "gaussian":
+        offsets = generator.normal(size=num_queries) / norms[:, 0]
+        normals = normals / norms
+        return np.hstack([normals, offsets[:, None]])
+
+    normals = normals / norms
+    anchors = pts[generator.integers(0, n, size=num_queries)]
+    scale = float(np.mean(np.linalg.norm(pts - pts.mean(axis=0), axis=1)))
+    jitter = generator.normal(scale=offset_jitter * max(scale, 1e-12),
+                              size=num_queries)
+    offsets = -np.einsum("ij,ij->i", normals, anchors) + jitter
+    return np.hstack([normals, offsets[:, None]])
+
+
+def bisector_hyperplane_queries(
+    points: np.ndarray,
+    num_queries: int = 100,
+    *,
+    rng=None,
+) -> np.ndarray:
+    """Perpendicular-bisector hyperplanes of random point pairs."""
+    pts = check_points_matrix(points, name="points", min_rows=2)
+    num_queries = check_positive_int(num_queries, name="num_queries")
+    generator = ensure_rng(rng)
+    n, raw_dim = pts.shape
+
+    queries = np.empty((num_queries, raw_dim + 1), dtype=np.float64)
+    for row in range(num_queries):
+        first, second = generator.choice(n, size=2, replace=False)
+        a, b = pts[first], pts[second]
+        normal = a - b
+        norm = float(np.linalg.norm(normal))
+        if norm < 1e-12:
+            # Degenerate pair (duplicate points): fall back to a random normal.
+            normal = generator.normal(size=raw_dim)
+            norm = float(np.linalg.norm(normal))
+        normal = normal / norm
+        midpoint = (a + b) / 2.0
+        queries[row, :raw_dim] = normal
+        queries[row, raw_dim] = -float(normal @ midpoint)
+    return queries
+
+
+def svm_like_hyperplane_queries(
+    points: np.ndarray,
+    num_queries: int = 100,
+    *,
+    group_size: int = 32,
+    regularization: float = 1e-3,
+    rng=None,
+) -> np.ndarray:
+    """Least-squares separating hyperplanes between two random point groups.
+
+    Imitates the decision boundary of a linear classifier trained on a small
+    labelled pool — the query distribution of the pool-based active learning
+    application that motivates P2HNNS (Section I).
+    """
+    pts = check_points_matrix(points, name="points", min_rows=4)
+    num_queries = check_positive_int(num_queries, name="num_queries")
+    group_size = check_positive_int(group_size, name="group_size")
+    generator = ensure_rng(rng)
+    n, raw_dim = pts.shape
+    group_size = min(group_size, max(2, n // 2))
+
+    queries = np.empty((num_queries, raw_dim + 1), dtype=np.float64)
+    for row in range(num_queries):
+        chosen = generator.choice(n, size=2 * group_size, replace=False)
+        positive = pts[chosen[:group_size]]
+        negative = pts[chosen[group_size:]]
+        features = np.vstack([positive, negative])
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        labels = np.concatenate(
+            [np.ones(group_size), -np.ones(group_size)]
+        )
+        gram = design.T @ design + regularization * np.eye(raw_dim + 1)
+        weights = np.linalg.solve(gram, design.T @ labels)
+        normal = weights[:raw_dim]
+        norm = float(np.linalg.norm(normal))
+        if norm < 1e-12:
+            normal = generator.normal(size=raw_dim)
+            norm = float(np.linalg.norm(normal))
+            weights[raw_dim] = 0.0
+        queries[row, :raw_dim] = normal / norm
+        queries[row, raw_dim] = weights[raw_dim] / norm
+    return queries

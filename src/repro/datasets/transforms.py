@@ -1,0 +1,213 @@
+"""Data-set preprocessing transforms.
+
+The paper's central argument against the older hyperplane hashing schemes
+(AH/EH/BH/MH) is that they require data on the unit hypersphere, while the
+applications it targets (clustering, dimension reduction) cannot normalize
+their data.  These transforms make that comparison reproducible:
+
+* :func:`unit_normalize` puts data in the regime where the angular hashes
+  work (and where the paper says they are competitive);
+* :func:`center` / :func:`standardize` / :func:`pca_project` are the usual
+  preprocessing steps of the real data sets (GloVe is centered, Gist is
+  whitened, ...), so surrogates can be shaped to match;
+* :class:`TransformPipeline` applies a sequence of transforms to data while
+  exposing the matching transformation of *hyperplane queries*, so a query
+  generated in the original space can be answered in the transformed space
+  (and vice versa) without changing the nearest-neighbor ranking checks used
+  by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+
+def unit_normalize(points: np.ndarray) -> np.ndarray:
+    """Scale every point to unit l2 norm (zero rows are left unchanged)."""
+    pts = check_points_matrix(points, name="points")
+    norms = np.linalg.norm(pts, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return pts / norms
+
+
+def center(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Subtract the mean; returns ``(centered_points, mean)``."""
+    pts = check_points_matrix(points, name="points")
+    mean = pts.mean(axis=0)
+    return pts - mean, mean
+
+
+def standardize(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Center and scale every coordinate to unit variance.
+
+    Returns ``(standardized_points, mean, scale)``; constant coordinates get
+    a scale of 1 so the transform is always invertible.
+    """
+    pts = check_points_matrix(points, name="points")
+    mean = pts.mean(axis=0)
+    scale = pts.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    return (pts - mean) / scale, mean, scale
+
+
+def pca_project(
+    points: np.ndarray, num_components: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project points onto their top principal components.
+
+    Parameters
+    ----------
+    points:
+        Data matrix ``(n, d)``.
+    num_components:
+        Number of components to keep (``<= d``).
+
+    Returns
+    -------
+    (projected, components, mean)
+        ``projected`` is ``(n, num_components)``, ``components`` is the
+        ``(d, num_components)`` orthonormal basis, ``mean`` the original mean.
+    """
+    pts = check_points_matrix(points, name="points")
+    num_components = check_positive_int(num_components, name="num_components")
+    if num_components > pts.shape[1]:
+        raise ValueError(
+            f"num_components={num_components} exceeds the data dimension "
+            f"{pts.shape[1]}"
+        )
+    mean = pts.mean(axis=0)
+    centered = pts - mean
+    # SVD of the centered matrix gives the principal directions in V.
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:num_components].T
+    return centered @ components, components, mean
+
+
+@dataclass
+class AffineTransform:
+    """An affine map ``p -> (p - shift) @ matrix`` applied to raw points.
+
+    The matching query transform keeps the P2H *ranking* intact whenever the
+    map is invertible on the subspace the data occupies: a hyperplane
+    ``{p : <n, p> + b = 0}`` in the original space becomes
+    ``{z : <n', z> + b' = 0}`` with ``n' = pinv(matrix) @ n`` and
+    ``b' = b + <n, shift>`` in the transformed space.
+    """
+
+    matrix: np.ndarray
+    shift: np.ndarray
+
+    def apply_points(self, points: np.ndarray) -> np.ndarray:
+        pts = check_points_matrix(points, name="points")
+        return (pts - self.shift) @ self.matrix
+
+    def apply_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64)
+        normal, offset = query[:-1], float(query[-1])
+        new_normal = np.linalg.pinv(self.matrix) @ normal
+        new_offset = offset + float(normal @ self.shift)
+        return np.append(new_normal, new_offset)
+
+
+@dataclass
+class TransformPipeline:
+    """A reusable preprocessing pipeline fitted on one data set.
+
+    Parameters
+    ----------
+    steps:
+        Sequence of step names, applied in order.  Supported steps:
+        ``"center"``, ``"standardize"``, ``"unit"`` (unit-normalize, must be
+        last because it is not affine), ``"pca:<k>"`` (keep k components).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.datasets.transforms import TransformPipeline
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(100, 8)) * 3 + 5
+    >>> pipeline = TransformPipeline(["center", "standardize"]).fit(data)
+    >>> transformed = pipeline.transform(data)
+    >>> bool(np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9))
+    True
+    """
+
+    steps: Sequence[str]
+    _affines: List[AffineTransform] = None
+    _unit_last: bool = False
+    _fitted: bool = False
+
+    def fit(self, points: np.ndarray) -> "TransformPipeline":
+        """Fit every step's parameters on ``points``."""
+        pts = check_points_matrix(points, name="points")
+        self._affines = []
+        self._unit_last = False
+        current = pts
+        for position, step in enumerate(self.steps):
+            step = str(step).lower()
+            if step == "unit":
+                if position != len(self.steps) - 1:
+                    raise ValueError("'unit' must be the last pipeline step")
+                self._unit_last = True
+                continue
+            if step == "center":
+                _, mean = center(current)
+                affine = AffineTransform(
+                    matrix=np.eye(current.shape[1]), shift=mean
+                )
+            elif step == "standardize":
+                _, mean, scale = standardize(current)
+                affine = AffineTransform(matrix=np.diag(1.0 / scale), shift=mean)
+            elif step.startswith("pca:"):
+                num_components = int(step.split(":", 1)[1])
+                _, components, mean = pca_project(current, num_components)
+                affine = AffineTransform(matrix=components, shift=mean)
+            else:
+                raise ValueError(
+                    f"unknown transform step {step!r}; expected 'center', "
+                    "'standardize', 'unit', or 'pca:<k>'"
+                )
+            current = affine.apply_points(current)
+            self._affines.append(affine)
+        self._fitted = True
+        return self
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Apply the fitted pipeline to raw points."""
+        self._check_fitted()
+        current = check_points_matrix(points, name="points")
+        for affine in self._affines:
+            current = affine.apply_points(current)
+        if self._unit_last:
+            current = unit_normalize(current)
+        return current
+
+    def transform_query(self, query: np.ndarray) -> np.ndarray:
+        """Map a hyperplane query into the transformed space.
+
+        Only defined for affine pipelines (no ``"unit"`` step): unit
+        normalization is point-dependent, so there is no single hyperplane in
+        the normalized space equivalent to the original query.
+        """
+        self._check_fitted()
+        if self._unit_last:
+            raise ValueError(
+                "query transformation is undefined for pipelines ending in 'unit'"
+            )
+        current = np.asarray(query, dtype=np.float64)
+        for affine in self._affines:
+            current = affine.apply_query(current)
+        return current
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Convenience: :meth:`fit` followed by :meth:`transform`."""
+        return self.fit(points).transform(points)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("TransformPipeline must be fitted before use")

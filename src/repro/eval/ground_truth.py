@@ -1,0 +1,59 @@
+"""Exact ground truth for recall computation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.distances import augment_points, normalize_query
+from repro.utils.validation import check_points_matrix, check_positive_int
+
+
+def exact_ground_truth(
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    augmented: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact top-k P2H neighbors for every query, by brute force.
+
+    Parameters
+    ----------
+    points:
+        Raw data points ``(n, d-1)`` (or already augmented ``(n, d)`` when
+        ``augmented=True``).
+    queries:
+        Hyperplane queries ``(q, d)``.
+    k:
+        Number of neighbors.
+    augmented:
+        Whether ``points`` already carry the appended 1 coordinate.
+
+    Returns
+    -------
+    (indices, distances):
+        Arrays of shape ``(q, k)`` with neighbors sorted by increasing P2H
+        distance.
+    """
+    pts = check_points_matrix(points, name="points")
+    if not augmented:
+        pts = augment_points(pts)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    k = check_positive_int(k, name="k")
+    k = min(k, pts.shape[0])
+
+    normalized = np.vstack([normalize_query(q) for q in queries])
+    # (q, n) matrix of absolute inner products, computed in one BLAS call.
+    all_distances = np.abs(normalized @ pts.T)
+
+    if k >= pts.shape[0]:
+        order = np.argsort(all_distances, axis=1, kind="stable")[:, :k]
+    else:
+        part = np.argpartition(all_distances, k, axis=1)[:, :k]
+        row_index = np.arange(queries.shape[0])[:, None]
+        part_order = np.argsort(all_distances[row_index, part], axis=1, kind="stable")
+        order = part[row_index, part_order]
+    row_index = np.arange(queries.shape[0])[:, None]
+    return order.astype(np.int64), all_distances[row_index, order]

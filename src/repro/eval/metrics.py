@@ -1,0 +1,84 @@
+"""Evaluation metrics: recall, query time summaries, indexing overhead."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult, SearchStats
+
+
+def recall_at_k(returned_indices: Sequence[int], true_indices: Sequence[int]) -> float:
+    """Fraction of the exact top-k that the method returned (paper Section V-B).
+
+    Parameters
+    ----------
+    returned_indices:
+        Indices returned by the method under evaluation.
+    true_indices:
+        The exact top-k indices (the denominator is their count).
+    """
+    true_set = set(int(i) for i in true_indices)
+    if not true_set:
+        return 1.0
+    returned_set = set(int(i) for i in returned_indices)
+    return len(true_set & returned_set) / len(true_set)
+
+
+def average_recall(
+    results: Iterable[SearchResult], ground_truth_indices: np.ndarray
+) -> float:
+    """Mean recall over a batch of query results."""
+    recalls = [
+        recall_at_k(result.indices, truth)
+        for result, truth in zip(results, ground_truth_indices)
+    ]
+    if not recalls:
+        return 0.0
+    return float(np.mean(recalls))
+
+
+def summarize_query_stats(stats_list: Sequence[SearchStats]) -> Dict[str, float]:
+    """Aggregate per-query counters into per-query means."""
+    if not stats_list:
+        return {}
+    totals = SearchStats()
+    for stats in stats_list:
+        totals.merge(stats)
+    count = len(stats_list)
+    summary = {key: value / count for key, value in totals.as_dict().items()}
+    summary["num_queries"] = float(count)
+    return summary
+
+
+def indexing_report(index: P2HIndex) -> Dict[str, float]:
+    """Indexing time and size of a fitted index (Table III columns)."""
+    return {
+        "indexing_seconds": float(index.indexing_seconds),
+        "index_size_bytes": float(index.index_size_bytes()),
+        "index_size_mb": float(index.index_size_bytes()) / (1024.0 * 1024.0),
+    }
+
+
+def speedup_table(
+    query_times: Dict[str, float], baseline_methods: Sequence[str]
+) -> Dict[str, float]:
+    """Speed-up of every method relative to the best listed baseline.
+
+    Used for the paper's headline "1.1x-10x faster than NH and FH" summary:
+    the baseline time is the *minimum* over ``baseline_methods`` (i.e. the
+    better of NH and FH), and the speed-up of method ``m`` is
+    ``baseline_time / time[m]``.
+    """
+    baseline_times: List[float] = [
+        query_times[name] for name in baseline_methods if name in query_times
+    ]
+    if not baseline_times:
+        raise ValueError("none of the baseline methods appear in query_times")
+    best_baseline = min(baseline_times)
+    return {
+        name: (best_baseline / time if time > 0 else float("inf"))
+        for name, time in query_times.items()
+    }

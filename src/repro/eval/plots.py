@@ -1,0 +1,192 @@
+"""Terminal-friendly plots and CSV export for the paper's figures.
+
+The benchmarks print the same *rows/series* the paper plots.  For a quick
+visual check without matplotlib (the library has no plotting dependency)
+this module renders small ASCII charts:
+
+* :func:`ascii_line_plot` — multi-series scatter/line chart on a character
+  grid (used for the query time-recall curves of Figures 5, 7, 9, 11).
+* :func:`ascii_bar_chart` — horizontal bars (used for the Figure 10 time
+  profile and the Table III overhead comparison).
+* :func:`series_to_csv` / :func:`records_to_csv` — write the underlying
+  numbers so they can be re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def ascii_line_plot(
+    series: Dict[str, Series],
+    *,
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render several (x, y) series on one character grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to a sequence of ``(x, y)`` points.
+    width, height:
+        Plot area size in characters (axes and legend excluded).
+    log_y:
+        Plot ``log10(y)`` instead of ``y`` (the paper's query-time axes are
+        logarithmic); non-positive values are skipped.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot area must be at least 10x5 characters")
+    points_by_name = {
+        name: [
+            (float(x), float(y))
+            for x, y in pts
+            if math.isfinite(x) and math.isfinite(y) and (not log_y or y > 0.0)
+        ]
+        for name, pts in series.items()
+    }
+    all_points = [p for pts in points_by_name.values() for p in pts]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not all_points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    xs = _finite([p[0] for p in all_points])
+    ys = [math.log10(p[1]) if log_y else p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_idx, (name, pts) in enumerate(points_by_name.items()):
+        marker = _MARKERS[series_idx % len(_MARKERS)]
+        for x, y in pts:
+            y_val = math.log10(y) if log_y else y
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y_val - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    y_top = f"{(10 ** y_max) if log_y else y_max:.3g}"
+    y_bottom = f"{(10 ** y_min) if log_y else y_min:.3g}"
+    label_width = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = y_top.rjust(label_width)
+        elif row_idx == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        elif row_idx == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - 10) + f"{x_max:.3g}".rjust(10)
+    lines.append(" " * (label_width + 2) + x_axis)
+    lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(points_by_name)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart of named non-negative values."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    finite = {name: max(float(v), 0.0) for name, v in values.items()}
+    peak = max(finite.values()) or 1.0
+    name_width = max(len(name) for name in finite)
+    for name, value in finite.items():
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{name.ljust(name_width)} |{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_fraction_chart(
+    breakdowns: Dict[str, Dict[str, float]],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Render per-method stacked bars of stage fractions (Figure 10 style).
+
+    Parameters
+    ----------
+    breakdowns:
+        Mapping ``method -> {stage: seconds}``; each bar is normalized to the
+        method's total so the stacked segments show fractions.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not breakdowns:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    stages = sorted({stage for parts in breakdowns.values() for stage in parts})
+    markers = {stage: _MARKERS[i % len(_MARKERS)] for i, stage in enumerate(stages)}
+    name_width = max(len(name) for name in breakdowns)
+    for name, parts in breakdowns.items():
+        total = sum(max(v, 0.0) for v in parts.values()) or 1.0
+        bar = ""
+        for stage in stages:
+            segment = int(round(max(parts.get(stage, 0.0), 0.0) / total * width))
+            bar += markers[stage] * segment
+        lines.append(f"{name.ljust(name_width)} |{bar[:width]}")
+    legend = "   ".join(f"{markers[s]} {s}" for s in stages)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(series: Dict[str, Series], path) -> Path:
+    """Write ``(series, x, y)`` rows to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "x", "y"])
+        for name, pts in series.items():
+            for x, y in pts:
+                writer.writerow([name, float(x), float(y)])
+    return path
+
+
+def records_to_csv(records: Sequence[Dict], columns: Sequence[str], path) -> Path:
+    """Write a list of record dictionaries as a CSV with the given columns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(columns))
+        for record in records:
+            writer.writerow([record.get(col, "") for col in columns])
+    return path

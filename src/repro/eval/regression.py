@@ -1,0 +1,209 @@
+"""Regression checks between benchmark runs.
+
+Every benchmark writes its records to ``benchmarks/results/*.json``.  When
+the library changes (a new bound, a different leaf layout, a NumPy upgrade),
+the question is rarely "are the absolute numbers identical?" — wall-clock
+never is — but "did any tracked quantity move by more than a tolerance?".
+This module compares two result files (or two in-memory record lists) on a
+chosen set of metric columns, joining rows on their identifying columns, and
+reports per-row relative changes plus the worst regression.
+
+Typical use::
+
+    from repro.eval.regression import compare_runs
+    report = compare_runs(
+        "results_old/table3_indexing.json",
+        "results_new/table3_indexing.json",
+        key_columns=("dataset", "method"),
+        metric_columns=("index_size_mb",),
+        tolerance=0.10,
+    )
+    assert not report.regressions, report.summary()
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Records = Sequence[Dict]
+RecordsOrPath = Union[Records, str, Path]
+
+
+@dataclass
+class MetricChange:
+    """Change of one metric for one joined row."""
+
+    key: Tuple
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def relative_change(self) -> float:
+        """``(current - baseline) / |baseline|`` (0 when both are 0)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.current == 0.0 else math.inf
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def as_record(self) -> Dict:
+        return {
+            "key": list(self.key),
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "relative_change": self.relative_change,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing two benchmark runs."""
+
+    changes: List[MetricChange] = field(default_factory=list)
+    missing_in_current: List[Tuple] = field(default_factory=list)
+    missing_in_baseline: List[Tuple] = field(default_factory=list)
+    tolerance: float = 0.0
+
+    @property
+    def regressions(self) -> List[MetricChange]:
+        """Changes whose relative increase exceeds the tolerance."""
+        return [c for c in self.changes if c.relative_change > self.tolerance]
+
+    @property
+    def improvements(self) -> List[MetricChange]:
+        """Changes whose relative decrease exceeds the tolerance."""
+        return [c for c in self.changes if c.relative_change < -self.tolerance]
+
+    def worst(self) -> Optional[MetricChange]:
+        """The change with the largest relative increase (None if empty)."""
+        if not self.changes:
+            return None
+        return max(self.changes, key=lambda c: c.relative_change)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"{len(self.changes)} tracked metrics, tolerance {self.tolerance:.0%}:",
+            f"  {len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements",
+        ]
+        worst = self.worst()
+        if worst is not None:
+            lines.append(
+                f"  worst: {worst.metric} for {worst.key} "
+                f"{worst.baseline:.4g} -> {worst.current:.4g} "
+                f"({worst.relative_change:+.1%})"
+            )
+        if self.missing_in_current:
+            lines.append(f"  rows missing in current run: {len(self.missing_in_current)}")
+        if self.missing_in_baseline:
+            lines.append(f"  new rows not in baseline: {len(self.missing_in_baseline)}")
+        return "\n".join(lines)
+
+
+def _load_records(source: RecordsOrPath) -> List[Dict]:
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, list):
+            raise ValueError(f"{source} does not contain a list of records")
+        return data
+    return list(source)
+
+
+def _index_records(records: Records, key_columns: Sequence[str]) -> Dict[Tuple, Dict]:
+    indexed: Dict[Tuple, Dict] = {}
+    for record in records:
+        key = tuple(record.get(col) for col in key_columns)
+        indexed[key] = record
+    return indexed
+
+
+def compare_runs(
+    baseline: RecordsOrPath,
+    current: RecordsOrPath,
+    *,
+    key_columns: Sequence[str],
+    metric_columns: Sequence[str],
+    tolerance: float = 0.1,
+) -> RegressionReport:
+    """Compare two benchmark runs metric by metric.
+
+    Parameters
+    ----------
+    baseline, current:
+        Record lists or paths to the JSON files written by the benchmarks.
+    key_columns:
+        Columns identifying a row (e.g. ``("dataset", "method")``); rows are
+        joined on these values.
+    metric_columns:
+        Numeric columns to compare; non-numeric or missing values are skipped.
+    tolerance:
+        Relative increase above which a change counts as a regression
+        (0.1 = 10%).
+
+    Returns
+    -------
+    RegressionReport
+    """
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    if not key_columns or not metric_columns:
+        raise ValueError("key_columns and metric_columns must be non-empty")
+
+    baseline_index = _index_records(_load_records(baseline), key_columns)
+    current_index = _index_records(_load_records(current), key_columns)
+
+    report = RegressionReport(tolerance=float(tolerance))
+    report.missing_in_current = sorted(
+        key for key in baseline_index if key not in current_index
+    )
+    report.missing_in_baseline = sorted(
+        key for key in current_index if key not in baseline_index
+    )
+
+    for key, old_record in baseline_index.items():
+        new_record = current_index.get(key)
+        if new_record is None:
+            continue
+        for metric in metric_columns:
+            old_value = old_record.get(metric)
+            new_value = new_record.get(metric)
+            if not isinstance(old_value, (int, float)) or isinstance(old_value, bool):
+                continue
+            if not isinstance(new_value, (int, float)) or isinstance(new_value, bool):
+                continue
+            report.changes.append(
+                MetricChange(
+                    key=key,
+                    metric=metric,
+                    baseline=float(old_value),
+                    current=float(new_value),
+                )
+            )
+    return report
+
+
+def assert_no_regressions(
+    baseline: RecordsOrPath,
+    current: RecordsOrPath,
+    *,
+    key_columns: Sequence[str],
+    metric_columns: Sequence[str],
+    tolerance: float = 0.1,
+) -> RegressionReport:
+    """Like :func:`compare_runs` but raises ``AssertionError`` on regressions."""
+    report = compare_runs(
+        baseline,
+        current,
+        key_columns=key_columns,
+        metric_columns=metric_columns,
+        tolerance=tolerance,
+    )
+    if report.regressions:
+        raise AssertionError(report.summary())
+    return report

@@ -1,0 +1,192 @@
+"""Experiment runner: fit an index, run queries, compute recall and timing.
+
+This is the layer every benchmark script uses.  It deliberately works on
+*raw* points and queries (the same artifacts the dataset registry and query
+generators produce) and owns ground-truth computation, so a benchmark is a
+few lines: load data, generate queries, call :func:`evaluate_index` for each
+method/parameter combination, and feed the results to the reporting module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult
+from repro.eval.ground_truth import exact_ground_truth
+from repro.eval.metrics import average_recall, indexing_report, summarize_query_stats
+from repro.utils.timing import Timer
+
+
+@dataclass
+class QueryEvaluation:
+    """Recall and timing for one query."""
+
+    recall: float
+    query_seconds: float
+    result: SearchResult
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one index configuration on one workload."""
+
+    method: str
+    dataset: str
+    k: int
+    search_kwargs: Dict = field(default_factory=dict)
+    indexing_seconds: float = 0.0
+    index_size_bytes: int = 0
+    per_query: List[QueryEvaluation] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        """Mean recall over the workload's queries."""
+        if not self.per_query:
+            return 0.0
+        return float(np.mean([q.recall for q in self.per_query]))
+
+    @property
+    def avg_query_seconds(self) -> float:
+        """Mean wall-clock query time."""
+        if not self.per_query:
+            return 0.0
+        return float(np.mean([q.query_seconds for q in self.per_query]))
+
+    @property
+    def avg_query_ms(self) -> float:
+        return self.avg_query_seconds * 1000.0
+
+    def stats_summary(self) -> Dict[str, float]:
+        """Average work counters per query."""
+        return summarize_query_stats([q.result.stats for q in self.per_query])
+
+    def as_record(self) -> Dict:
+        """Flat dictionary for tables / JSON output."""
+        record = {
+            "method": self.method,
+            "dataset": self.dataset,
+            "k": self.k,
+            "recall": self.recall,
+            "avg_query_ms": self.avg_query_ms,
+            "indexing_seconds": self.indexing_seconds,
+            "index_size_mb": self.index_size_bytes / (1024.0 * 1024.0),
+            "search_kwargs": dict(self.search_kwargs),
+        }
+        record.update(
+            {f"avg_{key}": value for key, value in self.stats_summary().items()}
+        )
+        return record
+
+
+def evaluate_index(
+    index: P2HIndex,
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    method_name: Optional[str] = None,
+    dataset_name: str = "dataset",
+    ground_truth: Optional[np.ndarray] = None,
+    search_kwargs: Optional[Dict] = None,
+    fit: bool = True,
+) -> EvaluationResult:
+    """Fit (optionally) and evaluate ``index`` on a query workload.
+
+    Parameters
+    ----------
+    index:
+        The index instance to evaluate.
+    points:
+        Raw data points ``(n, d-1)``.
+    queries:
+        Hyperplane queries ``(q, d)``.
+    k:
+        Top-k size.
+    method_name, dataset_name:
+        Labels recorded in the result.
+    ground_truth:
+        Optional precomputed exact top-k indices ``(q, k)``; computed by
+        brute force when omitted.
+    search_kwargs:
+        Extra options forwarded to ``index.search`` (e.g.
+        ``candidate_fraction`` or ``probes_per_table``).
+    fit:
+        If False the index is assumed to be fitted on ``points`` already
+        (lets a sweep reuse one index across many search settings).
+    """
+    search_kwargs = dict(search_kwargs or {})
+    if fit:
+        index.fit(points)
+    if ground_truth is None:
+        ground_truth, _ = exact_ground_truth(points, queries, k)
+
+    report = indexing_report(index)
+    evaluation = EvaluationResult(
+        method=method_name or type(index).__name__,
+        dataset=dataset_name,
+        k=k,
+        search_kwargs=search_kwargs,
+        indexing_seconds=report["indexing_seconds"],
+        index_size_bytes=int(report["index_size_bytes"]),
+    )
+
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    for query, truth in zip(queries, ground_truth):
+        with Timer() as timer:
+            result = index.search(query, k=k, **search_kwargs)
+        recall = average_recall([result], truth[None, :])
+        evaluation.per_query.append(
+            QueryEvaluation(
+                recall=recall, query_seconds=timer.elapsed, result=result
+            )
+        )
+    return evaluation
+
+
+def evaluate_method_grid(
+    method_factories: Dict[str, Callable[[], P2HIndex]],
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    *,
+    dataset_name: str = "dataset",
+    search_grid: Optional[Dict[str, Sequence[Dict]]] = None,
+) -> List[EvaluationResult]:
+    """Evaluate several methods (and search settings) on the same workload.
+
+    Parameters
+    ----------
+    method_factories:
+        Mapping from method name to a zero-argument factory returning a
+        fresh, unfitted index.
+    search_grid:
+        Optional mapping from method name to a list of search-kwargs
+        dictionaries; each setting is evaluated on the already-fitted index
+        (so indexing cost is paid once per method).
+    """
+    ground_truth, _ = exact_ground_truth(points, queries, k)
+    results: List[EvaluationResult] = []
+    for name, factory in method_factories.items():
+        index = factory()
+        settings = (search_grid or {}).get(name, [{}])
+        fitted = False
+        for setting in settings:
+            results.append(
+                evaluate_index(
+                    index,
+                    points,
+                    queries,
+                    k,
+                    method_name=name,
+                    dataset_name=dataset_name,
+                    ground_truth=ground_truth,
+                    search_kwargs=setting,
+                    fit=not fitted,
+                )
+            )
+            fitted = True
+    return results

@@ -1,0 +1,171 @@
+"""Statistical helpers for reporting benchmark results.
+
+The paper reports the average of five runs for every measurement
+(Section V-B).  This module provides the machinery to do the same honestly
+on noisy wall-clock data:
+
+* :func:`summarize_samples` — mean / median / standard deviation / spread of
+  repeated measurements;
+* :func:`bootstrap_confidence_interval` — a percentile bootstrap CI for any
+  statistic of the per-query measurements (query times are heavily skewed,
+  so a CI on the mean is more informative than a standard deviation);
+* :func:`speedup_with_uncertainty` — the ratio of two methods' mean query
+  times together with a bootstrap CI on the ratio (how "1.1x-10x faster"
+  style claims should be reported);
+* :func:`paired_sign_test` — a distribution-free check that one method beats
+  another on a majority of queries (the per-query pairing removes most of
+  the query-difficulty variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def summarize_samples(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean, median, standard deviation, min, and max of a measurement set."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("samples must not be empty")
+    return {
+        "count": float(values.size),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }
+
+
+def bootstrap_confidence_interval(
+    samples: Sequence[float],
+    *,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng=None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic(samples)``.
+
+    Parameters
+    ----------
+    samples:
+        The measured values (e.g. per-query times in milliseconds).
+    statistic:
+        Function mapping a 1-D array to a scalar (default: the mean).
+    confidence:
+        Coverage of the interval, in ``(0, 1)``.
+    num_resamples:
+        Number of bootstrap resamples.
+    rng:
+        Seed or generator for reproducible intervals.
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("samples must not be empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    generator = ensure_rng(rng)
+    estimates = np.empty(num_resamples, dtype=np.float64)
+    for i in range(num_resamples):
+        resample = values[generator.integers(0, values.size, size=values.size)]
+        estimates[i] = float(statistic(resample))
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return float(lower), float(upper)
+
+
+@dataclass
+class SpeedupEstimate:
+    """A speed-up ratio with its bootstrap confidence interval."""
+
+    ratio: float
+    lower: float
+    upper: float
+
+    def as_record(self) -> Dict[str, float]:
+        return {"speedup": self.ratio, "ci_lower": self.lower, "ci_upper": self.upper}
+
+
+def speedup_with_uncertainty(
+    baseline_times: Sequence[float],
+    method_times: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng=None,
+) -> SpeedupEstimate:
+    """Speed-up of ``method`` over ``baseline`` (mean-time ratio) with a CI.
+
+    The ratio is ``mean(baseline) / mean(method)`` — larger than 1 means the
+    method is faster — and the CI is a bootstrap over both samples.
+    """
+    baseline = np.asarray(list(baseline_times), dtype=np.float64)
+    method = np.asarray(list(method_times), dtype=np.float64)
+    if baseline.size == 0 or method.size == 0:
+        raise ValueError("both time samples must be non-empty")
+    if float(method.mean()) <= 0.0:
+        raise ValueError("method times must have a positive mean")
+    generator = ensure_rng(rng)
+    ratios = np.empty(num_resamples, dtype=np.float64)
+    for i in range(num_resamples):
+        b = baseline[generator.integers(0, baseline.size, size=baseline.size)]
+        m = method[generator.integers(0, method.size, size=method.size)]
+        ratios[i] = b.mean() / max(m.mean(), 1e-300)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return SpeedupEstimate(
+        ratio=float(baseline.mean() / method.mean()),
+        lower=float(lower),
+        upper=float(upper),
+    )
+
+
+def paired_sign_test(
+    first_times: Sequence[float], second_times: Sequence[float]
+) -> Dict[str, float]:
+    """Sign test on paired per-query times.
+
+    Returns the number of queries where the first method was strictly faster,
+    the number where the second was, and the two-sided p-value of the null
+    hypothesis that either method wins a given (non-tied) query with
+    probability 1/2.
+    """
+    first = np.asarray(list(first_times), dtype=np.float64)
+    second = np.asarray(list(second_times), dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError("paired samples must have the same length")
+    if first.size == 0:
+        raise ValueError("samples must not be empty")
+    first_wins = int(np.sum(first < second))
+    second_wins = int(np.sum(second < first))
+    decisive = first_wins + second_wins
+    if decisive == 0:
+        p_value = 1.0
+    else:
+        extreme = min(first_wins, second_wins)
+        # Exact two-sided binomial tail, clipped to 1.
+        tail = sum(comb(decisive, i) for i in range(0, extreme + 1)) / 2.0**decisive
+        p_value = min(1.0, 2.0 * tail)
+    return {
+        "first_wins": float(first_wins),
+        "second_wins": float(second_wins),
+        "ties": float(first.size - decisive),
+        "p_value": float(p_value),
+    }
+
+
+def geometric_mean_speedup(speedups: Sequence[float]) -> float:
+    """Geometric mean of per-data-set speed-ups (the "on average" the paper cites)."""
+    values = np.asarray(list(speedups), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("speedups must not be empty")
+    if np.any(values <= 0.0):
+        raise ValueError("speed-ups must be positive")
+    return float(np.exp(np.mean(np.log(values))))

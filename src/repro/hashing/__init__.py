@@ -1,0 +1,29 @@
+"""Hashing-based P2HNNS baselines: NH, FH, and the classic hyperplane hashes.
+
+These reimplement the two state-of-the-art baselines the paper compares
+against (NH and FH from Huang et al., SIGMOD 2021) together with the
+asymmetric tensor-lift transformation they rely on, plus the older
+angle-based hyperplane hashing schemes (AH/EH and their bilinear /
+multilinear descendants BH/MH) that only work for unit-norm data
+(Section VI related work).
+"""
+
+from repro.hashing.angular import AngularHyperplaneHash
+from repro.hashing.fh import FHIndex
+from repro.hashing.multilinear import MultilinearHyperplaneHash
+from repro.hashing.nh import NHIndex
+from repro.hashing.transform import (
+    SampledLift,
+    TensorLift,
+    lift_dimension,
+)
+
+__all__ = [
+    "NHIndex",
+    "FHIndex",
+    "AngularHyperplaneHash",
+    "MultilinearHyperplaneHash",
+    "TensorLift",
+    "SampledLift",
+    "lift_dimension",
+]

@@ -1,0 +1,178 @@
+"""Classic hyperplane hashing for unit-norm data (related-work extension).
+
+Before NH/FH, hyperplane hashing assumed every data point lies on the unit
+hypersphere and hashed the *angle* between data points and the query's
+normal vector (Section VI: AH and EH by Jain et al., plus their multilinear
+descendants BH/MH).  We provide the two foundational schemes as an optional
+extension so the library covers the full lineage the paper discusses:
+
+* **AH** (angle hyperplane hash): a data point is hashed with two random
+  directions ``(sign(u . x), sign(v . x))`` while the query's normal is
+  hashed with ``(sign(u . q), -sign(v . q))``; points nearly perpendicular
+  to the normal collide with higher probability.
+* **EH** (embedding hyperplane hash): both data and query are lifted to the
+  rank-one outer product ``z z^T`` and hashed with a single random sign
+  projection in that space (queries negated).
+
+Both schemes only behave as advertised for (approximately) unit-norm data —
+exactly the limitation that motivates NH/FH and this paper.  The index
+normalizes its inputs and emits no error for unnormalized data, but recall
+degrades, which is the behaviour the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class AngularHyperplaneHash(P2HIndex):
+    """AH / EH hyperplane hashing for (near) unit-norm data.
+
+    Parameters
+    ----------
+    scheme:
+        ``"ah"`` (two-vector angle hash, default) or ``"eh"`` (embedding
+        hash on the outer-product lift).
+    num_tables:
+        Number of hash tables ``m``.
+    bits_per_table:
+        Number of concatenated sign bits per table ``K``.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        scheme: str = "ah",
+        *,
+        num_tables: int = 16,
+        bits_per_table: int = 8,
+        random_state=None,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        scheme = str(scheme).lower()
+        if scheme not in ("ah", "eh"):
+            raise ValueError(f"scheme must be 'ah' or 'eh', got {scheme!r}")
+        self.scheme = scheme
+        self.num_tables = check_positive_int(num_tables, name="num_tables")
+        self.bits_per_table = check_positive_int(bits_per_table, name="bits_per_table")
+        self.random_state = random_state
+        self._tables: List[Dict[Tuple[int, ...], np.ndarray]] = []
+        self._directions_u: Optional[np.ndarray] = None
+        self._directions_v: Optional[np.ndarray] = None
+        self._eh_planes: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        rng = ensure_rng(self.random_state)
+        # AH/EH hash the original point against the hyperplane's *normal*
+        # vector (they predate the dimension-appending trick and assume
+        # hyperplanes through the origin), so the hash operates on the first
+        # d-1 coordinates; the appended-1 coordinate and the query offset
+        # only participate in candidate verification.
+        self._hash_dim = self.dim - 1
+        normalized = self._unit_rows(points[:, : self._hash_dim])
+        total_funcs = self.num_tables * self.bits_per_table
+
+        if self.scheme == "ah":
+            # AH: each hash function contributes the bit pair
+            # (sign(u . x), sign(v . x)); queries negate the v component.
+            self._directions_u = rng.normal(size=(total_funcs, self._hash_dim))
+            self._directions_v = rng.normal(size=(total_funcs, self._hash_dim))
+            bits_u = (normalized @ self._directions_u.T) >= 0.0
+            bits_v = (normalized @ self._directions_v.T) >= 0.0
+            codes = np.concatenate([bits_u, bits_v], axis=1)
+        else:
+            self._eh_planes = rng.normal(size=(total_funcs, self._hash_dim, self._hash_dim))
+            flattened = self._eh_planes.reshape(total_funcs, -1)
+            outer = np.einsum("ni,nj->nij", normalized, normalized).reshape(
+                normalized.shape[0], -1
+            )
+            codes = (outer @ flattened.T) >= 0.0
+
+        self._tables = []
+        for table in range(self.num_tables):
+            chunk = codes[:, self._table_columns(table)]
+            buckets: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
+            for row, bits in enumerate(chunk):
+                buckets[tuple(int(b) for b in bits)].append(row)
+            self._tables.append(
+                {key: np.asarray(value, dtype=np.int64) for key, value in buckets.items()}
+            )
+
+    def _table_columns(self, table: int) -> np.ndarray:
+        """Column indices of ``table``'s bits in the full code matrix.
+
+        For AH the code matrix is ``[u-bits | v-bits]``, so a table's key is
+        its ``bits_per_table`` u-bits followed by the matching v-bits; for EH
+        it is a contiguous block of single bits.
+        """
+        start = table * self.bits_per_table
+        block = np.arange(start, start + self.bits_per_table)
+        if self.scheme == "ah":
+            total_funcs = self.num_tables * self.bits_per_table
+            return np.concatenate([block, block + total_funcs])
+        return block
+
+    @staticmethod
+    def _unit_rows(points: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(points, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return points / norms
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        arrays: List[np.ndarray] = []
+        for table in self._tables:
+            arrays.extend(table.values())
+        for arr in (self._directions_u, self._directions_v, self._eh_planes):
+            if arr is not None:
+                arrays.append(arr)
+        return arrays
+
+    # ---------------------------------------------------------------- search
+
+    def _query_codes(self, query: np.ndarray) -> np.ndarray:
+        normal = query[: self._hash_dim]
+        unit_query = normal / max(float(np.linalg.norm(normal)), 1e-300)
+        total_funcs = self.num_tables * self.bits_per_table
+        if self.scheme == "ah":
+            bits_u = (self._directions_u @ unit_query) >= 0.0
+            bits_v = (self._directions_v @ unit_query) < 0.0  # query negates v
+            return np.concatenate([bits_u, bits_v])
+        outer = np.outer(unit_query, unit_query).reshape(-1)
+        flattened = self._eh_planes.reshape(total_funcs, -1)
+        return (flattened @ (-outer)) >= 0.0
+
+    def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+        if kwargs:
+            unexpected = ", ".join(sorted(kwargs))
+            raise TypeError(
+                f"AngularHyperplaneHash.search got unexpected options: {unexpected}"
+            )
+        stats = SearchStats()
+        codes = self._query_codes(query)
+        candidate_ids = []
+        for table_index, table in enumerate(self._tables):
+            key = tuple(int(b) for b in codes[self._table_columns(table_index)])
+            stats.buckets_probed += 1
+            bucket = table.get(key)
+            if bucket is not None:
+                candidate_ids.append(bucket)
+        collector = TopKCollector(k)
+        if candidate_ids:
+            candidates = np.unique(np.concatenate(candidate_ids))
+            distances = np.abs(self._points[candidates] @ query)
+            collector.offer_batch(candidates, distances)
+            stats.candidates_verified += int(candidates.shape[0])
+        return collector.to_result(stats)

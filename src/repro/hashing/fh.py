@@ -1,0 +1,190 @@
+"""FH — Furthest-Hyperplane hashing baseline (Huang et al., SIGMOD 2021).
+
+FH also uses the tensor lift, but instead of padding data to a common norm
+it partitions the lifted data by norm (the ``separation threshold l``
+parameter controls how many partitions are built).  Within one partition the
+lifted norms are roughly constant, so the Euclidean distance in the lifted
+space is monotone *decreasing* in ``<x, q>^2`` and the point closest to the
+hyperplane is the *furthest* transformed neighbor of the transformed query.
+Each partition is therefore indexed with reverse query-aware projection
+tables (:meth:`~repro.hashing.projections.ProjectionTables.probe_furthest`).
+
+The extra partition bookkeeping is why FH's index is larger than NH's for
+the same ``lambda`` in Table III, and the per-partition probing is why FH
+spends more time on "table lookup" in the Figure 10 profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.hashing.projections import ProjectionTables
+from repro.hashing.transform import make_lift
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class _Partition:
+    """One norm partition of the lifted data."""
+
+    point_ids: np.ndarray
+    tables: ProjectionTables
+    min_norm: float
+    max_norm: float
+
+
+class FHIndex(P2HIndex):
+    """Furthest-Hyperplane hashing index.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of projection tables per partition (``m``; default 32).
+    num_partitions:
+        Number of norm partitions (the paper's separation threshold
+        ``l in {2, 4, 6}``; default 4).
+    sample_dim:
+        ``lambda`` — number of sampled lift coordinates (``None`` = exact
+        lift).
+    probes_per_table:
+        Default candidates probed per table per partition.
+    random_state:
+        Seed or generator.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hashing import FHIndex
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(300, 10))
+    >>> query = rng.normal(size=11)
+    >>> index = FHIndex(num_tables=8, sample_dim=22, random_state=0).fit(data)
+    >>> result = index.search(query, k=5)
+    >>> len(result)
+    5
+    """
+
+    def __init__(
+        self,
+        num_tables: int = 32,
+        *,
+        num_partitions: int = 4,
+        sample_dim: Optional[int] = None,
+        probes_per_table: int = 32,
+        random_state=None,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        self.num_tables = check_positive_int(num_tables, name="num_tables")
+        self.num_partitions = check_positive_int(num_partitions, name="num_partitions")
+        self.sample_dim = (
+            None
+            if sample_dim is None
+            else check_positive_int(sample_dim, name="sample_dim")
+        )
+        self.probes_per_table = check_positive_int(
+            probes_per_table, name="probes_per_table"
+        )
+        self.random_state = random_state
+        self._lift = None
+        self._partitions: List[_Partition] = []
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        rng = ensure_rng(self.random_state)
+        self._lift = make_lift(self.dim, self.sample_dim, rng=spawn_rng(rng))
+        lifted = self._lift.transform(points)
+        norms = np.linalg.norm(lifted, axis=1)
+
+        # Partition by lifted norm using quantile cut points so partitions
+        # have balanced sizes even for heavy-tailed norm distributions.
+        num_partitions = min(self.num_partitions, max(1, self.num_points))
+        quantiles = np.linspace(0.0, 1.0, num_partitions + 1)[1:-1]
+        cuts = np.quantile(norms, quantiles) if quantiles.size else np.empty(0)
+        labels = np.searchsorted(cuts, norms, side="right")
+
+        self._partitions = []
+        for label in range(num_partitions):
+            member_ids = np.flatnonzero(labels == label)
+            if member_ids.size == 0:
+                continue
+            tables = ProjectionTables(self.num_tables, rng=spawn_rng(rng))
+            tables.fit(lifted[member_ids], point_ids=member_ids)
+            self._partitions.append(
+                _Partition(
+                    point_ids=member_ids.astype(np.int64),
+                    tables=tables,
+                    min_norm=float(norms[member_ids].min()),
+                    max_norm=float(norms[member_ids].max()),
+                )
+            )
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        arrays: List[np.ndarray] = []
+        for partition in self._partitions:
+            arrays.append(partition.point_ids)
+            arrays.extend(partition.tables.payload_arrays())
+        return arrays
+
+    @property
+    def partition_sizes(self) -> List[int]:
+        """Number of points in each non-empty norm partition."""
+        self._check_fitted()
+        return [int(p.point_ids.shape[0]) for p in self._partitions]
+
+    # ---------------------------------------------------------------- search
+
+    def _search_one(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        probes_per_table: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        **kwargs,
+    ) -> SearchResult:
+        if kwargs:
+            unexpected = ", ".join(sorted(kwargs))
+            raise TypeError(f"FHIndex.search got unexpected options: {unexpected}")
+        probes = (
+            self.probes_per_table
+            if probes_per_table is None
+            else check_positive_int(probes_per_table, name="probes_per_table")
+        )
+        tables_to_use = self.num_tables if num_tables is None else min(
+            check_positive_int(num_tables, name="num_tables"), self.num_tables
+        )
+
+        stats = SearchStats()
+        lifted_query = self._lift.transform(query)
+
+        candidate_ids = []
+        for partition in self._partitions:
+            query_projections = partition.tables.project_query(lifted_query)
+            for table, ids in enumerate(
+                partition.tables.probe_furthest(query_projections, probes)
+            ):
+                if table >= tables_to_use:
+                    break
+                stats.buckets_probed += 1
+                candidate_ids.append(ids)
+        candidates = (
+            np.unique(np.concatenate(candidate_ids))
+            if candidate_ids
+            else np.empty(0, dtype=np.int64)
+        )
+
+        collector = TopKCollector(k)
+        if candidates.shape[0]:
+            distances = np.abs(self._points[candidates] @ query)
+            collector.offer_batch(candidates, distances)
+            stats.candidates_verified += int(candidates.shape[0])
+        return collector.to_result(stats)

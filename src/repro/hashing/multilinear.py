@@ -1,0 +1,175 @@
+"""Bilinear (BH) and multilinear (MH) hyperplane hashing (related work).
+
+Section VI of the paper traces the lineage of hyperplane hashing: AH and EH
+(Jain et al., NIPS 2010) were improved by BH (Liu et al., ICML 2012) and MH
+(Liu et al., CVPR 2016), which use *products* of sign projections to amplify
+the gap in collision probability between points close to the hyperplane and
+points far from it.  Like AH/EH these schemes assume (near) unit-norm data;
+they are provided so the library covers every baseline family the paper
+mentions and so the "degrades on unnormalized data" claim can be reproduced.
+
+* **BH** — each hash function draws two directions ``u, v`` and emits the
+  single bit ``sign(<u, x>) * sign(<v, x>)``; the query's normal is hashed
+  with the *negated* product, so points whose angle to the normal is close
+  to 90° collide with the query more often.
+* **MH** — the multilinear generalization: the bit is the product of
+  ``2t`` sign projections (``t`` pairs), which sharpens the collision
+  probability gap further at the cost of more projections per function.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.index_base import P2HIndex
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class MultilinearHyperplaneHash(P2HIndex):
+    """BH / MH hyperplane hashing for (near) unit-norm data.
+
+    Parameters
+    ----------
+    scheme:
+        ``"bh"`` (bilinear, default) or ``"mh"`` (multilinear with
+        ``order`` pairs of projections per hash function).
+    order:
+        Number of projection pairs per hash function for MH (ignored for
+        BH, which always uses one pair).
+    num_tables:
+        Number of hash tables ``m``.
+    bits_per_table:
+        Number of concatenated product-bits per table ``K``.
+    random_state:
+        Seed or generator.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hashing.multilinear import MultilinearHyperplaneHash
+    >>> rng = np.random.default_rng(5)
+    >>> data = rng.normal(size=(400, 16))
+    >>> data /= np.linalg.norm(data, axis=1, keepdims=True)
+    >>> index = MultilinearHyperplaneHash("bh", random_state=5).fit(data)
+    >>> result = index.search(rng.normal(size=17), k=5)
+    >>> result.distances.shape[0] <= 5
+    True
+    """
+
+    def __init__(
+        self,
+        scheme: str = "bh",
+        *,
+        order: int = 2,
+        num_tables: int = 16,
+        bits_per_table: int = 8,
+        random_state=None,
+        augment: bool = True,
+        normalize_queries: bool = True,
+    ) -> None:
+        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        scheme = str(scheme).lower()
+        if scheme not in ("bh", "mh"):
+            raise ValueError(f"scheme must be 'bh' or 'mh', got {scheme!r}")
+        self.scheme = scheme
+        self.order = 1 if scheme == "bh" else check_positive_int(order, name="order")
+        self.num_tables = check_positive_int(num_tables, name="num_tables")
+        self.bits_per_table = check_positive_int(bits_per_table, name="bits_per_table")
+        self.random_state = random_state
+        self._tables: List[Dict[Tuple[int, ...], np.ndarray]] = []
+        self._directions_u: Optional[np.ndarray] = None
+        self._directions_v: Optional[np.ndarray] = None
+        self._hash_dim: int = 0
+
+    # ----------------------------------------------------------------- build
+
+    def _build(self, points: np.ndarray) -> None:
+        rng = ensure_rng(self.random_state)
+        # Like AH/EH, BH/MH hash the original coordinates against the
+        # hyperplane's normal vector; the appended-1 coordinate and the
+        # offset only participate in candidate verification.
+        self._hash_dim = self.dim - 1
+        normalized = self._unit_rows(points[:, : self._hash_dim])
+        total_funcs = self.num_tables * self.bits_per_table
+        # Each hash function uses ``order`` (u, v) pairs.
+        shape = (total_funcs, self.order, self._hash_dim)
+        self._directions_u = rng.normal(size=shape)
+        self._directions_v = rng.normal(size=shape)
+
+        codes = self._point_codes(normalized)
+        self._tables = []
+        for table in range(self.num_tables):
+            start = table * self.bits_per_table
+            chunk = codes[:, start: start + self.bits_per_table]
+            buckets: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
+            for row, bits in enumerate(chunk):
+                buckets[tuple(int(b) for b in bits)].append(row)
+            self._tables.append(
+                {key: np.asarray(value, dtype=np.int64) for key, value in buckets.items()}
+            )
+
+    def _point_codes(self, unit_points: np.ndarray) -> np.ndarray:
+        """Product-of-signs code matrix ``(n, total_funcs)`` for data points."""
+        signs_u = np.sign(np.einsum("nd,fod->nfo", unit_points, self._directions_u))
+        signs_v = np.sign(np.einsum("nd,fod->nfo", unit_points, self._directions_v))
+        signs_u[signs_u == 0.0] = 1.0
+        signs_v[signs_v == 0.0] = 1.0
+        products = np.prod(signs_u * signs_v, axis=2)
+        return products >= 0.0
+
+    def _query_codes(self, query: np.ndarray) -> np.ndarray:
+        """Product-of-signs code vector for the hyperplane's normal (negated)."""
+        normal = query[: self._hash_dim]
+        unit_query = normal / max(float(np.linalg.norm(normal)), 1e-300)
+        signs_u = np.sign(self._directions_u @ unit_query)
+        signs_v = np.sign(self._directions_v @ unit_query)
+        signs_u[signs_u == 0.0] = 1.0
+        signs_v[signs_v == 0.0] = 1.0
+        products = -np.prod(signs_u * signs_v, axis=1)
+        return products >= 0.0
+
+    @staticmethod
+    def _unit_rows(points: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(points, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return points / norms
+
+    def _payload_arrays(self) -> Sequence[np.ndarray]:
+        arrays: List[np.ndarray] = []
+        for table in self._tables:
+            arrays.extend(table.values())
+        for arr in (self._directions_u, self._directions_v):
+            if arr is not None:
+                arrays.append(arr)
+        return arrays
+
+    # ---------------------------------------------------------------- search
+
+    def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+        if kwargs:
+            unexpected = ", ".join(sorted(kwargs))
+            raise TypeError(
+                f"MultilinearHyperplaneHash.search got unexpected options: {unexpected}"
+            )
+        stats = SearchStats()
+        codes = self._query_codes(query)
+        candidate_ids = []
+        for table_index, table in enumerate(self._tables):
+            start = table_index * self.bits_per_table
+            key = tuple(int(b) for b in codes[start: start + self.bits_per_table])
+            stats.buckets_probed += 1
+            bucket = table.get(key)
+            if bucket is not None:
+                candidate_ids.append(bucket)
+        collector = TopKCollector(k)
+        if candidate_ids:
+            candidates = np.unique(np.concatenate(candidate_ids))
+            distances = np.abs(self._points[candidates] @ query)
+            collector.offer_batch(candidates, distances)
+            stats.candidates_verified += int(candidates.shape[0])
+        return collector.to_result(stats)

@@ -1,0 +1,144 @@
+"""Query-aware projection tables — the LSH substrate for NH and FH.
+
+Both NH and FH in the original implementation are built on query-aware LSH
+(QALSH for the nearest-neighbor variant, RQALSH for the furthest-neighbor
+variant): every hash table is a single random projection line; the data's
+projections are kept sorted, and at query time the table is probed around
+(or away from) the query's projection.
+
+This module provides that substrate:
+
+* :class:`ProjectionTables` stores ``num_tables`` random unit directions and
+  the per-table sorted data projections.
+* :meth:`ProjectionTables.probe_nearest` returns, per table, the points whose
+  projections are closest to the query's projection (QALSH-style, used by
+  NH).
+* :meth:`ProjectionTables.probe_furthest` returns the points whose
+  projections are furthest from the query's projection (RQALSH-style, used
+  by FH).
+
+Probing cost per table is ``O(log n + probes)`` thanks to the sorted order,
+so query time stays sublinear in ``n`` — while index size is
+``O(n * num_tables)``, reproducing the large index footprint of the hashing
+baselines in Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class ProjectionTables:
+    """Sorted random-projection tables over a fixed point matrix.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of projection lines (``m`` in the paper's parameter grid).
+    rng:
+        Seed or generator for the random directions.
+    """
+
+    def __init__(self, num_tables: int, *, rng=None) -> None:
+        if num_tables < 1:
+            raise ValueError(f"num_tables must be >= 1, got {num_tables}")
+        self.num_tables = int(num_tables)
+        self._rng = ensure_rng(rng)
+        self.directions: np.ndarray = None        # (num_tables, dim)
+        self.projections: np.ndarray = None       # (num_tables, n) sorted values
+        self.order: np.ndarray = None              # (num_tables, n) point ids
+        self.num_points = 0
+
+    def fit(self, points: np.ndarray, point_ids: np.ndarray = None) -> "ProjectionTables":
+        """Project ``points`` onto the random directions and sort each table.
+
+        Parameters
+        ----------
+        points:
+            Matrix of shape ``(n, dim)`` in the (possibly lifted) space.
+        point_ids:
+            Optional ids to report for each row (defaults to ``0..n-1``);
+            FH uses this to keep original dataset ids inside norm partitions.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        n, dim = points.shape
+        if point_ids is None:
+            point_ids = np.arange(n, dtype=np.int64)
+        else:
+            point_ids = np.asarray(point_ids, dtype=np.int64)
+            if point_ids.shape[0] != n:
+                raise ValueError("point_ids must have one entry per point")
+
+        directions = self._rng.normal(size=(self.num_tables, dim))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        raw = points @ directions.T                      # (n, num_tables)
+
+        order = np.argsort(raw, axis=0, kind="stable").T  # (num_tables, n)
+        projections = np.take_along_axis(raw.T, order, axis=1)
+
+        self.directions = directions
+        self.projections = projections
+        self.order = point_ids[order]
+        self.num_points = n
+        return self
+
+    # ------------------------------------------------------------------ query
+
+    def project_query(self, query: np.ndarray) -> np.ndarray:
+        """Project a (lifted, transformed) query onto every table's direction."""
+        query = np.asarray(query, dtype=np.float64)
+        return self.directions @ query
+
+    def probe_nearest(
+        self, query_projections: np.ndarray, probes_per_table: int
+    ) -> Iterable[np.ndarray]:
+        """Yield, per table, ids of points projection-closest to the query."""
+        probes_per_table = max(1, int(probes_per_table))
+        for table in range(self.num_tables):
+            values = self.projections[table]
+            ids = self.order[table]
+            pos = int(np.searchsorted(values, query_projections[table]))
+            lo = max(0, pos - probes_per_table)
+            hi = min(self.num_points, pos + probes_per_table)
+            window_ids = ids[lo:hi]
+            window_vals = values[lo:hi]
+            if window_ids.shape[0] > probes_per_table:
+                gaps = np.abs(window_vals - query_projections[table])
+                keep = np.argpartition(gaps, probes_per_table - 1)[:probes_per_table]
+                window_ids = window_ids[keep]
+            yield window_ids
+
+    def probe_furthest(
+        self, query_projections: np.ndarray, probes_per_table: int
+    ) -> Iterable[np.ndarray]:
+        """Yield, per table, ids of points projection-furthest from the query."""
+        probes_per_table = max(1, int(probes_per_table))
+        for table in range(self.num_tables):
+            values = self.projections[table]
+            ids = self.order[table]
+            query_value = query_projections[table]
+            take = min(probes_per_table, self.num_points)
+            head_ids = ids[:take]
+            head_gap = np.abs(values[:take] - query_value)
+            tail_ids = ids[self.num_points - take:]
+            tail_gap = np.abs(values[self.num_points - take:] - query_value)
+            merged_ids = np.concatenate([head_ids, tail_ids])
+            merged_gap = np.concatenate([head_gap, tail_gap])
+            if merged_ids.shape[0] > take:
+                keep = np.argpartition(-merged_gap, take - 1)[:take]
+                merged_ids = merged_ids[keep]
+            yield merged_ids
+
+    # ------------------------------------------------------------------ misc
+
+    def payload_arrays(self) -> List[np.ndarray]:
+        """Arrays counted towards the index size."""
+        arrays = []
+        for arr in (self.directions, self.projections, self.order):
+            if arr is not None:
+                arrays.append(arr)
+        return arrays

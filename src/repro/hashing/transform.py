@@ -1,0 +1,155 @@
+"""Asymmetric tensor-lift transformations used by the NH and FH baselines.
+
+NH and FH (Huang et al., SIGMOD 2021) convert P2HNNS into a classic
+Euclidean nearest / furthest neighbor search by lifting both data and
+queries into a space of dimension Omega(d^2) where the inner product of the
+lifted vectors equals the *squared* original inner product:
+
+    <f(x), f(q)> = <x, q>^2.
+
+We implement the lift with the symmetric "upper-triangular" embedding
+
+    f(x) = ( x_i^2 for i ) ++ ( sqrt(2) x_i x_j for i < j )
+
+whose dimension is d(d+1)/2 (:func:`lift_dimension`), which satisfies the
+identity exactly.  On top of the lift:
+
+* **NH** pads every lifted data point with ``sqrt(M^2 - ||f(x)||^2)`` (where
+  ``M = max_x ||f(x)||``) and negates the lifted query, so all transformed
+  data points share the same norm ``M`` and the Euclidean distance between
+  transformed data and query is ``M^2 + ||f(q)||^2 + 2 <x, q>^2`` — a
+  monotone function of the P2H distance, solvable by Euclidean NNS.  The
+  additive constant ``M^2`` is exactly the "large constant" distortion the
+  paper criticizes.
+* **FH** keeps the lifted data unpadded and partitions it by lifted norm;
+  within a partition (roughly constant ``||f(x)||``) the transformed
+  Euclidean distance is monotone *decreasing* in ``<x, q>^2``, so the
+  problem becomes a furthest neighbor search.
+
+Because the full lift is quadratic in ``d`` (and therefore expensive in both
+time and memory — the very overhead Table III measures), both schemes
+support the *randomized sampling* approximation suggested in the paper:
+only ``lambda`` coordinates of the lift are used, rescaled so the inner
+product is preserved in expectation (:class:`SampledLift`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def lift_dimension(dim: int) -> int:
+    """Dimension ``d(d+1)/2`` of the full symmetric tensor lift."""
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return dim * (dim + 1) // 2
+
+
+class TensorLift:
+    """Exact symmetric tensor lift ``f: R^d -> R^{d(d+1)/2}``.
+
+    The lift satisfies ``<f(x), f(y)> = <x, y>^2`` exactly.
+
+    Parameters
+    ----------
+    dim:
+        The original (augmented) dimension ``d``.
+    """
+
+    def __init__(self, dim: int) -> None:
+        self.dim = int(dim)
+        self.output_dim = lift_dimension(self.dim)
+        # Index pairs (i, j) with i <= j and the matching scale factors.
+        rows, cols = np.triu_indices(self.dim)
+        self._rows = rows
+        self._cols = cols
+        self._scales = np.where(rows == cols, 1.0, np.sqrt(2.0))
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Lift one vector (``(d,)``) or a batch (``(n, d)``)."""
+        arr = np.asarray(points, dtype=np.float64)
+        single = arr.ndim == 1
+        arr = np.atleast_2d(arr)
+        if arr.shape[1] != self.dim:
+            raise ValueError(
+                f"expected dimension {self.dim}, got {arr.shape[1]}"
+            )
+        lifted = arr[:, self._rows] * arr[:, self._cols] * self._scales
+        return lifted[0] if single else lifted
+
+
+class SampledLift:
+    """Randomized-sampling approximation of the tensor lift.
+
+    ``num_samples`` coordinate pairs ``(i, j)`` are drawn uniformly (with
+    replacement) from the ``d x d`` product grid; the lifted vector is
+
+        f_S(x)_s = sqrt(d^2 / num_samples) * x_{i_s} * x_{j_s}
+
+    so that ``E[<f_S(x), f_S(y)>] = <x, y>^2``.  This reduces the lift
+    dimension from Omega(d^2) to ``lambda = num_samples`` at the cost of an
+    additive estimation error — the trade-off the paper describes for NH and
+    FH with ``lambda in {d, 2d, 4d, 8d}``.
+
+    Parameters
+    ----------
+    dim:
+        Original (augmented) dimension ``d``.
+    num_samples:
+        Number of sampled coordinates ``lambda``.
+    rng:
+        Seed or generator for the coordinate draw.
+    """
+
+    def __init__(self, dim: int, num_samples: int, *, rng=None) -> None:
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.dim = int(dim)
+        self.output_dim = int(num_samples)
+        generator = ensure_rng(rng)
+        self._rows = generator.integers(0, self.dim, size=self.output_dim)
+        self._cols = generator.integers(0, self.dim, size=self.output_dim)
+        self._scale = self.dim / np.sqrt(self.output_dim)
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Approximately lift one vector or a batch of vectors."""
+        arr = np.asarray(points, dtype=np.float64)
+        single = arr.ndim == 1
+        arr = np.atleast_2d(arr)
+        if arr.shape[1] != self.dim:
+            raise ValueError(
+                f"expected dimension {self.dim}, got {arr.shape[1]}"
+            )
+        lifted = arr[:, self._rows] * arr[:, self._cols] * self._scale
+        return lifted[0] if single else lifted
+
+
+def make_lift(dim: int, sample_dim: Optional[int], rng=None):
+    """Build the exact lift (``sample_dim=None``) or a sampled lift."""
+    if sample_dim is None:
+        return TensorLift(dim)
+    return SampledLift(dim, sample_dim, rng=rng)
+
+
+def nh_pad(lifted_points: np.ndarray) -> Tuple[np.ndarray, float]:
+    """NH data padding: append ``sqrt(M^2 - ||f(x)||^2)`` to every row.
+
+    Returns the padded matrix and ``M`` (the maximum lifted norm), which the
+    query transform needs for bookkeeping.  All padded rows have norm ``M``.
+    """
+    lifted_points = np.atleast_2d(np.asarray(lifted_points, dtype=np.float64))
+    sq_norms = np.einsum("ij,ij->i", lifted_points, lifted_points)
+    max_sq = float(sq_norms.max()) if sq_norms.size else 0.0
+    pad = np.sqrt(np.maximum(max_sq - sq_norms, 0.0))
+    padded = np.hstack([lifted_points, pad[:, None]])
+    return padded, float(np.sqrt(max_sq))
+
+
+def nh_query(lifted_query: np.ndarray) -> np.ndarray:
+    """NH query transform: negate the lifted query and append a zero."""
+    lifted_query = np.asarray(lifted_query, dtype=np.float64)
+    return np.concatenate([-lifted_query, [0.0]])

@@ -1,0 +1,19 @@
+"""Shared utilities: validation, RNG handling, timing, persistence."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_points_matrix,
+    check_query_vector,
+    check_positive_int,
+    check_fraction,
+)
+
+__all__ = [
+    "ensure_rng",
+    "Timer",
+    "check_points_matrix",
+    "check_query_vector",
+    "check_positive_int",
+    "check_fraction",
+]

@@ -1,0 +1,54 @@
+"""Random number generator helpers.
+
+Every stochastic component in the library (tree splits, hash functions,
+synthetic data generators) accepts either ``None``, an integer seed, or an
+existing :class:`numpy.random.Generator`.  This module centralizes the
+conversion so behaviour is reproducible and consistent across modules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` for a seeded
+        generator, or an existing generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator ready for use.
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is not ``None``, an integer, or a generator.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed)!r}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when a component needs to hand out generators to sub-components
+    (e.g. one per hash table) without correlating their streams.
+    """
+    return np.random.default_rng(rng.integers(0, 2**63 - 1))

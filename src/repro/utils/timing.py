@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timing helpers used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        return self.elapsed
+
+
+@dataclass
+class StageTimer:
+    """Accumulate wall-clock time per named stage.
+
+    Used for the Figure 10 style time-profile breakdown (verification,
+    lower-bound computation, table lookup, other).
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` to ``stage``'s running total."""
+        self.totals[stage] = self.totals.get(stage, 0.0) + seconds
+
+    def total(self) -> float:
+        """Total time across all stages."""
+        return float(sum(self.totals.values()))
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-stage fraction of the total (empty dict if no time recorded)."""
+        total = self.total()
+        if total <= 0.0:
+            return {}
+        return {stage: value / total for stage, value in self.totals.items()}
+
+    def merge(self, other: "StageTimer") -> None:
+        """Accumulate another profile into this one."""
+        for stage, value in other.totals.items():
+            self.add(stage, value)

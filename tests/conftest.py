@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_hyperplane_queries
+from repro.datasets.synthetic import clustered_gaussian
+from repro.eval import exact_ground_truth
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session-wide deterministic generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(20230221)
+
+
+@pytest.fixture(scope="session")
+def small_clustered_data():
+    """A small clustered data set (n=600, d=16) used across index tests."""
+    return clustered_gaussian(
+        600, 16, num_clusters=8, cluster_radius=2.0, center_spread=8.0, rng=11
+    )
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_clustered_data):
+    """Ten hyperplane queries targeting the small clustered data set."""
+    return random_hyperplane_queries(small_clustered_data, 10, rng=13)
+
+
+@pytest.fixture(scope="session")
+def small_ground_truth(small_clustered_data, small_queries):
+    """Exact top-10 indices and distances for the small workload."""
+    return exact_ground_truth(small_clustered_data, small_queries, 10)
+
+
+@pytest.fixture(scope="session")
+def gaussian_blob():
+    """A single isotropic Gaussian blob (n=300, d=8): the unstructured case."""
+    generator = np.random.default_rng(5)
+    return generator.normal(size=(300, 8))
+
+
+def assert_matches_ground_truth(result, true_distances, atol=1e-9):
+    """Assert a search result's distances equal the exact top-k distances.
+
+    Comparison is on distances (not indices) so ties between equidistant
+    points do not cause spurious failures.
+    """
+    np.testing.assert_allclose(
+        np.sort(np.asarray(result.distances)),
+        np.sort(np.asarray(true_distances)),
+        atol=atol,
+        rtol=1e-9,
+    )
+
+
+@pytest.fixture(scope="session")
+def match_ground_truth():
+    """Fixture handing out the ground-truth comparison helper."""
+    return assert_matches_ground_truth

@@ -1,0 +1,82 @@
+"""Tests for the AH/EH hyperplane hashing extension (unit-norm data only)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import exact_ground_truth
+from repro.eval.metrics import recall_at_k
+from repro.hashing import AngularHyperplaneHash
+
+
+@pytest.fixture(scope="module")
+def normalized_workload():
+    """Unit-norm data points: the regime AH/EH were designed for."""
+    rng = np.random.default_rng(31)
+    points = rng.normal(size=(600, 16))
+    points /= np.linalg.norm(points, axis=1, keepdims=True)
+    queries = rng.normal(size=(6, 17))
+    queries[:, -1] = 0.0  # homogeneous hyperplanes through the origin
+    truth_idx, _ = exact_ground_truth(points, queries, 10)
+    return points, queries, truth_idx
+
+
+class TestAngularHash:
+    @pytest.mark.parametrize("scheme", ["ah", "eh"])
+    def test_returns_results(self, normalized_workload, scheme):
+        points, queries, _ = normalized_workload
+        index = AngularHyperplaneHash(
+            scheme, num_tables=8, bits_per_table=4, random_state=0
+        ).fit(points)
+        result = index.search(queries[0], k=10)
+        assert len(result) <= 10
+        assert result.stats.buckets_probed == 8
+
+    @pytest.mark.parametrize("scheme", ["ah", "eh"])
+    def test_collision_probability_favors_perpendicular_points(self, scheme):
+        """The defining property of AH/EH: a point parallel to the query's
+        normal (far from the hyperplane) never collides with the query, while
+        a point on the hyperplane collides with constant probability per
+        table.
+
+        We build a tiny data set containing the normal direction itself, a
+        perpendicular direction, and random unit fillers; with 60 tables the
+        perpendicular point is a candidate almost surely and the parallel
+        point never is (its query code is the exact complement).
+        """
+        rng = np.random.default_rng(9)
+        fillers = rng.normal(size=(40, 16))
+        fillers /= np.linalg.norm(fillers, axis=1, keepdims=True)
+        parallel = np.zeros(16)
+        parallel[0] = 1.0
+        perpendicular = np.zeros(16)
+        perpendicular[1] = 1.0
+        points = np.vstack([parallel, perpendicular, fillers])
+
+        query = np.zeros(17)
+        query[0] = 1.0  # hyperplane x_1 = 0
+
+        index = AngularHyperplaneHash(
+            scheme, num_tables=60, bits_per_table=1, random_state=1
+        ).fit(points)
+        # k = n returns every verified candidate, exposing the candidate set.
+        result = index.search(query, k=points.shape[0])
+        candidates = set(int(i) for i in result.indices)
+        assert 0 not in candidates      # parallel point never collides
+        assert 1 in candidates          # on-hyperplane point collides
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            AngularHyperplaneHash("xyz")
+
+    def test_rejects_unknown_search_options(self, normalized_workload):
+        points, queries, _ = normalized_workload
+        index = AngularHyperplaneHash(num_tables=4, bits_per_table=4,
+                                      random_state=0).fit(points)
+        with pytest.raises(TypeError):
+            index.search(queries[0], k=5, probes_per_table=2)
+
+    def test_index_size_accounts_for_tables(self, normalized_workload):
+        points, _, _ = normalized_workload
+        index = AngularHyperplaneHash(num_tables=4, bits_per_table=4,
+                                      random_state=0).fit(points)
+        assert index.index_size_bytes() > 0

@@ -1,0 +1,142 @@
+"""Tests for the application layers: active learning and margin clustering."""
+
+import numpy as np
+import pytest
+
+from repro import BallTree, LinearScan
+from repro.apps import ActiveLearner, LinearModel, MaxMarginClustering
+
+
+def _two_class_data(seed=0, n_per_class=150, dim=8, separation=4.0):
+    """Two Gaussian blobs with labels in {-1, +1}."""
+    rng = np.random.default_rng(seed)
+    positive = rng.normal(size=(n_per_class, dim)) + separation / 2.0
+    negative = rng.normal(size=(n_per_class, dim)) - separation / 2.0
+    points = np.vstack([positive, negative])
+    labels = np.concatenate([np.ones(n_per_class), -np.ones(n_per_class)])
+    order = rng.permutation(points.shape[0])
+    return points[order], labels[order]
+
+
+class TestLinearModel:
+    def test_separable_data_high_accuracy(self):
+        points, labels = _two_class_data()
+        model = LinearModel().fit(points, labels)
+        assert model.accuracy(points, labels) > 0.95
+
+    def test_decision_hyperplane_layout(self):
+        points, labels = _two_class_data()
+        model = LinearModel().fit(points, labels)
+        hyperplane = model.decision_hyperplane()
+        assert hyperplane.shape == (points.shape[1] + 1,)
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearModel().decision_hyperplane()
+        with pytest.raises(RuntimeError):
+            LinearModel().predict(np.ones((2, 3)))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearModel().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_predictions_are_signs(self):
+        points, labels = _two_class_data(seed=3)
+        model = LinearModel().fit(points, labels)
+        assert set(np.unique(model.predict(points))) <= {-1.0, 1.0}
+
+
+class TestActiveLearner:
+    def test_loop_acquires_labels_and_tracks_history(self):
+        points, labels = _two_class_data(seed=1)
+        holdout, holdout_labels = _two_class_data(seed=2)
+
+        def oracle(indices):
+            return labels[np.asarray(indices)]
+
+        learner = ActiveLearner(batch_size=5, random_state=0)
+        model = learner.run(
+            points,
+            oracle,
+            num_rounds=4,
+            initial_labels=10,
+            holdout_points=holdout,
+            holdout_labels=holdout_labels,
+        )
+        assert len(learner.history) == 4
+        assert learner.history[-1].labelled_count == 10 + 4 * 5
+        assert all(round_.accuracy is not None for round_ in learner.history)
+        assert model.accuracy(holdout, holdout_labels) > 0.9
+
+    def test_uncertainty_sampling_picks_points_near_the_hyperplane(self):
+        """The queried points must lie closer to the decision hyperplane than
+        a typical pool point — that is the whole point of using P2HNNS."""
+        points, labels = _two_class_data(seed=4)
+
+        def oracle(indices):
+            return labels[np.asarray(indices)]
+
+        learner = ActiveLearner(batch_size=10, random_state=1)
+        learner.run(points, oracle, num_rounds=1, initial_labels=20)
+        round_ = learner.history[0]
+
+        model = LinearModel().fit(points[:40], labels[:40])
+        # Rebuild the same round-0 model is impractical; instead check that
+        # the queried points' margins are small relative to the pool median
+        # under the final model (a weaker but meaningful property).
+        margins = np.abs(learner.model.decision_function(points))
+        queried = np.abs(learner.model.decision_function(points[round_.queried_indices]))
+        assert np.median(queried) <= np.median(margins)
+
+    def test_different_index_backends_are_interchangeable(self):
+        points, labels = _two_class_data(seed=5, n_per_class=60)
+
+        def oracle(indices):
+            return labels[np.asarray(indices)]
+
+        for factory in (lambda: BallTree(leaf_size=32, random_state=0),
+                        lambda: LinearScan()):
+            learner = ActiveLearner(batch_size=5, random_state=0,
+                                    index_factory=factory)
+            learner.run(points, oracle, num_rounds=2, initial_labels=8)
+            assert learner.history[-1].labelled_count == 18
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ActiveLearner(batch_size=0)
+
+
+class TestMaxMarginClustering:
+    def test_recovers_separated_blobs(self):
+        points, labels = _two_class_data(seed=6, separation=8.0)
+        clustering = MaxMarginClustering(num_candidates=15, num_iterations=4,
+                                         random_state=0)
+        result = clustering.fit(points)
+        # The discovered split must agree with the true blobs (up to sign).
+        agreement = np.mean(result.labels == labels)
+        assert max(agreement, 1.0 - agreement) > 0.95
+        assert result.margin > 0.0
+        assert 0.2 <= result.balance <= 0.8
+
+    def test_margin_history_is_monotone(self):
+        points, _ = _two_class_data(seed=7, separation=6.0)
+        clustering = MaxMarginClustering(num_candidates=10, num_iterations=3,
+                                         random_state=1)
+        result = clustering.fit(points)
+        margins = result.margins_per_iteration
+        assert margins == sorted(margins)
+
+    def test_works_with_linear_scan_backend(self):
+        points, _ = _two_class_data(seed=8, n_per_class=50)
+        clustering = MaxMarginClustering(
+            index_factory=lambda: LinearScan(),
+            num_candidates=5,
+            num_iterations=2,
+            random_state=0,
+        )
+        result = clustering.fit(points)
+        assert result.hyperplane.shape == (points.shape[1] + 1,)
+
+    def test_invalid_balance_tolerance(self):
+        with pytest.raises(ValueError):
+            MaxMarginClustering(balance_tolerance=0.7)

@@ -1,0 +1,226 @@
+"""Tests for the Ball-Tree index (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BallTree, BranchPreference, LinearScan, NotFittedError
+from repro.eval import exact_ground_truth
+from tests.conftest import assert_matches_ground_truth
+
+
+class TestConstruction:
+    def test_tree_structure_counts(self, small_clustered_data):
+        tree = BallTree(leaf_size=50, random_state=0).fit(small_clustered_data)
+        assert tree.num_points == 600
+        assert tree.dim == 17  # 16 raw dims + appended 1
+        assert tree.num_nodes == 2 * tree.num_leaves - 1
+        assert tree.depth() >= 2
+
+    def test_leaf_size_respected(self, small_clustered_data):
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.size <= 20
+            else:
+                stack.extend([node.left, node.right])
+
+    def test_indexing_time_recorded(self, small_clustered_data):
+        tree = BallTree(leaf_size=50).fit(small_clustered_data)
+        assert tree.indexing_seconds > 0.0
+
+    def test_index_size_smaller_than_data(self, small_clustered_data):
+        """The paper: with N0 >> 1 the index is much smaller than the data."""
+        tree = BallTree(leaf_size=100, random_state=0).fit(small_clustered_data)
+        data_bytes = small_clustered_data.size * 8
+        assert tree.index_size_bytes() < data_bytes
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            BallTree(leaf_size=0)
+
+    def test_invalid_branch_preference(self):
+        with pytest.raises(ValueError):
+            BallTree(branch_preference="sideways")
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            BallTree().fit(np.ones(5))
+
+    def test_search_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BallTree().search(np.ones(4), k=1)
+
+    def test_augment_false_requires_ones_column(self, small_clustered_data):
+        with pytest.raises(ValueError):
+            BallTree(augment=False).fit(small_clustered_data)
+
+
+class TestExactSearch:
+    def test_matches_linear_scan(self, small_clustered_data, small_queries,
+                                 small_ground_truth):
+        _, true_distances = small_ground_truth
+        tree = BallTree(leaf_size=40, random_state=1).fit(small_clustered_data)
+        for query, truth in zip(small_queries, true_distances):
+            result = tree.search(query, k=10)
+            assert_matches_ground_truth(result, truth)
+
+    def test_k_equals_one(self, small_clustered_data, small_queries,
+                          small_ground_truth):
+        _, true_distances = small_ground_truth
+        tree = BallTree(leaf_size=40, random_state=1).fit(small_clustered_data)
+        for query, truth in zip(small_queries, true_distances):
+            result = tree.search(query, k=1)
+            assert result.distances[0] == pytest.approx(truth[0], abs=1e-9)
+
+    def test_k_larger_than_n_clamped(self, gaussian_blob):
+        tree = BallTree(leaf_size=25, random_state=0).fit(gaussian_blob)
+        query = np.zeros(9)
+        query[0] = 1.0
+        result = tree.search(query, k=10_000)
+        assert len(result) == gaussian_blob.shape[0]
+
+    @pytest.mark.parametrize("leaf_size", [1, 5, 64, 1000])
+    def test_exact_for_any_leaf_size(self, small_clustered_data, small_queries,
+                                     small_ground_truth, leaf_size):
+        _, true_distances = small_ground_truth
+        tree = BallTree(leaf_size=leaf_size, random_state=3).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=10)
+        assert_matches_ground_truth(result, true_distances[0])
+
+    @pytest.mark.parametrize(
+        "preference", [BranchPreference.CENTER, BranchPreference.LOWER_BOUND]
+    )
+    def test_both_branch_preferences_are_exact(
+        self, small_clustered_data, small_queries, small_ground_truth, preference
+    ):
+        """Fig. 7 compares speed; correctness must be identical."""
+        _, true_distances = small_ground_truth
+        tree = BallTree(leaf_size=50, branch_preference=preference,
+                        random_state=0).fit(small_clustered_data)
+        for query, truth in zip(small_queries[:5], true_distances[:5]):
+            assert_matches_ground_truth(tree.search(query, k=10), truth)
+
+    def test_results_sorted_by_distance(self, small_clustered_data, small_queries):
+        tree = BallTree(leaf_size=50, random_state=0).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=20)
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_unstructured_data_still_exact(self, gaussian_blob):
+        truth_idx, truth_dist = exact_ground_truth(
+            gaussian_blob, np.eye(9)[:1] + 0.1, 5
+        )
+        tree = BallTree(leaf_size=16, random_state=0).fit(gaussian_blob)
+        result = tree.search((np.eye(9)[:1] + 0.1)[0], k=5)
+        assert_matches_ground_truth(result, truth_dist[0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_points=st.integers(5, 200),
+        dim=st.integers(2, 12),
+        k=st.integers(1, 10),
+        leaf_size=st.integers(1, 50),
+    )
+    def test_property_exactness_matches_brute_force(
+        self, seed, num_points, dim, k, leaf_size
+    ):
+        """Property: Ball-Tree exact search equals brute force for any shape."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(num_points, dim)) * rng.uniform(0.1, 5.0)
+        query = rng.normal(size=dim + 1)
+        if np.linalg.norm(query[:-1]) < 1e-6:
+            query[0] = 1.0
+        truth_idx, truth_dist = exact_ground_truth(points, query[None, :], k)
+        tree = BallTree(leaf_size=leaf_size, random_state=seed).fit(points)
+        result = tree.search(query, k=k)
+        assert_matches_ground_truth(result, truth_dist[0])
+
+
+class TestApproximateSearch:
+    def test_candidate_fraction_limits_verification(self, small_clustered_data,
+                                                    small_queries):
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=5, candidate_fraction=0.1)
+        # Budget is 60 candidates; one extra leaf may finish before the check.
+        assert result.stats.candidates_verified <= 60 + 20
+
+    def test_max_candidates_budget(self, small_clustered_data, small_queries):
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=5, max_candidates=40)
+        assert result.stats.candidates_verified <= 60
+
+    def test_fraction_and_max_candidates_are_exclusive(self, small_clustered_data):
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        with pytest.raises(ValueError):
+            tree.search(np.ones(17), k=1, candidate_fraction=0.5, max_candidates=10)
+
+    def test_invalid_fraction(self, small_clustered_data):
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        with pytest.raises(ValueError):
+            tree.search(np.ones(17), k=1, candidate_fraction=1.5)
+
+    def test_recall_increases_with_budget(self, small_clustered_data,
+                                          small_queries, small_ground_truth):
+        """The knob behind Fig. 5: more candidates => recall can only help."""
+        truth_idx, _ = small_ground_truth
+        tree = BallTree(leaf_size=20, random_state=0).fit(small_clustered_data)
+        recalls = []
+        for fraction in (0.05, 0.3, 1.0):
+            hits = 0
+            for query, truth in zip(small_queries, truth_idx):
+                result = tree.search(query, k=10, candidate_fraction=fraction)
+                hits += len(set(result.indices) & set(truth))
+            recalls.append(hits)
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] == 10 * len(small_queries)
+
+
+class TestStatsAndPruning:
+    def test_stats_populated(self, small_clustered_data, small_queries):
+        tree = BallTree(leaf_size=30, random_state=0).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=5)
+        stats = result.stats
+        assert stats.nodes_visited > 0
+        assert stats.center_inner_products >= stats.nodes_visited
+        assert stats.candidates_verified > 0
+        assert stats.leaves_scanned > 0
+        assert stats.elapsed_seconds > 0.0
+
+    def test_pruning_on_clustered_data(self, small_clustered_data, small_queries):
+        """On well-clustered data the node bound must prune some leaves."""
+        tree = BallTree(leaf_size=10, random_state=0).fit(small_clustered_data)
+        verified = [
+            tree.search(query, k=1).stats.candidates_verified
+            for query in small_queries
+        ]
+        assert min(verified) < small_clustered_data.shape[0]
+
+    def test_profile_stage_timers(self, small_clustered_data, small_queries):
+        tree = BallTree(leaf_size=30, random_state=0).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=5, profile=True)
+        assert "verification" in result.stats.stage_seconds
+        assert "lower_bounds" in result.stats.stage_seconds
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, tmp_path, small_clustered_data,
+                                      small_queries):
+        tree = BallTree(leaf_size=30, random_state=0).fit(small_clustered_data)
+        expected = tree.search(small_queries[0], k=5)
+        path = tmp_path / "ball_tree.pkl"
+        tree.save(path)
+        loaded = BallTree.load(path)
+        reloaded = loaded.search(small_queries[0], k=5)
+        np.testing.assert_array_equal(expected.indices, reloaded.indices)
+        np.testing.assert_allclose(expected.distances, reloaded.distances)
+
+    def test_load_rejects_wrong_type(self, tmp_path, small_clustered_data):
+        scan = LinearScan().fit(small_clustered_data)
+        path = tmp_path / "scan.pkl"
+        scan.save(path)
+        with pytest.raises(TypeError):
+            BallTree.load(path)

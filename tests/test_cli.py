@@ -1,0 +1,143 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import write_fvecs
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig42"])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.method == "bc-tree"
+        assert args.k == 10
+
+
+class TestDatasetsCommand:
+    def test_lists_small_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Cifar-10" in out
+        assert "Deep100M" not in out
+
+    def test_large_scale_flag(self, capsys):
+        assert main(["datasets", "--include-large-scale"]) == 0
+        assert "Deep100M" in capsys.readouterr().out
+
+
+class TestSearchCommand:
+    def test_search_on_registry_dataset(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--k",
+                "5",
+                "--leaf-size",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bc-tree" in out
+        assert "recall" in out
+
+    def test_search_on_data_file(self, tmp_path, capsys, rng):
+        points = np.asarray(rng.normal(size=(200, 10)))
+        path = write_fvecs(tmp_path / "points.fvecs", points)
+        code = main(
+            [
+                "search",
+                "--data-file",
+                str(path),
+                "--method",
+                "ball-tree",
+                "--num-queries",
+                "2",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "ball-tree" in capsys.readouterr().out
+
+    def test_search_with_candidate_fraction(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Sun",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--candidate-fraction",
+                "0.2",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--method", "annoy"])
+
+
+class TestRunCommand:
+    def test_run_table2(self, capsys):
+        code = main(["run", "table2", "--datasets", "Sift,Sun"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Sift" in out and "Sun" in out
+
+    def test_run_fig8_writes_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "fig8.json"
+        csv_path = tmp_path / "fig8.csv"
+        code = main(
+            [
+                "run",
+                "fig8",
+                "--datasets",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--k",
+                "5",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        records = json.loads(json_path.read_text())
+        assert len(records) == 4  # one row per BC-Tree variant
+        assert csv_path.exists()
+        assert "Figure 8" in capsys.readouterr().out

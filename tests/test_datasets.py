@@ -1,0 +1,198 @@
+"""Tests for the synthetic generators, dataset registry, and query generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    available_datasets,
+    bisector_hyperplane_queries,
+    clustered_gaussian,
+    correlated_gaussian,
+    heavy_tailed,
+    load_dataset,
+    low_rank_embedding,
+    random_hyperplane_queries,
+    svm_like_hyperplane_queries,
+    uniform_hypercube,
+)
+from repro.core.distances import p2h_distance_raw
+
+# (generator, kwargs) pairs exercised by the shape/finiteness tests.
+GENERATOR_CASES = [
+    (clustered_gaussian, {"num_clusters": 5}),
+    (correlated_gaussian, {"correlation": 0.5}),
+    (correlated_gaussian, {"correlation": 0.5, "num_clusters": 4}),
+    (low_rank_embedding, {"rank": 6}),
+    (heavy_tailed, {"tail_exponent": 4.0}),
+    (uniform_hypercube, {}),
+]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator,kwargs", GENERATOR_CASES)
+    def test_shape_and_finiteness(self, generator, kwargs):
+        points = generator(200, 12, rng=0, **kwargs)
+        assert points.shape == (200, 12)
+        assert np.isfinite(points).all()
+
+    @pytest.mark.parametrize("generator,kwargs", GENERATOR_CASES)
+    def test_deterministic_given_seed(self, generator, kwargs):
+        first = generator(50, 6, rng=42, **kwargs)
+        second = generator(50, 6, rng=42, **kwargs)
+        np.testing.assert_array_equal(first, second)
+
+    def test_clustered_radius_is_dimension_independent(self):
+        """The documented contract: cluster radius does not grow with dim."""
+        for dim in (8, 128):
+            points = clustered_gaussian(
+                2000, dim, num_clusters=1, cluster_radius=3.0,
+                center_spread=10.0, rng=0,
+            )
+            center = points.mean(axis=0)
+            radius = np.percentile(np.linalg.norm(points - center, axis=1), 90)
+            assert radius < 6.0
+
+    def test_low_rank_data_lies_near_subspace(self):
+        points = low_rank_embedding(500, 64, rank=5, noise=0.01, rng=1)
+        singular_values = np.linalg.svd(points - points.mean(axis=0),
+                                        compute_uv=False)
+        # Energy beyond the first 5 directions must be tiny.
+        tail_energy = (singular_values[5:] ** 2).sum() / (singular_values**2).sum()
+        assert tail_energy < 0.05
+
+    def test_heavy_tailed_norms_are_spread_out(self):
+        points = heavy_tailed(2000, 16, tail_exponent=3.0, rng=2)
+        norms = np.linalg.norm(points, axis=1)
+        assert np.percentile(norms, 99) > 3.0 * np.median(norms)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clustered_gaussian(10, 5, cluster_radius=-1.0)
+        with pytest.raises(ValueError):
+            correlated_gaussian(10, 5, correlation=1.5)
+        with pytest.raises(ValueError):
+            heavy_tailed(10, 5, tail_exponent=1.0)
+        with pytest.raises(ValueError):
+            uniform_hypercube(10, 5, low=1.0, high=0.0)
+        with pytest.raises(ValueError):
+            clustered_gaussian(0, 5)
+
+
+class TestRegistry:
+    def test_sixteen_datasets_registered(self):
+        assert len(DATASETS) == 16
+
+    def test_paper_dimensions_match_table2(self):
+        expected = {
+            "Music": (1_000_000, 100),
+            "GloVe": (1_183_514, 100),
+            "Sift": (985_462, 128),
+            "UKBench": (1_097_907, 128),
+            "Tiny": (1_000_000, 384),
+            "Msong": (992_272, 420),
+            "NUSW": (268_643, 500),
+            "Cifar-10": (50_000, 512),
+            "Sun": (79_106, 512),
+            "LabelMe": (181_093, 512),
+            "Gist": (982_694, 960),
+            "Enron": (94_987, 1_369),
+            "Trevi": (100_900, 4_096),
+            "P53": (31_153, 5_408),
+            "Deep100M": (100_000_000, 96),
+            "Sift100M": (99_986_452, 128),
+        }
+        for name, (n, d) in expected.items():
+            assert DATASETS[name].paper_points == n
+            assert DATASETS[name].paper_dim == d
+
+    def test_available_datasets_excludes_large_scale_on_request(self):
+        all_names = available_datasets()
+        small_names = available_datasets(include_large_scale=False)
+        assert "Deep100M" in all_names
+        assert "Deep100M" not in small_names
+        assert len(small_names) == 14
+
+    def test_load_dataset_shape_and_determinism(self):
+        first = load_dataset("Cifar-10", num_points=500)
+        second = load_dataset("cifar-10", num_points=500)  # case-insensitive
+        assert first.points.shape == (500, 512)
+        np.testing.assert_array_equal(first.points, second.points)
+        assert first.name == "Cifar-10"
+        assert first.dim == 512
+
+    def test_load_dataset_default_size(self):
+        dataset = load_dataset("P53")
+        assert dataset.num_points == DATASETS["P53"].surrogate_points
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("ImageNet")
+
+    def test_invalid_num_points(self):
+        with pytest.raises(ValueError):
+            load_dataset("Sift", num_points=0)
+
+
+class TestQueryGenerators:
+    def test_random_queries_shape_and_unit_normals(self):
+        points = clustered_gaussian(300, 10, rng=0)
+        queries = random_hyperplane_queries(points, 25, rng=1)
+        assert queries.shape == (25, 11)
+        np.testing.assert_allclose(
+            np.linalg.norm(queries[:, :-1], axis=1), 1.0, rtol=1e-9
+        )
+
+    def test_gaussian_protocol_has_small_offsets(self):
+        """The paper protocol: offsets are O(1/sqrt(d)), so ||q|| ~ 1."""
+        points = clustered_gaussian(300, 50, rng=0)
+        queries = random_hyperplane_queries(points, 50, rng=1)
+        assert np.abs(queries[:, -1]).mean() < 0.5
+
+    def test_anchored_protocol_passes_near_data(self):
+        points = clustered_gaussian(300, 10, rng=0)
+        queries = random_hyperplane_queries(
+            points, 20, protocol="anchored", offset_jitter=0.0, rng=2
+        )
+        for query in queries:
+            distances = p2h_distance_raw(points, query)
+            assert distances.min() < np.percentile(distances, 5) + 1e-9
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            random_hyperplane_queries(np.ones((5, 3)), 2, protocol="weird")
+
+    def test_bisector_queries_pass_through_midpoints(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(50, 6))
+        queries = bisector_hyperplane_queries(points, 10, rng=4)
+        assert queries.shape == (10, 7)
+        for query in queries:
+            distances = p2h_distance_raw(points, query)
+            # The bisector is equidistant from its two generating points, so
+            # some data sits close to it relative to the data spread.
+            assert distances.min() <= np.median(distances)
+
+    def test_bisector_handles_duplicate_points(self):
+        points = np.ones((10, 4))
+        queries = bisector_hyperplane_queries(points, 3, rng=0)
+        assert np.isfinite(queries).all()
+
+    def test_svm_like_queries_separate_their_groups(self):
+        rng = np.random.default_rng(5)
+        points = np.vstack([
+            rng.normal(size=(100, 8)) - 3.0,
+            rng.normal(size=(100, 8)) + 3.0,
+        ])
+        queries = svm_like_hyperplane_queries(points, 5, group_size=20, rng=6)
+        assert queries.shape == (5, 9)
+        np.testing.assert_allclose(
+            np.linalg.norm(queries[:, :-1], axis=1), 1.0, rtol=1e-9
+        )
+
+    def test_query_generators_reject_bad_counts(self):
+        points = np.ones((10, 3)) * np.arange(10)[:, None]
+        with pytest.raises(ValueError):
+            random_hyperplane_queries(points, 0)
+        with pytest.raises(ValueError):
+            bisector_hyperplane_queries(points, -1)

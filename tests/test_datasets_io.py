@@ -1,0 +1,115 @@
+"""Tests for the vector-file I/O layer (.fvecs/.bvecs/.ivecs/.npy/.csv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.io import (
+    load_points,
+    read_bvecs,
+    read_fvecs,
+    read_ivecs,
+    save_points,
+    write_fvecs,
+    write_ivecs,
+)
+
+
+@pytest.fixture()
+def float_matrix(rng):
+    return np.asarray(rng.normal(size=(25, 7)), dtype=np.float64)
+
+
+class TestFvecsRoundtrip:
+    def test_roundtrip_preserves_values(self, tmp_path, float_matrix):
+        path = write_fvecs(tmp_path / "points.fvecs", float_matrix)
+        loaded = read_fvecs(path)
+        np.testing.assert_allclose(loaded, float_matrix, atol=1e-6)
+
+    def test_roundtrip_preserves_shape(self, tmp_path, float_matrix):
+        path = write_fvecs(tmp_path / "points.fvecs", float_matrix)
+        assert read_fvecs(path).shape == float_matrix.shape
+
+    def test_max_vectors_truncates(self, tmp_path, float_matrix):
+        path = write_fvecs(tmp_path / "points.fvecs", float_matrix)
+        loaded = read_fvecs(path, max_vectors=10)
+        assert loaded.shape == (10, float_matrix.shape[1])
+
+    def test_corrupt_file_rejected(self, tmp_path, float_matrix):
+        path = write_fvecs(tmp_path / "points.fvecs", float_matrix)
+        with path.open("ab") as handle:
+            handle.write(b"\x01\x02\x03")  # trailing garbage breaks the framing
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        d=st.integers(1, 16),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_roundtrip(self, tmp_path_factory, n, d, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(n, d)).astype(np.float32).astype(np.float64)
+        path = tmp_path_factory.mktemp("fvecs") / "m.fvecs"
+        write_fvecs(path, matrix)
+        np.testing.assert_allclose(read_fvecs(path), matrix, atol=1e-6)
+
+
+class TestIvecsAndBvecs:
+    def test_ivecs_roundtrip(self, tmp_path):
+        truth = np.arange(60, dtype=np.int64).reshape(6, 10)
+        path = write_ivecs(tmp_path / "truth.ivecs", truth)
+        loaded = read_ivecs(path)
+        np.testing.assert_array_equal(loaded, truth)
+
+    def test_bvecs_reading(self, tmp_path):
+        # Hand-craft a 2-vector bvecs file: d=3, values 0..5.
+        payload = b""
+        for row in ([0, 1, 2], [3, 4, 5]):
+            payload += (3).to_bytes(4, "little") + bytes(row)
+        path = tmp_path / "points.bvecs"
+        path.write_bytes(payload)
+        loaded = read_bvecs(path)
+        np.testing.assert_allclose(loaded, [[0, 1, 2], [3, 4, 5]])
+
+
+class TestLoadSavePoints:
+    @pytest.mark.parametrize("suffix", [".fvecs", ".npy", ".npz", ".csv", ".txt"])
+    def test_save_then_load_every_format(self, tmp_path, float_matrix, suffix):
+        path = save_points(tmp_path / f"points{suffix}", float_matrix)
+        loaded = load_points(path)
+        np.testing.assert_allclose(loaded, float_matrix, atol=1e-5)
+
+    def test_load_respects_max_vectors(self, tmp_path, float_matrix):
+        path = save_points(tmp_path / "points.npy", float_matrix)
+        assert load_points(path, max_vectors=5).shape[0] == 5
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_points(tmp_path / "missing.fvecs")
+
+    def test_unknown_extension_rejected(self, tmp_path, float_matrix):
+        weird = tmp_path / "points.parquet"
+        weird.write_bytes(b"not really")
+        with pytest.raises(ValueError):
+            load_points(weird)
+        with pytest.raises(ValueError):
+            save_points(tmp_path / "points.parquet", float_matrix)
+
+    def test_loaded_points_feed_an_index(self, tmp_path, small_clustered_data):
+        """End-to-end: points written to disk can be indexed and searched."""
+        from repro import BCTree, LinearScan
+        from repro.datasets import random_hyperplane_queries
+
+        path = save_points(tmp_path / "data.fvecs", small_clustered_data[:200])
+        points = load_points(path)
+        query = random_hyperplane_queries(points, 1, rng=0)[0]
+        exact = LinearScan().fit(points).search(query, k=5)
+        tree = BCTree(leaf_size=32, random_state=0).fit(points).search(query, k=5)
+        np.testing.assert_allclose(
+            np.sort(tree.distances), np.sort(exact.distances), atol=1e-9
+        )

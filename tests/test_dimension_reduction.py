@@ -1,0 +1,123 @@
+"""Tests for the large-margin dimensionality reduction application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LinearScan
+from repro.apps.dimension_reduction import LargeMarginReducer, ReductionResult
+
+
+@pytest.fixture(scope="module")
+def separable_data():
+    """Two well-separated Gaussian classes in 12 dimensions."""
+    generator = np.random.default_rng(21)
+    negatives = generator.normal(loc=-3.0, scale=1.0, size=(80, 12))
+    positives = generator.normal(loc=+3.0, scale=1.0, size=(80, 12))
+    points = np.vstack([negatives, positives])
+    labels = np.array([-1.0] * 80 + [+1.0] * 80)
+    return points, labels
+
+
+class TestFit:
+    def test_result_shape_and_fields(self, separable_data):
+        points, labels = separable_data
+        reducer = LargeMarginReducer(target_dim=3, num_candidates=4, random_state=0)
+        result = reducer.fit(points, labels)
+        assert isinstance(result, ReductionResult)
+        assert result.basis.shape == (12, 3)
+        assert result.target_dim == 3
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.margin >= 0.0
+        assert len(result.history) == 4
+
+    def test_basis_is_orthonormal(self, separable_data):
+        points, labels = separable_data
+        result = LargeMarginReducer(target_dim=2, num_candidates=3, random_state=1).fit(
+            points, labels
+        )
+        gram = result.basis.T @ result.basis
+        np.testing.assert_allclose(gram, np.eye(2), atol=1e-8)
+
+    def test_transform_projects_to_target_dim(self, separable_data):
+        points, labels = separable_data
+        result = LargeMarginReducer(target_dim=4, num_candidates=2, random_state=2).fit(
+            points, labels
+        )
+        assert result.transform(points).shape == (points.shape[0], 4)
+
+    def test_transform_rejects_wrong_dimension(self, separable_data):
+        points, labels = separable_data
+        result = LargeMarginReducer(target_dim=2, num_candidates=2, random_state=0).fit(
+            points, labels
+        )
+        with pytest.raises(ValueError):
+            result.transform(points[:, :5])
+
+    def test_separable_classes_keep_high_accuracy(self, separable_data):
+        points, labels = separable_data
+        result = LargeMarginReducer(target_dim=2, num_candidates=6, random_state=3).fit(
+            points, labels
+        )
+        assert result.accuracy >= 0.9
+
+    def test_margin_agrees_with_linear_scan(self, separable_data):
+        """The reported margin is the exact distance of the closest projected
+        point to the learned decision hyperplane."""
+        from repro.apps.active_learning import LinearModel
+
+        points, labels = separable_data
+        result = LargeMarginReducer(target_dim=2, num_candidates=3, random_state=4).fit(
+            points, labels
+        )
+        projected = result.transform(points)
+        model = LinearModel().fit(projected, labels)
+        scan = LinearScan().fit(projected)
+        exact = scan.search(model.decision_hyperplane(), k=1)
+        assert result.margin == pytest.approx(float(exact.distances[0]), rel=1e-6)
+
+    def test_more_candidates_never_reduce_margin(self, separable_data):
+        """The search keeps the best candidate, so widening the search cannot
+        make the final margin worse (same seed, superset of candidates)."""
+        points, labels = separable_data
+        small = LargeMarginReducer(
+            target_dim=2, num_candidates=2, random_state=5
+        ).fit(points, labels)
+        large = LargeMarginReducer(
+            target_dim=2, num_candidates=8, random_state=5
+        ).fit(points, labels)
+        assert large.margin >= small.margin - 1e-9
+
+
+class TestValidation:
+    def test_target_dim_must_be_smaller_than_input(self, separable_data):
+        points, labels = separable_data
+        reducer = LargeMarginReducer(target_dim=12, num_candidates=2)
+        with pytest.raises(ValueError):
+            reducer.fit(points, labels)
+
+    def test_label_length_checked(self, separable_data):
+        points, labels = separable_data
+        reducer = LargeMarginReducer(target_dim=2, num_candidates=2)
+        with pytest.raises(ValueError):
+            reducer.fit(points, labels[:-5])
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            LargeMarginReducer(target_dim=0)
+        with pytest.raises(ValueError):
+            LargeMarginReducer(target_dim=2, perturbation=0.0)
+        with pytest.raises(ValueError):
+            LargeMarginReducer(target_dim=2, min_accuracy=1.5)
+
+    def test_fallback_when_no_candidate_meets_accuracy(self, rng):
+        """With an impossible accuracy bar the reducer still returns the most
+        accurate candidate instead of failing."""
+        points = np.asarray(rng.normal(size=(60, 6)))
+        labels = np.where(np.arange(60) % 2 == 0, 1.0, -1.0)  # unlearnable labels
+        reducer = LargeMarginReducer(
+            target_dim=2, num_candidates=3, min_accuracy=1.0, random_state=0
+        )
+        result = reducer.fit(points, labels)
+        assert result.basis.shape == (6, 2)

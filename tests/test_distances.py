@@ -1,0 +1,137 @@
+"""Tests for the P2H geometry helpers (paper Section II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distances import (
+    absolute_inner_products,
+    augment_points,
+    is_augmented,
+    normalize_query,
+    p2h_distance,
+    p2h_distance_raw,
+)
+
+
+class TestAugmentPoints:
+    def test_appends_ones_column(self):
+        points = np.arange(6.0).reshape(2, 3)
+        augmented = augment_points(points)
+        assert augmented.shape == (2, 4)
+        np.testing.assert_array_equal(augmented[:, -1], [1.0, 1.0])
+        np.testing.assert_array_equal(augmented[:, :-1], points)
+
+    def test_output_is_contiguous_float(self):
+        augmented = augment_points([[1, 2], [3, 4]])
+        assert augmented.flags["C_CONTIGUOUS"]
+        assert augmented.dtype == np.float64
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            augment_points(np.ones(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            augment_points([[1.0, np.nan]])
+
+    def test_is_augmented_detects_ones(self):
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        assert is_augmented(augment_points(points))
+        assert not is_augmented(points + 10.0)
+
+    def test_is_augmented_false_for_1d(self):
+        assert not is_augmented(np.ones(4))
+
+
+class TestNormalizeQuery:
+    def test_unit_normal_after_rescaling(self):
+        query = np.array([3.0, 4.0, 7.0])
+        normalized = normalize_query(query)
+        assert np.isclose(np.linalg.norm(normalized[:-1]), 1.0)
+        # Rescaling preserves the hyperplane: coefficients divided by 5.
+        np.testing.assert_allclose(normalized, query / 5.0)
+
+    def test_degenerate_normal_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            normalize_query(np.array([0.0, 0.0, 1.0]))
+
+    def test_too_short_query_raises(self):
+        with pytest.raises(ValueError):
+            normalize_query(np.array([1.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            normalize_query(np.array([1.0, np.nan]))
+
+
+class TestP2HDistance:
+    def test_raw_matches_textbook_formula(self):
+        # Point (1, 2), hyperplane x + y - 2 = 0 -> distance |1+2-2|/sqrt(2).
+        point = np.array([1.0, 2.0])
+        query = np.array([1.0, 1.0, -2.0])
+        expected = abs(1.0 + 2.0 - 2.0) / np.sqrt(2.0)
+        assert np.isclose(p2h_distance_raw(point, query), expected)
+
+    def test_raw_batch_shape(self):
+        points = np.random.default_rng(1).normal(size=(7, 3))
+        query = np.array([1.0, -1.0, 0.5, 0.2])
+        distances = p2h_distance_raw(points, query)
+        assert distances.shape == (7,)
+        assert (distances >= 0).all()
+
+    def test_raw_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            p2h_distance_raw(np.ones((3, 4)), np.ones(4))
+
+    def test_raw_rejects_zero_normal(self):
+        with pytest.raises(ValueError):
+            p2h_distance_raw(np.ones((2, 2)), np.array([0.0, 0.0, 1.0]))
+
+    def test_simplified_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            p2h_distance(np.ones((3, 4)), np.ones(5))
+
+    def test_simplified_single_point_returns_scalar(self):
+        value = p2h_distance(np.array([1.0, 2.0, 1.0]), np.array([1.0, 0.0, 0.0]))
+        assert np.isscalar(value) or np.ndim(value) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        points=arrays(
+            np.float64,
+            (5, 4),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        query=arrays(
+            np.float64,
+            5,
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+    )
+    def test_raw_equals_simplified_after_preprocessing(self, points, query):
+        """Eq. 1 and Eq. 2 agree after augmentation + query normalization."""
+        if np.linalg.norm(query[:-1]) < 1e-6:
+            return  # degenerate hyperplane, rejected elsewhere
+        raw = p2h_distance_raw(points, query)
+        simplified = p2h_distance(augment_points(points), normalize_query(query))
+        np.testing.assert_allclose(raw, simplified, atol=1e-8, rtol=1e-8)
+
+    def test_absolute_inner_products_matches_manual(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(10, 6))
+        query = rng.normal(size=6)
+        np.testing.assert_allclose(
+            absolute_inner_products(pts, query), np.abs(pts @ query)
+        )
+
+    def test_distance_invariant_to_query_scaling(self):
+        """Rescaling the hyperplane coefficients must not change distances."""
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(20, 5))
+        query = rng.normal(size=6)
+        d1 = p2h_distance_raw(points, query)
+        d2 = p2h_distance_raw(points, 3.7 * query)
+        np.testing.assert_allclose(d1, d2, rtol=1e-10)

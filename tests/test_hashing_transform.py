@@ -1,0 +1,165 @@
+"""Tests for the NH/FH asymmetric tensor-lift transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hashing.transform import (
+    SampledLift,
+    TensorLift,
+    lift_dimension,
+    make_lift,
+    nh_pad,
+    nh_query,
+)
+
+
+class TestLiftDimension:
+    def test_formula(self):
+        assert lift_dimension(1) == 1
+        assert lift_dimension(4) == 10
+        assert lift_dimension(100) == 5050
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lift_dimension(0)
+
+
+class TestTensorLift:
+    def test_output_dimension(self):
+        lift = TensorLift(5)
+        assert lift.output_dim == 15
+        assert lift.transform(np.ones(5)).shape == (15,)
+        assert lift.transform(np.ones((3, 5))).shape == (3, 15)
+
+    def test_inner_product_identity_simple(self):
+        """<f(x), f(y)> == <x, y>^2 exactly (the key identity of NH/FH)."""
+        lift = TensorLift(3)
+        x = np.array([1.0, 2.0, -1.0])
+        y = np.array([0.5, -1.0, 2.0])
+        assert lift.transform(x) @ lift.transform(y) == pytest.approx((x @ y) ** 2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        x=arrays(np.float64, 6, elements=st.floats(-5, 5, allow_nan=False)),
+        y=arrays(np.float64, 6, elements=st.floats(-5, 5, allow_nan=False)),
+    )
+    def test_inner_product_identity_property(self, x, y):
+        lift = TensorLift(6)
+        lhs = float(lift.transform(x) @ lift.transform(y))
+        rhs = float(x @ y) ** 2
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-7)
+
+    def test_norm_identity(self):
+        """||f(x)|| == ||x||^2."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=8)
+        lift = TensorLift(8)
+        assert np.linalg.norm(lift.transform(x)) == pytest.approx(
+            np.linalg.norm(x) ** 2
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorLift(4).transform(np.ones(5))
+
+
+class TestSampledLift:
+    def test_output_dimension(self):
+        lift = SampledLift(10, 25, rng=0)
+        assert lift.output_dim == 25
+        assert lift.transform(np.ones((4, 10))).shape == (4, 25)
+
+    def test_unbiased_inner_product_estimate(self):
+        """The sampled lift preserves <x, y>^2 in expectation.
+
+        The estimator has high variance per draw (that is the additive error
+        the paper warns about), so the check averages many independent
+        samplings and uses a generous tolerance.
+        """
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=12)
+        y = rng.normal(size=12)
+        exact = float(x @ y) ** 2
+        estimates = []
+        for seed in range(400):
+            lift = SampledLift(12, 256, rng=seed)
+            estimates.append(float(lift.transform(x) @ lift.transform(y)))
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.25, abs=0.2)
+
+    def test_estimation_error_shrinks_with_more_samples(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=16)
+        y = rng.normal(size=16)
+        exact = float(x @ y) ** 2
+
+        def mean_abs_error(sample_dim):
+            errors = []
+            for seed in range(100):
+                lift = SampledLift(16, sample_dim, rng=seed)
+                errors.append(abs(float(lift.transform(x) @ lift.transform(y)) - exact))
+            return float(np.mean(errors))
+
+        assert mean_abs_error(256) < mean_abs_error(16)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            SampledLift(5, 0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            SampledLift(5, 10, rng=0).transform(np.ones(6))
+
+
+class TestMakeLift:
+    def test_none_gives_exact_lift(self):
+        assert isinstance(make_lift(4, None), TensorLift)
+
+    def test_int_gives_sampled_lift(self):
+        lift = make_lift(4, 7, rng=0)
+        assert isinstance(lift, SampledLift)
+        assert lift.output_dim == 7
+
+
+class TestNHTransforms:
+    def test_padded_rows_share_the_maximum_norm(self):
+        """NH padding equalizes the norms of all transformed data points."""
+        rng = np.random.default_rng(3)
+        lifted = rng.normal(size=(50, 20))
+        padded, max_norm = nh_pad(lifted)
+        assert padded.shape == (50, 21)
+        norms = np.linalg.norm(padded, axis=1)
+        np.testing.assert_allclose(norms, max_norm, rtol=1e-9)
+
+    def test_pad_is_zero_for_the_largest_point(self):
+        lifted = np.array([[1.0, 0.0], [3.0, 4.0]])
+        padded, max_norm = nh_pad(lifted)
+        assert max_norm == pytest.approx(5.0)
+        assert padded[1, -1] == pytest.approx(0.0)
+
+    def test_query_transform_negates_and_appends_zero(self):
+        query = np.array([1.0, -2.0, 3.0])
+        transformed = nh_query(query)
+        np.testing.assert_allclose(transformed, [-1.0, 2.0, -3.0, 0.0])
+
+    def test_transformed_distance_monotone_in_p2h_distance(self):
+        """The NH reduction: transformed Euclidean NNS == P2HNNS.
+
+        For transformed data P(f(x)) and query Q(g(q)), the squared distance
+        is M^2 + ||f(q)||^2 + 2 <x, q>^2, so the ranking by transformed
+        distance equals the ranking by |<x, q>|.
+        """
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(30, 6))
+        query = rng.normal(size=6)
+        lift = TensorLift(6)
+        lifted = lift.transform(points)
+        padded, _ = nh_pad(lifted)
+        transformed_query = nh_query(lift.transform(query))
+
+        euclidean = np.linalg.norm(padded - transformed_query, axis=1)
+        p2h = np.abs(points @ query)
+        np.testing.assert_array_equal(np.argsort(euclidean, kind="stable"),
+                                      np.argsort(p2h, kind="stable"))

@@ -1,0 +1,130 @@
+"""Tests for the labeled synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import LinearScan
+from repro.apps.active_learning import LinearModel
+from repro.datasets.labels import (
+    LabeledDataset,
+    linearly_separable,
+    train_test_split,
+    two_clusters,
+)
+
+
+class TestLinearlySeparable:
+    def test_shapes_and_label_values(self):
+        data = linearly_separable(200, 16, rng=0)
+        assert data.points.shape == (200, 16)
+        assert data.labels.shape == (200,)
+        assert set(np.unique(data.labels)) <= {-1.0, 1.0}
+        assert data.separator.shape == (17,)
+
+    def test_margin_is_respected(self):
+        data = linearly_separable(300, 8, margin=0.75, rng=1)
+        normal, offset = data.separator[:-1], data.separator[-1]
+        distances = np.abs(data.points @ normal + offset)
+        assert float(distances.min()) >= 0.75 - 1e-9
+        assert data.margin == pytest.approx(float(distances.min()))
+
+    def test_labels_match_separator_side_without_noise(self):
+        data = linearly_separable(250, 10, rng=2)
+        normal, offset = data.separator[:-1], data.separator[-1]
+        sides = np.where(data.points @ normal + offset >= 0.0, 1.0, -1.0)
+        np.testing.assert_array_equal(sides, data.labels)
+
+    def test_label_noise_flips_some_labels(self):
+        clean = linearly_separable(400, 10, rng=3)
+        noisy = linearly_separable(400, 10, label_noise=0.2, rng=3)
+        disagreement = float(np.mean(clean.labels != noisy.labels))
+        assert 0.05 < disagreement < 0.4
+
+    def test_deterministic_for_seed(self):
+        a = linearly_separable(50, 6, rng=7)
+        b = linearly_separable(50, 6, rng=7)
+        np.testing.assert_allclose(a.points, b.points)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            linearly_separable(10, 4, margin=-1.0)
+        with pytest.raises(ValueError):
+            linearly_separable(10, 4, label_noise=1.0)
+        with pytest.raises(ValueError):
+            linearly_separable(10, 1)
+
+    def test_p2hnns_on_true_separator_returns_margin(self):
+        """The closest point to the generating hyperplane is exactly at the
+        dataset's margin — the workload the active-learning loop relies on."""
+        data = linearly_separable(500, 12, margin=0.3, rng=5)
+        result = LinearScan().fit(data.points).search(data.separator, k=1)
+        assert float(result.distances[0]) == pytest.approx(data.margin, rel=1e-9)
+
+    def test_linear_model_recovers_separator(self):
+        data = linearly_separable(400, 8, margin=0.5, rng=6)
+        model = LinearModel().fit(data.points, data.labels)
+        assert model.accuracy(data.points, data.labels) >= 0.97
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), margin=st.floats(0.0, 2.0))
+    def test_property_margin_always_cleared(self, seed, margin):
+        data = linearly_separable(60, 5, margin=margin, rng=seed)
+        normal, offset = data.separator[:-1], data.separator[-1]
+        assert float(np.min(np.abs(data.points @ normal + offset))) >= margin - 1e-9
+
+
+class TestTwoClusters:
+    def test_shapes_and_balance(self):
+        data = two_clusters(200, 12, balance=0.3, rng=0)
+        assert data.points.shape == (200, 12)
+        positives = int(np.sum(data.labels > 0))
+        assert positives == pytest.approx(60, abs=1)
+
+    def test_clusters_are_separated(self):
+        data = two_clusters(300, 8, separation=8.0, cluster_std=1.0, rng=1)
+        direction = data.separator[:-1]
+        positive_proj = data.points[data.labels > 0] @ direction
+        negative_proj = data.points[data.labels < 0] @ direction
+        assert positive_proj.mean() > negative_proj.mean() + 4.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            two_clusters(10, 4, separation=0.0)
+        with pytest.raises(ValueError):
+            two_clusters(10, 4, balance=1.0)
+
+
+class TestTrainTestSplit:
+    def test_sizes_add_up(self):
+        data = linearly_separable(100, 6, rng=0)
+        train, test = train_test_split(data, test_fraction=0.25, rng=0)
+        assert train.num_points + test.num_points == 100
+        assert test.num_points == 25
+
+    def test_split_parts_share_the_separator(self):
+        data = linearly_separable(100, 6, rng=0)
+        train, test = train_test_split(data, rng=1)
+        np.testing.assert_allclose(train.separator, data.separator)
+        np.testing.assert_allclose(test.separator, data.separator)
+
+    def test_margins_recomputed_per_part(self):
+        data = linearly_separable(100, 6, margin=0.2, rng=0)
+        train, test = train_test_split(data, rng=2)
+        assert train.margin >= data.margin - 1e-12
+        assert test.margin >= data.margin - 1e-12
+
+    def test_invalid_fraction_rejected(self):
+        data = linearly_separable(20, 4, rng=0)
+        with pytest.raises(ValueError):
+            train_test_split(data, test_fraction=0.0)
+
+    def test_isinstance_contract(self):
+        data = two_clusters(40, 4, rng=3)
+        train, test = train_test_split(data, rng=3)
+        assert isinstance(train, LabeledDataset)
+        assert isinstance(test, LabeledDataset)

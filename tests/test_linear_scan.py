@@ -1,0 +1,53 @@
+"""Tests for the exhaustive linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro import LinearScan
+from repro.core.distances import augment_points, normalize_query
+
+
+class TestLinearScan:
+    def test_matches_manual_brute_force(self, small_clustered_data, small_queries):
+        scan = LinearScan().fit(small_clustered_data)
+        augmented = augment_points(small_clustered_data)
+        for query in small_queries:
+            normalized = normalize_query(query)
+            distances = np.abs(augmented @ normalized)
+            expected = np.sort(distances)[:10]
+            result = scan.search(query, k=10)
+            np.testing.assert_allclose(np.sort(result.distances), expected,
+                                       atol=1e-12)
+
+    def test_verifies_every_point(self, small_clustered_data, small_queries):
+        scan = LinearScan().fit(small_clustered_data)
+        result = scan.search(small_queries[0], k=1)
+        assert result.stats.candidates_verified == small_clustered_data.shape[0]
+
+    def test_k_larger_than_n(self, gaussian_blob):
+        scan = LinearScan().fit(gaussian_blob)
+        query = np.zeros(9)
+        query[0] = 1.0
+        result = scan.search(query, k=10_000)
+        assert len(result) == gaussian_blob.shape[0]
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_zero_index_size(self, gaussian_blob):
+        scan = LinearScan().fit(gaussian_blob)
+        assert scan.index_size_bytes() == 0
+
+    def test_rejects_unknown_search_options(self, gaussian_blob):
+        scan = LinearScan().fit(gaussian_blob)
+        with pytest.raises(TypeError):
+            scan.search(np.ones(9), k=1, candidate_fraction=0.5)
+
+    def test_invalid_k(self, gaussian_blob):
+        scan = LinearScan().fit(gaussian_blob)
+        with pytest.raises(ValueError):
+            scan.search(np.ones(9), k=0)
+
+    def test_batch_search(self, small_clustered_data, small_queries):
+        scan = LinearScan().fit(small_clustered_data)
+        results = scan.batch_search(small_queries, k=3)
+        assert len(results) == len(small_queries)
+        assert all(len(result) == 3 for result in results)

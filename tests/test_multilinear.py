@@ -1,0 +1,109 @@
+"""Tests for the BH / MH multilinear hyperplane hashing baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import normalize_query
+from repro.core.index_base import NotFittedError
+from repro.eval import exact_ground_truth, recall_at_k
+from repro.hashing.multilinear import MultilinearHyperplaneHash
+
+
+@pytest.fixture(scope="module")
+def unit_norm_data(rng):
+    points = np.asarray(rng.normal(size=(800, 24)))
+    return points / np.linalg.norm(points, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def unit_norm_queries(unit_norm_data):
+    generator = np.random.default_rng(99)
+    normals = generator.normal(size=(10, unit_norm_data.shape[1]))
+    offsets = generator.normal(scale=0.05, size=(10, 1))
+    return np.hstack([normals, offsets])
+
+
+class TestConstruction:
+    def test_bh_forces_order_one(self):
+        index = MultilinearHyperplaneHash("bh", order=5)
+        assert index.order == 1
+
+    def test_mh_keeps_requested_order(self):
+        index = MultilinearHyperplaneHash("mh", order=3)
+        assert index.order == 3
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            MultilinearHyperplaneHash("xh")
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            MultilinearHyperplaneHash("mh", order=0)
+
+    def test_tables_and_buckets_created(self, unit_norm_data):
+        index = MultilinearHyperplaneHash(
+            "bh", num_tables=6, bits_per_table=4, random_state=0
+        ).fit(unit_norm_data)
+        assert len(index._tables) == 6
+        bucket_members = sum(
+            bucket.shape[0] for table in index._tables for bucket in table.values()
+        )
+        assert bucket_members == 6 * unit_norm_data.shape[0]
+
+    def test_index_size_positive(self, unit_norm_data):
+        index = MultilinearHyperplaneHash("mh", random_state=0).fit(unit_norm_data)
+        assert index.index_size_bytes() > 0
+
+
+class TestSearch:
+    @pytest.mark.parametrize("scheme", ["bh", "mh"])
+    def test_returns_valid_candidates(self, scheme, unit_norm_data, unit_norm_queries):
+        index = MultilinearHyperplaneHash(
+            scheme, num_tables=16, bits_per_table=6, random_state=3
+        ).fit(unit_norm_data)
+        for query in unit_norm_queries:
+            result = index.search(query, k=5)
+            assert len(result) <= 5
+            # Every reported distance is a true |<x, q>| for the returned row.
+            q = normalize_query(query)
+            for idx, dist in result.as_tuples():
+                x = np.append(unit_norm_data[idx], 1.0)
+                assert abs(float(x @ q)) == pytest.approx(dist, abs=1e-9)
+
+    def test_recall_beats_tiny_random_baseline(self, unit_norm_data, unit_norm_queries):
+        """With enough tables, BH should retrieve a non-trivial part of the
+        exact top-10 on unit-norm data — the regime it was designed for."""
+        truth, _ = exact_ground_truth(unit_norm_data, unit_norm_queries, 10)
+        index = MultilinearHyperplaneHash(
+            "bh", num_tables=48, bits_per_table=4, random_state=3
+        ).fit(unit_norm_data)
+        recalls = []
+        for query, true_idx in zip(unit_norm_queries, truth):
+            result = index.search(query, k=10)
+            recalls.append(recall_at_k(result.indices, true_idx))
+        assert float(np.mean(recalls)) > 0.2
+
+    def test_probes_bucket_per_table(self, unit_norm_data, unit_norm_queries):
+        index = MultilinearHyperplaneHash(
+            "bh", num_tables=12, bits_per_table=4, random_state=1
+        ).fit(unit_norm_data)
+        result = index.search(unit_norm_queries[0], k=3)
+        assert result.stats.buckets_probed == 12
+
+    def test_unexpected_search_kwargs_rejected(self, unit_norm_data, unit_norm_queries):
+        index = MultilinearHyperplaneHash("bh", random_state=0).fit(unit_norm_data)
+        with pytest.raises(TypeError):
+            index.search(unit_norm_queries[0], k=3, probes_per_table=8)
+
+    def test_unfitted_search_raises(self, unit_norm_queries):
+        with pytest.raises(NotFittedError):
+            MultilinearHyperplaneHash("bh").search(unit_norm_queries[0], k=1)
+
+    def test_deterministic_for_fixed_seed(self, unit_norm_data, unit_norm_queries):
+        first = MultilinearHyperplaneHash("mh", random_state=11).fit(unit_norm_data)
+        second = MultilinearHyperplaneHash("mh", random_state=11).fit(unit_norm_data)
+        r1 = first.search(unit_norm_queries[0], k=5)
+        r2 = second.search(unit_norm_queries[0], k=5)
+        np.testing.assert_array_equal(r1.indices, r2.indices)

@@ -1,0 +1,144 @@
+"""Tests for the NH and FH hashing baselines."""
+
+import numpy as np
+import pytest
+
+from repro import BCTree, FHIndex, NHIndex
+from repro.eval import exact_ground_truth
+from repro.eval.metrics import recall_at_k
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A clustered workload where hashing should achieve decent recall."""
+    from repro.datasets.synthetic import clustered_gaussian
+    from repro.datasets import random_hyperplane_queries
+
+    points = clustered_gaussian(800, 20, num_clusters=8, cluster_radius=2.0,
+                                center_spread=8.0, rng=21)
+    queries = random_hyperplane_queries(points, 8, rng=22)
+    truth_idx, truth_dist = exact_ground_truth(points, queries, 10)
+    return points, queries, truth_idx
+
+
+def _mean_recall(index, queries, truth_idx, k=10, **search_kwargs):
+    recalls = []
+    for query, truth in zip(queries, truth_idx):
+        result = index.search(query, k=k, **search_kwargs)
+        recalls.append(recall_at_k(result.indices, truth))
+    return float(np.mean(recalls))
+
+
+class TestNHIndex:
+    def test_returns_k_results(self, workload):
+        points, queries, _ = workload
+        index = NHIndex(num_tables=8, sample_dim=40, random_state=0).fit(points)
+        result = index.search(queries[0], k=10)
+        assert len(result) <= 10
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_recall_beats_random_guessing(self, workload):
+        points, queries, truth_idx = workload
+        index = NHIndex(num_tables=16, sample_dim=80, probes_per_table=64,
+                        random_state=0).fit(points)
+        recall = _mean_recall(index, queries, truth_idx)
+        # Random guessing at this candidate volume would score ~0.1-0.2.
+        assert recall > 0.3
+
+    def test_recall_nondecreasing_in_probes(self, workload):
+        """More probes per table can only add candidates (Fig. 5 knob)."""
+        points, queries, truth_idx = workload
+        index = NHIndex(num_tables=16, sample_dim=80, random_state=0).fit(points)
+        low = _mean_recall(index, queries, truth_idx, probes_per_table=2)
+        high = _mean_recall(index, queries, truth_idx, probes_per_table=400)
+        assert high >= low
+        assert high > 0.9  # probing almost everything must recover the truth
+
+    def test_exact_lift_works(self, workload):
+        points, queries, truth_idx = workload
+        index = NHIndex(num_tables=8, sample_dim=None, probes_per_table=64,
+                        random_state=0).fit(points)
+        assert _mean_recall(index, queries, truth_idx) > 0.3
+
+    def test_num_tables_override_cannot_exceed_built(self, workload):
+        points, queries, _ = workload
+        index = NHIndex(num_tables=4, sample_dim=40, random_state=0).fit(points)
+        result = index.search(queries[0], k=5, num_tables=100)
+        assert result.stats.buckets_probed <= 4
+
+    def test_stats_counters(self, workload):
+        points, queries, _ = workload
+        index = NHIndex(num_tables=8, sample_dim=40, random_state=0).fit(points)
+        stats = index.search(queries[0], k=5).stats
+        assert stats.buckets_probed == 8
+        assert stats.candidates_verified > 0
+
+    def test_rejects_unknown_search_options(self, workload):
+        points, queries, _ = workload
+        index = NHIndex(num_tables=4, sample_dim=40, random_state=0).fit(points)
+        with pytest.raises(TypeError):
+            index.search(queries[0], k=5, candidate_fraction=0.5)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            NHIndex(num_tables=0)
+        with pytest.raises(ValueError):
+            NHIndex(sample_dim=0)
+
+
+class TestFHIndex:
+    def test_partitions_cover_all_points(self, workload):
+        points, _, _ = workload
+        index = FHIndex(num_tables=8, num_partitions=4, sample_dim=40,
+                        random_state=0).fit(points)
+        assert sum(index.partition_sizes) == points.shape[0]
+        assert len(index.partition_sizes) <= 4
+
+    def test_recall_beats_random_guessing(self, workload):
+        points, queries, truth_idx = workload
+        index = FHIndex(num_tables=16, num_partitions=4, sample_dim=80,
+                        probes_per_table=32, random_state=0).fit(points)
+        assert _mean_recall(index, queries, truth_idx) > 0.3
+
+    def test_recall_nondecreasing_in_probes(self, workload):
+        points, queries, truth_idx = workload
+        index = FHIndex(num_tables=16, num_partitions=4, sample_dim=80,
+                        random_state=0).fit(points)
+        low = _mean_recall(index, queries, truth_idx, probes_per_table=2)
+        high = _mean_recall(index, queries, truth_idx, probes_per_table=400)
+        assert high >= low
+        assert high > 0.9
+
+    def test_single_partition_configuration(self, workload):
+        """One norm partition is legal but weak — exactly why FH partitions."""
+        points, queries, truth_idx = workload
+        index = FHIndex(num_tables=8, num_partitions=1, sample_dim=40,
+                        probes_per_table=64, random_state=0).fit(points)
+        assert len(index.partition_sizes) == 1
+        assert _mean_recall(index, queries, truth_idx) > 0.0
+
+    def test_rejects_unknown_search_options(self, workload):
+        points, queries, _ = workload
+        index = FHIndex(num_tables=4, sample_dim=40, random_state=0).fit(points)
+        with pytest.raises(TypeError):
+            index.search(queries[0], k=5, candidate_fraction=0.5)
+
+
+class TestIndexingOverheadShape:
+    def test_hash_index_larger_and_slower_to_build_than_tree(self, workload):
+        """Table III shape: NH/FH indexing overhead dwarfs the trees'.
+
+        The comparison uses the paper's operating point (lambda = 8d,
+        m = 128 tables); with a token-sized lift the BLAS-backed hash build
+        can win on wall-clock, which is a substrate artifact, not the shape
+        the paper measures.
+        """
+        points, _, _ = workload
+        dim = points.shape[1] + 1
+        tree = BCTree(leaf_size=100, random_state=0).fit(points)
+        nh = NHIndex(num_tables=128, sample_dim=8 * dim, random_state=0).fit(points)
+        fh = FHIndex(num_tables=128, num_partitions=4, sample_dim=8 * dim,
+                     random_state=0).fit(points)
+        assert nh.index_size_bytes() > 5 * tree.index_size_bytes()
+        assert fh.index_size_bytes() > 5 * tree.index_size_bytes()
+        assert nh.indexing_seconds > tree.indexing_seconds

@@ -1,0 +1,170 @@
+"""Tests for the partitioned (sharded) P2HNNS index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BallTree, LinearScan
+from repro.core.index_base import NotFittedError
+from repro.core.partitioned import (
+    PARTITION_STRATEGIES,
+    PartitionedP2HIndex,
+    partition_indices,
+)
+from repro.eval import exact_ground_truth
+
+
+class TestPartitionIndices:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_partitions_are_a_disjoint_cover(self, strategy, small_clustered_data):
+        shards = partition_indices(small_clustered_data, 7, strategy, rng=0)
+        concatenated = np.concatenate(shards)
+        assert len(shards) == 7
+        assert concatenated.shape[0] == small_clustered_data.shape[0]
+        assert np.unique(concatenated).shape[0] == small_clustered_data.shape[0]
+
+    def test_contiguous_partitions_are_ordered_blocks(self, gaussian_blob):
+        shards = partition_indices(gaussian_blob, 4, "contiguous")
+        boundaries = [shard[-1] for shard in shards[:-1]]
+        starts = [shard[0] for shard in shards[1:]]
+        assert all(b + 1 == s for b, s in zip(boundaries, starts))
+
+    def test_round_robin_interleaves(self, gaussian_blob):
+        shards = partition_indices(gaussian_blob, 3, "round_robin")
+        assert list(shards[0][:3]) == [0, 3, 6]
+        assert list(shards[1][:3]) == [1, 4, 7]
+
+    def test_ball_strategy_is_deterministic_for_seed(self, small_clustered_data):
+        first = partition_indices(small_clustered_data, 5, "ball", rng=42)
+        second = partition_indices(small_clustered_data, 5, "ball", rng=42)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_single_partition_is_identity(self, gaussian_blob):
+        shards = partition_indices(gaussian_blob, 1, "ball", rng=0)
+        np.testing.assert_array_equal(shards[0], np.arange(gaussian_blob.shape[0]))
+
+    def test_too_many_partitions_rejected(self, gaussian_blob):
+        with pytest.raises(ValueError):
+            partition_indices(gaussian_blob, gaussian_blob.shape[0] + 1, "ball")
+
+    def test_unknown_strategy_rejected(self, gaussian_blob):
+        with pytest.raises(ValueError):
+            partition_indices(gaussian_blob, 2, "zorder")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 1_000),
+        num_partitions=st.integers(1, 12),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    def test_property_disjoint_cover(self, seed, num_partitions, strategy):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(num_partitions, 80))
+        points = rng.normal(size=(n, 5))
+        shards = partition_indices(points, num_partitions, strategy, rng=seed)
+        concatenated = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(concatenated, np.arange(n))
+
+
+class TestPartitionedIndex:
+    @pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+    def test_exact_search_matches_single_index(
+        self, strategy, small_clustered_data, small_queries, match_ground_truth
+    ):
+        truth_idx, truth_dist = exact_ground_truth(
+            small_clustered_data, small_queries, 10
+        )
+        index = PartitionedP2HIndex(
+            num_partitions=4, strategy=strategy, random_state=1
+        ).fit(small_clustered_data)
+        for query, distances in zip(small_queries, truth_dist):
+            match_ground_truth(index.search(query, k=10), distances)
+
+    def test_indices_are_global_ids(self, small_clustered_data, small_queries):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=1).fit(
+            small_clustered_data
+        )
+        scan = LinearScan().fit(small_clustered_data)
+        expected = scan.search(small_queries[0], k=1)
+        got = index.search(small_queries[0], k=1)
+        assert got.distances[0] == pytest.approx(float(expected.distances[0]))
+        # The returned index refers to the original matrix row.
+        from repro.core.distances import augment_points, normalize_query
+
+        x = augment_points(small_clustered_data)[int(got.indices[0])]
+        q = normalize_query(small_queries[0])
+        assert abs(float(x @ q)) == pytest.approx(float(got.distances[0]), abs=1e-9)
+
+    def test_shard_sizes_sum_to_n(self, small_clustered_data):
+        index = PartitionedP2HIndex(num_partitions=6, random_state=1).fit(
+            small_clustered_data
+        )
+        assert sum(index.shard_sizes()) == small_clustered_data.shape[0]
+
+    def test_index_size_accounts_for_all_shards(self, small_clustered_data):
+        single = PartitionedP2HIndex(num_partitions=1, random_state=1).fit(
+            small_clustered_data
+        )
+        sharded = PartitionedP2HIndex(num_partitions=4, random_state=1).fit(
+            small_clustered_data
+        )
+        assert sharded.index_size_bytes() > 0
+        assert single.index_size_bytes() > 0
+
+    def test_indexing_report_fields(self, small_clustered_data):
+        index = PartitionedP2HIndex(num_partitions=3, random_state=1).fit(
+            small_clustered_data
+        )
+        report = index.indexing_report()
+        assert report["num_partitions"] == 3
+        assert report["min_shard"] >= 1
+        assert report["max_shard"] <= small_clustered_data.shape[0]
+
+    def test_custom_factory(self, small_clustered_data, small_queries):
+        index = PartitionedP2HIndex(
+            num_partitions=3,
+            index_factory=lambda: BallTree(leaf_size=64, random_state=0),
+            random_state=0,
+        ).fit(small_clustered_data)
+        assert all(isinstance(shard, BallTree) for shard in index.shards)
+        result = index.search(small_queries[0], k=5)
+        assert len(result) == 5
+
+    def test_batch_search_shapes(self, small_clustered_data, small_queries):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=1).fit(
+            small_clustered_data
+        )
+        results = index.batch_search(small_queries, k=3)
+        assert len(results) == small_queries.shape[0]
+        assert all(len(result) == 3 for result in results)
+
+    def test_candidate_budget_forwarded_to_shards(
+        self, small_clustered_data, small_queries
+    ):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=1).fit(
+            small_clustered_data
+        )
+        approx = index.search(small_queries[0], k=10, candidate_fraction=0.05)
+        exact = index.search(small_queries[0], k=10)
+        assert (
+            approx.stats.candidates_verified <= exact.stats.candidates_verified
+        )
+
+    def test_unfitted_search_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            PartitionedP2HIndex().search(rng.normal(size=9), k=1)
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionedP2HIndex(strategy="hilbert")
+
+    def test_k_clamped_to_num_points(self, gaussian_blob, rng):
+        index = PartitionedP2HIndex(num_partitions=2, random_state=0).fit(
+            gaussian_blob[:30]
+        )
+        result = index.search(rng.normal(size=gaussian_blob.shape[1] + 1), k=100)
+        assert len(result) == 30

@@ -1,0 +1,107 @@
+"""Tests for the ASCII plotting and CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.eval.plots import (
+    ascii_bar_chart,
+    ascii_line_plot,
+    records_to_csv,
+    series_to_csv,
+    stacked_fraction_chart,
+)
+
+
+@pytest.fixture()
+def sample_series():
+    return {
+        "BC-Tree": [(10.0, 0.5), (50.0, 1.5), (90.0, 8.0)],
+        "NH": [(10.0, 2.0), (50.0, 6.0), (90.0, 40.0)],
+    }
+
+
+class TestLinePlot:
+    def test_contains_all_series_markers(self, sample_series):
+        chart = ascii_line_plot(sample_series, x_label="recall", y_label="ms")
+        assert "o" in chart and "x" in chart
+        assert "BC-Tree" in chart and "NH" in chart
+
+    def test_axis_labels_present(self, sample_series):
+        chart = ascii_line_plot(sample_series, x_label="recall (%)", y_label="ms")
+        assert "recall (%)" in chart
+        assert "ms" in chart
+
+    def test_log_scale_skips_nonpositive(self):
+        chart = ascii_line_plot({"a": [(1.0, 0.0), (2.0, 10.0)]}, log_y=True)
+        assert "legend" in chart
+
+    def test_title_rendered_first(self, sample_series):
+        chart = ascii_line_plot(sample_series, title="Figure 5")
+        assert chart.splitlines()[0] == "Figure 5"
+
+    def test_empty_series_handled(self):
+        assert "(no data)" in ascii_line_plot({})
+
+    def test_single_point_does_not_crash(self):
+        chart = ascii_line_plot({"only": [(1.0, 1.0)]})
+        assert "only" in chart
+
+    def test_too_small_plot_area_rejected(self, sample_series):
+        with pytest.raises(ValueError):
+            ascii_line_plot(sample_series, width=5, height=2)
+
+
+class TestBarCharts:
+    def test_bar_lengths_monotone_in_value(self):
+        chart = ascii_bar_chart({"small": 1.0, "big": 10.0})
+        lines = {line.split(" |")[0].strip(): line for line in chart.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart({"BC-Tree": 12.5}, unit=" ms")
+        assert "12.5 ms" in chart
+
+    def test_empty_chart(self):
+        assert "(no data)" in ascii_bar_chart({})
+
+    def test_stacked_chart_normalizes_rows(self):
+        chart = stacked_fraction_chart(
+            {
+                "BC-Tree": {"verification": 3.0, "lower_bounds": 1.0},
+                "NH": {"verification": 5.0, "table_lookup": 5.0},
+            },
+            width=40,
+        )
+        assert "legend" in chart
+        assert "BC-Tree" in chart and "NH" in chart
+
+    def test_stacked_chart_empty(self):
+        assert "(no data)" in stacked_fraction_chart({})
+
+
+class TestCsvExport:
+    def test_series_to_csv_rows(self, tmp_path, sample_series):
+        path = series_to_csv(sample_series, tmp_path / "curves.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["series", "x", "y"]
+        assert len(rows) == 1 + sum(len(v) for v in sample_series.values())
+
+    def test_records_to_csv_respects_columns(self, tmp_path):
+        records = [
+            {"dataset": "Sift", "method": "BC-Tree", "recall": 0.9, "extra": 1},
+            {"dataset": "Sift", "method": "NH"},
+        ]
+        path = records_to_csv(records, ["dataset", "method", "recall"], tmp_path / "r.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["dataset", "method", "recall"]
+        assert rows[1] == ["Sift", "BC-Tree", "0.9"]
+        assert rows[2] == ["Sift", "NH", ""]
+
+    def test_csv_creates_parent_directories(self, tmp_path, sample_series):
+        nested = tmp_path / "a" / "b" / "curves.csv"
+        assert series_to_csv(sample_series, nested).exists()

@@ -1,0 +1,91 @@
+"""Tests for the query-aware projection tables (QALSH/RQALSH substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.projections import ProjectionTables
+
+
+@pytest.fixture()
+def fitted_tables():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(200, 12))
+    tables = ProjectionTables(6, rng=1).fit(points)
+    return points, tables
+
+
+class TestFit:
+    def test_shapes(self, fitted_tables):
+        points, tables = fitted_tables
+        assert tables.directions.shape == (6, 12)
+        assert tables.projections.shape == (6, 200)
+        assert tables.order.shape == (6, 200)
+        assert tables.num_points == 200
+
+    def test_directions_are_unit_norm(self, fitted_tables):
+        _, tables = fitted_tables
+        np.testing.assert_allclose(
+            np.linalg.norm(tables.directions, axis=1), 1.0, rtol=1e-12
+        )
+
+    def test_projections_sorted_per_table(self, fitted_tables):
+        _, tables = fitted_tables
+        assert (np.diff(tables.projections, axis=1) >= 0).all()
+
+    def test_order_consistent_with_projections(self, fitted_tables):
+        points, tables = fitted_tables
+        for table in range(tables.num_tables):
+            recomputed = points[tables.order[table]] @ tables.directions[table]
+            np.testing.assert_allclose(recomputed, tables.projections[table],
+                                       atol=1e-9)
+
+    def test_custom_point_ids(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(50, 4))
+        ids = np.arange(100, 150)
+        tables = ProjectionTables(3, rng=0).fit(points, point_ids=ids)
+        assert set(tables.order.ravel()) <= set(ids)
+
+    def test_point_ids_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ProjectionTables(2, rng=0).fit(np.ones((5, 2)), point_ids=np.arange(4))
+
+    def test_invalid_num_tables(self):
+        with pytest.raises(ValueError):
+            ProjectionTables(0)
+
+
+class TestProbing:
+    def test_probe_nearest_returns_projection_closest_points(self, fitted_tables):
+        points, tables = fitted_tables
+        query = np.random.default_rng(3).normal(size=12)
+        query_projections = tables.project_query(query)
+        for table, ids in enumerate(tables.probe_nearest(query_projections, 10)):
+            assert 1 <= len(ids) <= 10
+            gaps = np.abs(points @ tables.directions[table] - query_projections[table])
+            best = np.sort(gaps)[: len(ids)]
+            returned = np.sort(gaps[ids])
+            np.testing.assert_allclose(returned, best, atol=1e-9)
+
+    def test_probe_furthest_returns_projection_farthest_points(self, fitted_tables):
+        points, tables = fitted_tables
+        query = np.random.default_rng(4).normal(size=12)
+        query_projections = tables.project_query(query)
+        for table, ids in enumerate(tables.probe_furthest(query_projections, 10)):
+            assert 1 <= len(ids) <= 10
+            gaps = np.abs(points @ tables.directions[table] - query_projections[table])
+            worst = np.sort(gaps)[-len(ids):]
+            returned = np.sort(gaps[ids])
+            np.testing.assert_allclose(returned, worst, atol=1e-9)
+
+    def test_probe_count_clamped_to_population(self, fitted_tables):
+        _, tables = fitted_tables
+        query_projections = np.zeros(tables.num_tables)
+        for ids in tables.probe_nearest(query_projections, 10_000):
+            assert len(ids) <= tables.num_points
+
+    def test_payload_arrays_nonempty(self, fitted_tables):
+        _, tables = fitted_tables
+        arrays = tables.payload_arrays()
+        assert len(arrays) == 3
+        assert sum(a.nbytes for a in arrays) > 0

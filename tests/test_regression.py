@@ -1,0 +1,181 @@
+"""Tests for the benchmark-run regression comparison helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval.regression import (
+    MetricChange,
+    assert_no_regressions,
+    compare_runs,
+)
+
+BASELINE = [
+    {"dataset": "Sift", "method": "BC-Tree", "avg_query_ms": 1.0, "index_size_mb": 0.2},
+    {"dataset": "Sift", "method": "NH", "avg_query_ms": 4.0, "index_size_mb": 5.0},
+    {"dataset": "Sun", "method": "BC-Tree", "avg_query_ms": 2.0, "index_size_mb": 0.3},
+]
+
+
+def _current(query_scale=1.0, drop_sun=False):
+    records = []
+    for record in BASELINE:
+        if drop_sun and record["dataset"] == "Sun":
+            continue
+        updated = dict(record)
+        updated["avg_query_ms"] = record["avg_query_ms"] * query_scale
+        records.append(updated)
+    return records
+
+
+class TestCompareRuns:
+    def test_identical_runs_have_no_regressions(self):
+        report = compare_runs(
+            BASELINE,
+            _current(),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms", "index_size_mb"),
+            tolerance=0.05,
+        )
+        assert not report.regressions
+        assert not report.improvements
+        assert len(report.changes) == 6
+
+    def test_slowdown_flagged_as_regression(self):
+        report = compare_runs(
+            BASELINE,
+            _current(query_scale=1.5),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+            tolerance=0.10,
+        )
+        assert len(report.regressions) == 3
+        worst = report.worst()
+        assert worst.relative_change == pytest.approx(0.5)
+
+    def test_speedup_counted_as_improvement(self):
+        report = compare_runs(
+            BASELINE,
+            _current(query_scale=0.5),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+            tolerance=0.10,
+        )
+        assert len(report.improvements) == 3
+        assert not report.regressions
+
+    def test_missing_rows_reported(self):
+        report = compare_runs(
+            BASELINE,
+            _current(drop_sun=True),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+        )
+        assert ("Sun", "BC-Tree") in report.missing_in_current
+        assert not report.missing_in_baseline
+
+    def test_new_rows_reported(self):
+        current = _current() + [
+            {"dataset": "Gist", "method": "BC-Tree", "avg_query_ms": 3.0}
+        ]
+        report = compare_runs(
+            BASELINE,
+            current,
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+        )
+        assert ("Gist", "BC-Tree") in report.missing_in_baseline
+
+    def test_non_numeric_metrics_skipped(self):
+        baseline = [{"dataset": "Sift", "note": "a", "avg_query_ms": 1.0}]
+        current = [{"dataset": "Sift", "note": "b", "avg_query_ms": 1.0}]
+        report = compare_runs(
+            baseline,
+            current,
+            key_columns=("dataset",),
+            metric_columns=("note", "avg_query_ms"),
+        )
+        assert len(report.changes) == 1
+
+    def test_zero_baseline_handled(self):
+        baseline = [{"dataset": "Sift", "avg_query_ms": 0.0}]
+        worse = [{"dataset": "Sift", "avg_query_ms": 1.0}]
+        report = compare_runs(
+            baseline, worse, key_columns=("dataset",), metric_columns=("avg_query_ms",)
+        )
+        assert report.changes[0].relative_change == float("inf")
+
+    def test_reads_json_files(self, tmp_path):
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(BASELINE))
+        new_path.write_text(json.dumps(_current(query_scale=2.0)))
+        report = compare_runs(
+            old_path,
+            new_path,
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+        )
+        assert len(report.regressions) == 3
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs(BASELINE, BASELINE, key_columns=(), metric_columns=("x",))
+        with pytest.raises(ValueError):
+            compare_runs(
+                BASELINE,
+                BASELINE,
+                key_columns=("dataset",),
+                metric_columns=("avg_query_ms",),
+                tolerance=-0.1,
+            )
+
+    def test_non_list_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError):
+            compare_runs(
+                path, BASELINE, key_columns=("dataset",), metric_columns=("x",)
+            )
+
+
+class TestAssertNoRegressions:
+    def test_passes_on_clean_run(self):
+        report = assert_no_regressions(
+            BASELINE,
+            _current(),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+        )
+        assert report.changes
+
+    def test_raises_with_summary_on_regression(self):
+        with pytest.raises(AssertionError) as excinfo:
+            assert_no_regressions(
+                BASELINE,
+                _current(query_scale=3.0),
+                key_columns=("dataset", "method"),
+                metric_columns=("avg_query_ms",),
+                tolerance=0.10,
+            )
+        assert "regressions" in str(excinfo.value)
+
+    def test_summary_mentions_worst_change(self):
+        report = compare_runs(
+            BASELINE,
+            _current(query_scale=1.4),
+            key_columns=("dataset", "method"),
+            metric_columns=("avg_query_ms",),
+            tolerance=0.1,
+        )
+        summary = report.summary()
+        assert "worst" in summary
+        assert "+40" in summary  # +40.0% worst relative change
+
+    def test_metric_change_record_shape(self):
+        change = MetricChange(key=("Sift", "NH"), metric="ms", baseline=2.0, current=3.0)
+        record = change.as_record()
+        assert record["relative_change"] == pytest.approx(0.5)
+        assert record["key"] == ["Sift", "NH"]

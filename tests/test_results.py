@@ -1,0 +1,118 @@
+"""Tests for the top-k collector, search statistics, and result objects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import SearchResult, SearchStats, TopKCollector
+
+
+class TestTopKCollector:
+    def test_threshold_is_infinite_until_full(self):
+        collector = TopKCollector(3)
+        assert collector.threshold == float("inf")
+        collector.offer(0, 1.0)
+        collector.offer(1, 2.0)
+        assert collector.threshold == float("inf")
+        collector.offer(2, 3.0)
+        assert collector.threshold == 3.0
+
+    def test_threshold_tracks_kth_best(self):
+        collector = TopKCollector(2)
+        for index, distance in enumerate([5.0, 4.0, 3.0, 2.0, 1.0]):
+            collector.offer(index, distance)
+        assert collector.threshold == 2.0
+        result = collector.to_result()
+        np.testing.assert_array_equal(result.indices, [4, 3])
+        np.testing.assert_array_equal(result.distances, [1.0, 2.0])
+
+    def test_offer_returns_whether_kept(self):
+        collector = TopKCollector(1)
+        assert collector.offer(0, 2.0)
+        assert not collector.offer(1, 3.0)
+        assert collector.offer(2, 1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKCollector(0)
+
+    def test_empty_result(self):
+        result = TopKCollector(5).to_result()
+        assert len(result) == 0
+        assert result.indices.dtype == np.int64
+
+    def test_offer_batch_matches_individual_offers(self):
+        rng = np.random.default_rng(0)
+        distances = rng.uniform(size=200)
+        indices = np.arange(200)
+
+        batched = TopKCollector(10)
+        batched.offer_batch(indices, distances)
+
+        sequential = TopKCollector(10)
+        for index, distance in zip(indices, distances):
+            sequential.offer(int(index), float(distance))
+
+        np.testing.assert_allclose(
+            np.sort(batched.to_result().distances),
+            np.sort(sequential.to_result().distances),
+        )
+
+    def test_offer_batch_empty_is_noop(self):
+        collector = TopKCollector(3)
+        collector.offer_batch(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(collector) == 0
+
+    def test_offer_batch_respects_existing_threshold(self):
+        collector = TopKCollector(1)
+        collector.offer(0, 0.5)
+        collector.offer_batch(np.array([1, 2]), np.array([0.9, 0.1]))
+        result = collector.to_result()
+        assert result.indices[0] == 2
+        assert result.distances[0] == pytest.approx(0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        k=st.integers(1, 20),
+        values=st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=200),
+    )
+    def test_collector_returns_k_smallest_sorted(self, k, values):
+        """Property: the collector returns exactly the k smallest distances."""
+        collector = TopKCollector(k)
+        for index, value in enumerate(values):
+            collector.offer(index, float(value))
+        result = collector.to_result()
+        expected = np.sort(np.asarray(values))[: min(k, len(values))]
+        np.testing.assert_allclose(result.distances, expected)
+        assert (np.diff(result.distances) >= 0).all()
+
+
+class TestSearchStats:
+    def test_merge_adds_counters(self):
+        first = SearchStats(nodes_visited=3, candidates_verified=10,
+                            stage_seconds={"verification": 0.5})
+        second = SearchStats(nodes_visited=2, candidates_verified=7,
+                             points_pruned_ball=4,
+                             stage_seconds={"verification": 0.25, "other": 1.0})
+        first.merge(second)
+        assert first.nodes_visited == 5
+        assert first.candidates_verified == 17
+        assert first.points_pruned_ball == 4
+        assert first.stage_seconds["verification"] == pytest.approx(0.75)
+        assert first.stage_seconds["other"] == pytest.approx(1.0)
+
+    def test_as_dict_flattens_stages(self):
+        stats = SearchStats(candidates_verified=2, stage_seconds={"lower_bounds": 0.1})
+        flattened = stats.as_dict()
+        assert flattened["candidates_verified"] == 2
+        assert flattened["stage_lower_bounds_seconds"] == pytest.approx(0.1)
+
+
+class TestSearchResult:
+    def test_as_tuples(self):
+        result = SearchResult(
+            indices=np.array([3, 1]), distances=np.array([0.5, 0.7])
+        )
+        assert result.as_tuples() == [(3, 0.5), (1, 0.7)]
+        assert len(result) == 2

@@ -1,0 +1,89 @@
+"""Tests for the Randomized Projection Tree baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rp_tree import RPTree, random_projection_split
+from repro.eval import exact_ground_truth
+from repro.utils.rng import ensure_rng
+
+
+class TestRandomProjectionSplit:
+    def test_split_is_a_disjoint_cover(self, gaussian_blob):
+        left, right = random_projection_split(gaussian_blob, ensure_rng(0))
+        combined = np.sort(np.concatenate([left, right]))
+        np.testing.assert_array_equal(combined, np.arange(gaussian_blob.shape[0]))
+
+    def test_both_halves_non_empty(self, gaussian_blob):
+        left, right = random_projection_split(gaussian_blob, ensure_rng(1))
+        assert left.size > 0 and right.size > 0
+
+    def test_duplicate_points_fall_back_to_positional_split(self):
+        points = np.ones((10, 4))
+        left, right = random_projection_split(points, ensure_rng(0))
+        assert left.size == 5 and right.size == 5
+
+    def test_two_points_always_split(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        left, right = random_projection_split(points, ensure_rng(3))
+        assert left.size == 1 and right.size == 1
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            random_projection_split(np.ones((1, 3)), ensure_rng(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 100), d=st.integers(1, 12))
+    def test_property_partition(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, d))
+        left, right = random_projection_split(points, ensure_rng(seed))
+        assert left.size + right.size == n
+        assert np.intersect1d(left, right).size == 0
+
+
+class TestRPTreeIndex:
+    def test_exact_search_matches_ground_truth(
+        self, small_clustered_data, small_queries, match_ground_truth
+    ):
+        _, truth_dist = exact_ground_truth(small_clustered_data, small_queries, 10)
+        tree = RPTree(leaf_size=40, random_state=5).fit(small_clustered_data)
+        for query, distances in zip(small_queries, truth_dist):
+            match_ground_truth(tree.search(query, k=10), distances)
+
+    def test_leaf_size_respected(self, small_clustered_data):
+        tree = RPTree(leaf_size=25, random_state=5).fit(small_clustered_data)
+        arrays = tree.tree
+        for node in range(arrays.num_nodes):
+            if arrays.is_leaf(node):
+                assert arrays.node_size(node) <= 25
+
+    def test_prunes_on_clustered_data(self, small_clustered_data, small_queries):
+        tree = RPTree(leaf_size=40, random_state=5).fit(small_clustered_data)
+        result = tree.search(small_queries[0], k=1)
+        assert result.stats.candidates_verified < small_clustered_data.shape[0]
+
+    def test_candidate_budget_supported(self, small_clustered_data, small_queries):
+        tree = RPTree(leaf_size=40, random_state=5).fit(small_clustered_data)
+        approx = tree.search(small_queries[0], k=10, candidate_fraction=0.1)
+        assert approx.stats.candidates_verified <= 0.1 * small_clustered_data.shape[0] + 40
+
+    def test_deterministic_for_fixed_seed(self, small_clustered_data, small_queries):
+        first = RPTree(leaf_size=40, random_state=9).fit(small_clustered_data)
+        second = RPTree(leaf_size=40, random_state=9).fit(small_clustered_data)
+        r1 = first.search(small_queries[0], k=5)
+        r2 = second.search(small_queries[0], k=5)
+        np.testing.assert_array_equal(r1.indices, r2.indices)
+
+    def test_different_seeds_build_different_trees(self, small_clustered_data):
+        first = RPTree(leaf_size=40, random_state=1).fit(small_clustered_data)
+        second = RPTree(leaf_size=40, random_state=2).fit(small_clustered_data)
+        assert not np.array_equal(first.tree.perm, second.tree.perm)
+
+    def test_index_size_reported(self, small_clustered_data):
+        tree = RPTree(leaf_size=40, random_state=5).fit(small_clustered_data)
+        assert tree.index_size_bytes() > 0

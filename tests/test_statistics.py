@@ -1,0 +1,125 @@
+"""Tests for the benchmark statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.statistics import (
+    SpeedupEstimate,
+    bootstrap_confidence_interval,
+    geometric_mean_speedup,
+    paired_sign_test,
+    speedup_with_uncertainty,
+    summarize_samples,
+)
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        summary = summarize_samples([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["median"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+
+    def test_single_sample_has_zero_std(self):
+        assert summarize_samples([3.0])["std"] == 0.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate(self, rng):
+        samples = rng.exponential(scale=2.0, size=200)
+        lower, upper = bootstrap_confidence_interval(samples, rng=0)
+        assert lower <= float(np.mean(samples)) <= upper
+
+    def test_interval_narrows_with_more_data(self, rng):
+        small = rng.normal(10.0, 1.0, size=20)
+        large = rng.normal(10.0, 1.0, size=2000)
+        small_lo, small_hi = bootstrap_confidence_interval(small, rng=1)
+        large_lo, large_hi = bootstrap_confidence_interval(large, rng=1)
+        assert (large_hi - large_lo) < (small_hi - small_lo)
+
+    def test_custom_statistic(self, rng):
+        samples = rng.normal(size=100)
+        lower, upper = bootstrap_confidence_interval(
+            samples, statistic=np.median, rng=2
+        )
+        assert lower <= float(np.median(samples)) <= upper
+
+    def test_deterministic_for_seed(self, rng):
+        samples = rng.normal(size=50)
+        assert bootstrap_confidence_interval(
+            samples, rng=7
+        ) == bootstrap_confidence_interval(samples, rng=7)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([])
+
+
+class TestSpeedup:
+    def test_clear_speedup_detected(self, rng):
+        baseline = rng.normal(10.0, 0.5, size=100)
+        method = rng.normal(2.0, 0.2, size=100)
+        estimate = speedup_with_uncertainty(baseline, method, rng=0)
+        assert isinstance(estimate, SpeedupEstimate)
+        assert estimate.ratio == pytest.approx(5.0, rel=0.2)
+        assert estimate.lower > 1.0
+        assert estimate.lower <= estimate.ratio <= estimate.upper
+
+    def test_record_keys(self, rng):
+        estimate = speedup_with_uncertainty([2.0, 2.1], [1.0, 1.1], rng=0)
+        assert set(estimate.as_record()) == {"speedup", "ci_lower", "ci_upper"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_with_uncertainty([], [1.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean_speedup([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean_speedup([2.0, 0.0])
+
+
+class TestSignTest:
+    def test_dominant_method_has_small_p_value(self):
+        first = np.full(20, 1.0)
+        second = np.full(20, 2.0)
+        outcome = paired_sign_test(first, second)
+        assert outcome["first_wins"] == 20
+        assert outcome["p_value"] < 1e-4
+
+    def test_ties_are_ignored(self):
+        outcome = paired_sign_test([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert outcome["ties"] == 3
+        assert outcome["p_value"] == 1.0
+
+    def test_balanced_wins_not_significant(self):
+        first = [1.0, 2.0, 1.0, 2.0]
+        second = [2.0, 1.0, 2.0, 1.0]
+        assert paired_sign_test(first, second)["p_value"] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([1.0], [1.0, 2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 60))
+    def test_p_value_always_valid(self, seed, n):
+        rng = np.random.default_rng(seed)
+        outcome = paired_sign_test(rng.normal(size=n), rng.normal(size=n))
+        assert 0.0 <= outcome["p_value"] <= 1.0
+        assert outcome["first_wins"] + outcome["second_wins"] + outcome["ties"] == n

@@ -1,0 +1,139 @@
+"""Tests for the data-set preprocessing transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import p2h_distance_raw
+from repro.datasets.transforms import (
+    AffineTransform,
+    TransformPipeline,
+    center,
+    pca_project,
+    standardize,
+    unit_normalize,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_data(rng):
+    return np.asarray(rng.normal(size=(120, 10)) * np.arange(1, 11) + 7.0)
+
+
+class TestBasicTransforms:
+    def test_unit_normalize_makes_unit_rows(self, skewed_data):
+        unit = unit_normalize(skewed_data)
+        np.testing.assert_allclose(np.linalg.norm(unit, axis=1), 1.0, atol=1e-12)
+
+    def test_unit_normalize_keeps_zero_rows(self):
+        points = np.zeros((3, 4))
+        np.testing.assert_array_equal(unit_normalize(points), points)
+
+    def test_center_removes_mean(self, skewed_data):
+        centered, mean = center(skewed_data)
+        np.testing.assert_allclose(centered.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(mean, skewed_data.mean(axis=0))
+
+    def test_standardize_unit_variance(self, skewed_data):
+        standardized, _, _ = standardize(skewed_data)
+        np.testing.assert_allclose(standardized.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standardize_handles_constant_columns(self):
+        points = np.ones((20, 3))
+        standardized, _, scale = standardize(points)
+        assert np.all(scale == 1.0)
+        np.testing.assert_allclose(standardized, 0.0)
+
+    def test_pca_projects_to_requested_dimension(self, skewed_data):
+        projected, components, _ = pca_project(skewed_data, 4)
+        assert projected.shape == (skewed_data.shape[0], 4)
+        np.testing.assert_allclose(components.T @ components, np.eye(4), atol=1e-9)
+
+    def test_pca_first_component_captures_most_variance(self, skewed_data):
+        projected, _, _ = pca_project(skewed_data, skewed_data.shape[1])
+        variances = projected.var(axis=0)
+        assert np.all(np.diff(variances) <= 1e-9)
+
+    def test_pca_too_many_components_rejected(self, skewed_data):
+        with pytest.raises(ValueError):
+            pca_project(skewed_data, skewed_data.shape[1] + 1)
+
+
+class TestAffineTransform:
+    def test_query_transform_preserves_p2h_ranking(self, skewed_data, rng):
+        """After an invertible affine map, the transformed query ranks the
+        transformed points in the same order as the original pair."""
+        matrix = np.asarray(rng.normal(size=(10, 10))) + np.eye(10) * 3.0
+        affine = AffineTransform(matrix=matrix, shift=np.asarray(rng.normal(size=10)))
+        query = np.asarray(rng.normal(size=11))
+        original = p2h_distance_raw(skewed_data, query)
+        transformed = p2h_distance_raw(
+            affine.apply_points(skewed_data), affine.apply_query(query)
+        )
+        np.testing.assert_array_equal(np.argsort(original), np.argsort(transformed))
+
+
+class TestTransformPipeline:
+    def test_center_then_standardize(self, skewed_data):
+        pipeline = TransformPipeline(["center", "standardize"]).fit(skewed_data)
+        transformed = pipeline.transform(skewed_data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_fit_transform_equals_fit_then_transform(self, skewed_data):
+        a = TransformPipeline(["center"]).fit_transform(skewed_data)
+        pipeline = TransformPipeline(["center"]).fit(skewed_data)
+        np.testing.assert_allclose(a, pipeline.transform(skewed_data))
+
+    def test_pca_step(self, skewed_data):
+        pipeline = TransformPipeline(["center", "pca:3"]).fit(skewed_data)
+        assert pipeline.transform(skewed_data).shape == (skewed_data.shape[0], 3)
+
+    def test_unit_step_must_be_last(self, skewed_data):
+        with pytest.raises(ValueError):
+            TransformPipeline(["unit", "center"]).fit(skewed_data)
+
+    def test_unit_pipeline_produces_unit_rows(self, skewed_data):
+        pipeline = TransformPipeline(["center", "unit"]).fit(skewed_data)
+        norms = np.linalg.norm(pipeline.transform(skewed_data), axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-12)
+
+    def test_query_transform_preserves_nearest_neighbor(self, skewed_data, rng):
+        pipeline = TransformPipeline(["center", "standardize"]).fit(skewed_data)
+        query = np.asarray(rng.normal(size=11))
+        original = p2h_distance_raw(skewed_data, query)
+        transformed = p2h_distance_raw(
+            pipeline.transform(skewed_data), pipeline.transform_query(query)
+        )
+        assert int(np.argmin(original)) == int(np.argmin(transformed))
+
+    def test_query_transform_rejected_for_unit_pipelines(self, skewed_data, rng):
+        pipeline = TransformPipeline(["unit"]).fit(skewed_data)
+        with pytest.raises(ValueError):
+            pipeline.transform_query(np.asarray(rng.normal(size=11)))
+
+    def test_unknown_step_rejected(self, skewed_data):
+        with pytest.raises(ValueError):
+            TransformPipeline(["whiten"]).fit(skewed_data)
+
+    def test_unfitted_pipeline_rejected(self, skewed_data):
+        with pytest.raises(RuntimeError):
+            TransformPipeline(["center"]).transform(skewed_data)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_property_affine_pipeline_preserves_argmin(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(50, 6)) * rng.uniform(0.5, 4.0, size=6) + rng.normal(
+            size=6
+        )
+        query = rng.normal(size=7)
+        pipeline = TransformPipeline(["center", "standardize"]).fit(points)
+        original = p2h_distance_raw(points, query)
+        transformed = p2h_distance_raw(
+            pipeline.transform(points), pipeline.transform_query(query)
+        )
+        assert int(np.argmin(original)) == int(np.argmin(transformed))

@@ -1,0 +1,119 @@
+"""Tests for the shared utilities (rng, timing, validation)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import StageTimer, Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_points_matrix,
+    check_positive_int,
+    check_query_vector,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).integers(0, 1000) == ensure_rng(7).integers(0, 1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_seed_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_rng_independent_streams(self):
+        parent = ensure_rng(3)
+        child_a = spawn_rng(parent)
+        child_b = spawn_rng(parent)
+        assert child_a.integers(0, 10**9) != child_b.integers(0, 10**9)
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        elapsed = timer.stop()
+        assert elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestStageTimer:
+    def test_accumulation_and_fractions(self):
+        profile = StageTimer()
+        profile.add("a", 1.0)
+        profile.add("a", 1.0)
+        profile.add("b", 2.0)
+        assert profile.total() == pytest.approx(4.0)
+        assert profile.fractions()["a"] == pytest.approx(0.5)
+
+    def test_empty_fractions(self):
+        assert StageTimer().fractions() == {}
+
+    def test_merge(self):
+        first = StageTimer({"a": 1.0})
+        second = StageTimer({"a": 0.5, "b": 2.0})
+        first.merge(second)
+        assert first.totals == {"a": 1.5, "b": 2.0}
+
+
+class TestValidation:
+    def test_check_points_matrix_converts_lists(self):
+        arr = check_points_matrix([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_check_points_matrix_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            check_points_matrix(np.ones(3))
+        with pytest.raises(ValueError):
+            check_points_matrix(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            check_points_matrix(np.empty((3, 0)))
+        with pytest.raises(ValueError):
+            check_points_matrix([[np.inf, 1.0]])
+
+    def test_check_query_vector(self):
+        vec = check_query_vector([1, 2, 3], expected_dim=3)
+        assert vec.shape == (3,)
+        with pytest.raises(ValueError):
+            check_query_vector([[1, 2]])
+        with pytest.raises(ValueError):
+            check_query_vector([1, 2], expected_dim=3)
+        with pytest.raises(ValueError):
+            check_query_vector([np.nan, 1.0])
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, name="x") == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0, name="x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, name="x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.5, name="f") == 0.5
+        assert check_fraction(None, name="f") is None
+        with pytest.raises(ValueError):
+            check_fraction(0.0, name="f")
+        with pytest.raises(ValueError):
+            check_fraction(1.5, name="f")
+        with pytest.raises(ValueError):
+            check_fraction(None, name="f", allow_none=False)
