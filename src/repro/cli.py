@@ -5,12 +5,13 @@ writing code:
 
 * ``python -m repro datasets`` — list the registered data-set surrogates.
 * ``python -m repro search``  — build an index over a data set (registry
-  surrogate or a file on disk) and answer random hyperplane queries,
+  surrogate or a file on disk) and answer random hyperplane queries through
+  the engine's batched path (``--n-jobs`` controls the worker pool),
   printing recall and timing against the exact linear scan.
 * ``python -m repro run <experiment>`` — regenerate one of the paper's
   tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
-  ``partitioned``) at a configurable scale, printing the same rows the
-  benchmark suite produces and optionally writing JSON/CSV.
+  ``partitioned``, ``batch``) at a configurable scale, printing the same
+  rows the benchmark suite produces and optionally writing JSON/CSV.
 
 Every command is deterministic for a fixed ``--seed``.
 """
@@ -98,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="approximate search budget for the tree indexes",
     )
+    search_parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="worker-pool size for batched query execution (default: inline)",
+    )
     search_parser.add_argument("--seed", type=int, default=0)
 
     run_parser = subparsers.add_parser(
@@ -106,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS),
-        help="experiment id (table2, table3, fig5 ... fig11, partitioned)",
+        help="experiment id (table2, table3, fig5 ... fig11, partitioned, batch)",
     )
     run_parser.add_argument(
         "--datasets",
@@ -176,6 +183,7 @@ def _cmd_search(args) -> int:
         method_name=args.method,
         dataset_name=dataset_name,
         search_kwargs=search_kwargs,
+        n_jobs=args.n_jobs,
     )
     record = evaluation.as_record()
     columns = [

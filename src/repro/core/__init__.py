@@ -21,7 +21,7 @@ from repro.core.dynamic import DynamicP2HIndex
 from repro.core.index_base import P2HIndex
 from repro.core.kd_tree import KDTree
 from repro.core.linear_scan import LinearScan
-from repro.core.mips import BallTreeMIPS, linear_mips
+from repro.core.mips import BallTreeMIPS, linear_mips, linear_mips_batch
 from repro.core.partitioned import PartitionedP2HIndex, partition_indices
 from repro.core.policies import BranchPreference
 from repro.core.results import SearchResult, SearchStats
@@ -41,6 +41,7 @@ __all__ = [
     "best_first_search",
     "BallTreeMIPS",
     "linear_mips",
+    "linear_mips_batch",
     "DynamicP2HIndex",
     "PartitionedP2HIndex",
     "partition_indices",

@@ -15,21 +15,25 @@ see :class:`~repro.core.policies.BranchPreference` and Figure 7).
 Approximate search is supported through a *candidate budget*: traversal
 stops once a given number (or fraction) of points has been verified, which
 is how the paper trades recall for query time in Figures 5-6.
+
+The traversal itself is executed by the shared
+:class:`~repro.engine.traversal.TraversalEngine`; this class only owns
+construction and the engine configuration.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.bounds import node_ball_bound
 from repro.core.index_base import P2HIndex
 from repro.core.policies import BranchPreference
-from repro.core.results import SearchResult, SearchStats, TopKCollector
-from repro.core.tree_base import NO_CHILD, NodeView, TreeArrays, build_tree
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.core.results import SearchResult
+from repro.core.tree_base import NodeView, TreeArrays, build_tree
+from repro.engine.budget import resolve_budget
+from repro.engine.traversal import TraversalEngine
+from repro.utils.validation import check_positive_int
 
 
 class BallTree(P2HIndex):
@@ -115,20 +119,10 @@ class BallTree(P2HIndex):
 
     def _resolve_budget(self, candidate_fraction, max_candidates) -> float:
         """Translate the approximate-search knobs into a candidate budget."""
-        candidate_fraction = check_fraction(
-            candidate_fraction, name="candidate_fraction"
-        )
-        if max_candidates is not None:
-            max_candidates = check_positive_int(max_candidates, name="max_candidates")
-        if candidate_fraction is not None and max_candidates is not None:
-            raise ValueError(
-                "pass either candidate_fraction or max_candidates, not both"
-            )
-        if candidate_fraction is not None:
-            return max(1.0, candidate_fraction * self.num_points)
-        if max_candidates is not None:
-            return float(max_candidates)
-        return float("inf")
+        return resolve_budget(candidate_fraction, max_candidates, self.num_points)
+
+    def _make_engine(self) -> TraversalEngine:
+        return TraversalEngine.for_ball_tree(self)
 
     def _search_one(
         self,
@@ -141,96 +135,17 @@ class BallTree(P2HIndex):
         profile: bool = False,
     ) -> SearchResult:
         """Branch-and-bound traversal (Algorithm 3) generalized to top-k."""
+        budget = self._resolve_budget(candidate_fraction, max_candidates)
         preference = (
             self.branch_preference
             if branch_preference is None
             else BranchPreference.coerce(branch_preference)
         )
-        budget = self._resolve_budget(candidate_fraction, max_candidates)
-
-        tree = self.tree
-        points = self._points
-        centers = tree.centers
-        radii = tree.radii
-        query_norm = float(np.linalg.norm(query))
-
-        stats = SearchStats()
-        collector = TopKCollector(k)
-
-        # Stack entries are (node_id, ip_center); the inner product of the
-        # query and the node's center is computed at the parent (for branch
-        # ordering) and handed down so it is counted exactly once per node.
-        root_ip = float(centers[0] @ query)
-        stats.center_inner_products += 1
-        stack = [(0, root_ip)]
-
-        while stack:
-            if stats.candidates_verified >= budget:
-                break
-            node, ip_node = stack.pop()
-            stats.nodes_visited += 1
-
-            tic = time.perf_counter() if profile else 0.0
-            lower_bound = node_ball_bound(ip_node, query_norm, radii[node])
-            if profile:
-                stats.stage_seconds["lower_bounds"] = (
-                    stats.stage_seconds.get("lower_bounds", 0.0)
-                    + (time.perf_counter() - tic)
-                )
-            if lower_bound >= collector.threshold:
-                continue
-
-            left = tree.left_child[node]
-            if left == NO_CHILD:
-                self._scan_leaf(node, query, collector, stats, profile)
-                continue
-
-            right = tree.right_child[node]
-            tic = time.perf_counter() if profile else 0.0
-            ip_left = float(centers[left] @ query)
-            ip_right = float(centers[right] @ query)
-            stats.center_inner_products += 2
-            if profile:
-                stats.stage_seconds["lower_bounds"] = (
-                    stats.stage_seconds.get("lower_bounds", 0.0)
-                    + (time.perf_counter() - tic)
-                )
-
-            if preference is BranchPreference.CENTER:
-                left_first = abs(ip_left) < abs(ip_right)
-            else:
-                lb_left = node_ball_bound(ip_left, query_norm, radii[left])
-                lb_right = node_ball_bound(ip_right, query_norm, radii[right])
-                left_first = lb_left < lb_right
-
-            if left_first:
-                stack.append((right, ip_right))
-                stack.append((left, ip_left))
-            else:
-                stack.append((left, ip_left))
-                stack.append((right, ip_right))
-
-        return collector.to_result(stats)
-
-    def _scan_leaf(
-        self,
-        node: int,
-        query: np.ndarray,
-        collector: TopKCollector,
-        stats: SearchStats,
-        profile: bool,
-    ) -> None:
-        """Exhaustive scan of a leaf (Algorithm 3, ``ExhaustiveScan``)."""
-        tree = self.tree
-        start, end = tree.start[node], tree.end[node]
-        indices = tree.perm[start:end]
-        tic = time.perf_counter() if profile else 0.0
-        distances = np.abs(self._points[indices] @ query)
-        collector.offer_batch(indices, distances)
-        if profile:
-            stats.stage_seconds["verification"] = (
-                stats.stage_seconds.get("verification", 0.0)
-                + (time.perf_counter() - tic)
-            )
-        stats.candidates_verified += int(indices.shape[0])
-        stats.leaves_scanned += 1
+        return self._engine().search(
+            query,
+            k,
+            budget=budget,
+            order="depth_first",
+            preference=preference,
+            profile=profile,
+        )

@@ -10,10 +10,17 @@ BC-Tree is a Ball-Tree whose leaves additionally store, per point, the
   point-level cone bound (Theorem 3).
 
 Internal-node centers are computed from the children's centers via the
-linear property of the centroid (Lemma 1), and during search the inner
-product of the query with the right child's center is derived in O(1) from
-the parent's and left child's inner products (Lemma 2, the *collaborative
-inner product computing* strategy, Theorem 5).
+linear property of the centroid (Lemma 1); per-node center norms are
+precomputed at build time because the cone bound's query decomposition
+needs ``||c||`` on every leaf visit.
+
+Search is executed by the shared
+:class:`~repro.engine.traversal.TraversalEngine`, which evaluates all
+center inner products of a query in one vectorized pass and dispatches the
+BC leaf scan (Algorithm 5's ``ScanWithPruning``).  The engine keeps
+reporting the paper's logical inner-product cost: with Lemma 2's
+collaborative strategy (Theorem 5) one inner product per expanded node,
+without it two — which is what the ``collaborative_ip`` flag controls.
 
 The ablation variants of Figure 8 are exposed through the
 ``use_ball_bound`` / ``use_cone_bound`` constructor flags:
@@ -30,21 +37,14 @@ BC-Tree-wo-BC       False                        False
 
 from __future__ import annotations
 
-import time
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.bounds import (
-    node_ball_bound,
-    point_ball_bound,
-    point_cone_bound,
-    query_angle_terms,
-)
 from repro.core.ball_tree import BallTree
 from repro.core.policies import BranchPreference
-from repro.core.results import SearchResult, SearchStats, TopKCollector
-from repro.core.tree_base import NO_CHILD, build_tree
+from repro.core.tree_base import build_tree
+from repro.engine.traversal import TraversalEngine
 
 
 class BCTree(BallTree):
@@ -60,9 +60,10 @@ class BCTree(BallTree):
         Enable / disable the two point-level lower bounds (Figure 8
         ablation); both enabled by default.
     collaborative_ip:
-        Enable Lemma 2's O(1) derivation of the right child's inner product
-        (Theorem 5); enabled by default.  Disabling it only changes the work
-        counters, never the results.
+        Account center inner products with Lemma 2's O(1) derivation of the
+        right child's inner product (Theorem 5); enabled by default.  The
+        engine computes all inner products in one vectorized pass either
+        way, so the flag only changes the work counters, never the results.
     scan_mode:
         ``"vectorized"`` (default) evaluates the point-level bounds for the
         whole leaf in NumPy batch operations using the pruning threshold at
@@ -142,7 +143,7 @@ class BCTree(BallTree):
             indices = tree.perm[start:end]
             leaf_points = points[indices]
             center = tree.centers[node]
-            center_norm = float(np.linalg.norm(center))
+            center_norm = float(tree.center_norms[node])
 
             radii = np.linalg.norm(leaf_points - center, axis=1)
             # Sort leaf points by descending r_x (Algorithm 4 line 9) so the
@@ -173,206 +174,13 @@ class BCTree(BallTree):
 
     # ---------------------------------------------------------------- search
 
-    def _search_one(
-        self,
-        query: np.ndarray,
-        k: int,
-        *,
-        candidate_fraction: Optional[float] = None,
-        max_candidates: Optional[int] = None,
-        branch_preference=None,
-        profile: bool = False,
-    ) -> SearchResult:
-        """Algorithm 5 generalized to top-k with an optional candidate budget."""
-        preference = (
-            self.branch_preference
-            if branch_preference is None
-            else BranchPreference.coerce(branch_preference)
+    def _make_engine(self) -> TraversalEngine:
+        return TraversalEngine.for_bc_tree(self)
+
+    def _engine_signature(self) -> tuple:
+        return (
+            self.use_ball_bound,
+            self.use_cone_bound,
+            self.collaborative_ip,
+            self.scan_mode,
         )
-        budget = self._resolve_budget(candidate_fraction, max_candidates)
-
-        tree = self.tree
-        centers = tree.centers
-        radii = tree.radii
-        start_arr = tree.start
-        end_arr = tree.end
-        query_norm = float(np.linalg.norm(query))
-
-        stats = SearchStats()
-        collector = TopKCollector(k)
-
-        root_ip = float(centers[0] @ query)
-        stats.center_inner_products += 1
-        stack = [(0, root_ip)]
-
-        while stack:
-            if stats.candidates_verified >= budget:
-                break
-            node, ip_node = stack.pop()
-            stats.nodes_visited += 1
-
-            tic = time.perf_counter() if profile else 0.0
-            lower_bound = node_ball_bound(ip_node, query_norm, radii[node])
-            if profile:
-                stats.stage_seconds["lower_bounds"] = (
-                    stats.stage_seconds.get("lower_bounds", 0.0)
-                    + (time.perf_counter() - tic)
-                )
-            if lower_bound >= collector.threshold:
-                continue
-
-            left = tree.left_child[node]
-            if left == NO_CHILD:
-                self._scan_leaf_with_pruning(
-                    node, ip_node, query, query_norm, collector, stats, profile
-                )
-                continue
-
-            right = tree.right_child[node]
-            tic = time.perf_counter() if profile else 0.0
-            ip_left = float(centers[left] @ query)
-            stats.center_inner_products += 1
-            if self.collaborative_ip:
-                # Lemma 2: derive the right child's inner product in O(1).
-                size = end_arr[node] - start_arr[node]
-                left_size = end_arr[left] - start_arr[left]
-                right_size = end_arr[right] - start_arr[right]
-                ip_right = (size * ip_node - left_size * ip_left) / right_size
-            else:
-                ip_right = float(centers[right] @ query)
-                stats.center_inner_products += 1
-            if profile:
-                stats.stage_seconds["lower_bounds"] = (
-                    stats.stage_seconds.get("lower_bounds", 0.0)
-                    + (time.perf_counter() - tic)
-                )
-
-            if preference is BranchPreference.CENTER:
-                left_first = abs(ip_left) < abs(ip_right)
-            else:
-                lb_left = node_ball_bound(ip_left, query_norm, radii[left])
-                lb_right = node_ball_bound(ip_right, query_norm, radii[right])
-                left_first = lb_left < lb_right
-
-            if left_first:
-                stack.append((right, ip_right))
-                stack.append((left, ip_left))
-            else:
-                stack.append((left, ip_left))
-                stack.append((right, ip_right))
-
-        return collector.to_result(stats)
-
-    # ------------------------------------------------------------ leaf scans
-
-    def _scan_leaf_with_pruning(
-        self,
-        node: int,
-        ip_node: float,
-        query: np.ndarray,
-        query_norm: float,
-        collector: TopKCollector,
-        stats: SearchStats,
-        profile: bool,
-    ) -> None:
-        """Algorithm 5's ``ScanWithPruning`` with the point-level bounds."""
-        stats.leaves_scanned += 1
-        if self.scan_mode == "sequential":
-            self._scan_leaf_sequential(
-                node, ip_node, query, query_norm, collector, stats
-            )
-            return
-
-        tree = self.tree
-        start, end = tree.start[node], tree.end[node]
-        indices = tree.perm[start:end]
-        size = int(end - start)
-        threshold = collector.threshold
-
-        tic = time.perf_counter() if profile else 0.0
-        keep = slice(0, size)
-        if self.use_ball_bound and np.isfinite(threshold):
-            radii = self.point_radius[start:end]
-            ball_bounds = point_ball_bound(ip_node, query_norm, radii)
-            # Leaf points are sorted by descending r_x, so the ball bound is
-            # non-decreasing along the leaf: the first position at which it
-            # reaches the threshold prunes the whole tail (batch pruning).
-            cut = int(np.searchsorted(ball_bounds, threshold, side="left"))
-            stats.points_pruned_ball += size - cut
-            keep = slice(0, cut)
-
-        survivors = indices[keep]
-        # The cone bound costs a handful of vectorized operations per leaf;
-        # when only a few points survive the ball bound, verifying them
-        # directly is cheaper than evaluating it.
-        if (
-            survivors.shape[0] > 8
-            and self.use_cone_bound
-            and np.isfinite(threshold)
-        ):
-            center_norm = float(np.linalg.norm(tree.centers[node]))
-            q_cos, q_sin = query_angle_terms(ip_node, query_norm, center_norm)
-            cone_bounds = point_cone_bound(
-                q_cos,
-                q_sin,
-                self.point_cos[start:end][keep],
-                self.point_sin[start:end][keep],
-            )
-            mask = cone_bounds < threshold
-            stats.points_pruned_cone += int(survivors.shape[0] - mask.sum())
-            survivors = survivors[mask]
-        if profile:
-            stats.stage_seconds["lower_bounds"] = (
-                stats.stage_seconds.get("lower_bounds", 0.0)
-                + (time.perf_counter() - tic)
-            )
-
-        if survivors.shape[0] == 0:
-            return
-        tic = time.perf_counter() if profile else 0.0
-        distances = np.abs(self._points[survivors] @ query)
-        collector.offer_batch(survivors, distances)
-        if profile:
-            stats.stage_seconds["verification"] = (
-                stats.stage_seconds.get("verification", 0.0)
-                + (time.perf_counter() - tic)
-            )
-        stats.candidates_verified += int(survivors.shape[0])
-
-    def _scan_leaf_sequential(
-        self,
-        node: int,
-        ip_node: float,
-        query: np.ndarray,
-        query_norm: float,
-        collector: TopKCollector,
-        stats: SearchStats,
-    ) -> None:
-        """Point-by-point leaf scan exactly as written in Algorithm 5."""
-        tree = self.tree
-        start, end = tree.start[node], tree.end[node]
-        center_norm = float(np.linalg.norm(tree.centers[node]))
-        q_cos, q_sin = query_angle_terms(ip_node, query_norm, center_norm)
-        points = self._points
-
-        for pos in range(start, end):
-            threshold = collector.threshold
-            if self.use_ball_bound:
-                ball = float(
-                    point_ball_bound(ip_node, query_norm, self.point_radius[pos])
-                )
-                if ball >= threshold:
-                    # Remaining points have larger or equal bounds: batch prune.
-                    stats.points_pruned_ball += end - pos
-                    return
-            if self.use_cone_bound:
-                cone = point_cone_bound(
-                    q_cos, q_sin, self.point_cos[pos], self.point_sin[pos]
-                )
-                if cone >= threshold:
-                    stats.points_pruned_cone += 1
-                    continue
-            index = int(tree.perm[pos])
-            distance = float(abs(points[index] @ query))
-            stats.candidates_verified += 1
-            collector.offer(index, distance)

@@ -12,26 +12,23 @@ bound it uses.  Its price is the priority-queue overhead and the loss of
 the cheap, cache-friendly stack discipline — which is exactly the trade-off
 the ablation benchmark ``bench_ablation_traversal_order.py`` measures.
 
-The searcher operates on an already-fitted :class:`~repro.core.ball_tree.BallTree`
-or :class:`~repro.core.bc_tree.BCTree` and reuses the owning index's leaf
-scan (so BC-Tree's point-level pruning still applies).
+Both traversal orders are two modes of the same
+:class:`~repro.engine.traversal.TraversalEngine` (a stack frontier vs. a
+heap frontier); this module is a thin façade that reuses the owning index's
+cached engine, so BC-Tree's point-level leaf pruning and the
+collaborative inner-product accounting apply identically.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Optional
 
 import numpy as np
 
 from repro.core.ball_tree import BallTree
-from repro.core.bc_tree import BCTree
-from repro.core.bounds import node_ball_bound
 from repro.core.index_base import NotFittedError
-from repro.core.results import SearchResult, SearchStats, TopKCollector
-from repro.core.tree_base import NO_CHILD
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.core.results import SearchResult
+from repro.engine.batch import BatchSearchResult, execute_batch
 
 
 class BestFirstSearcher:
@@ -102,88 +99,29 @@ class BestFirstSearcher:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         k = min(int(k), index.num_points)
-        budget = self._resolve_budget(candidate_fraction, max_candidates)
-        return self._search_normalized(q, k, budget)
+        budget = index._resolve_budget(candidate_fraction, max_candidates)
+        return index._engine().search(q, k, budget=budget, order="best_first")
 
-    # ------------------------------------------------------------ internals
+    def batch_search(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        *,
+        n_jobs: Optional[int] = None,
+        **search_kwargs,
+    ) -> BatchSearchResult:
+        """Best-first :meth:`search` for every row of ``queries``.
 
-    def _resolve_budget(self, candidate_fraction, max_candidates) -> float:
-        candidate_fraction = check_fraction(
-            candidate_fraction, name="candidate_fraction"
+        Dispatched through :func:`repro.engine.batch.execute_batch`, so the
+        results are bit-identical to sequential calls for every ``n_jobs``.
+        """
+        return execute_batch(
+            self.index,
+            queries,
+            k,
+            n_jobs=n_jobs,
+            search_fn=lambda q: self.search(q, k=k, **search_kwargs),
         )
-        if max_candidates is not None:
-            max_candidates = check_positive_int(max_candidates, name="max_candidates")
-        if candidate_fraction is not None and max_candidates is not None:
-            raise ValueError(
-                "pass either candidate_fraction or max_candidates, not both"
-            )
-        if candidate_fraction is not None:
-            return max(1.0, candidate_fraction * self.index.num_points)
-        if max_candidates is not None:
-            return float(max_candidates)
-        return float("inf")
-
-    def _search_normalized(
-        self, query: np.ndarray, k: int, budget: float
-    ) -> SearchResult:
-        index = self.index
-        tree = index.tree
-        centers = tree.centers
-        radii = tree.radii
-        query_norm = float(np.linalg.norm(query))
-
-        stats = SearchStats()
-        collector = TopKCollector(k)
-        counter = itertools.count()  # tie-breaker so heap never compares tuples deeper
-
-        root_ip = float(centers[0] @ query)
-        stats.center_inner_products += 1
-        root_bound = node_ball_bound(root_ip, query_norm, radii[0])
-        frontier = [(root_bound, next(counter), 0, root_ip)]
-
-        is_bc = isinstance(index, BCTree)
-
-        while frontier:
-            if stats.candidates_verified >= budget:
-                break
-            bound, _, node, ip_node = heapq.heappop(frontier)
-            # Frontier bounds only grow, so the first bound at or above the
-            # current threshold terminates the whole search.
-            if bound >= collector.threshold:
-                break
-            stats.nodes_visited += 1
-
-            left = tree.left_child[node]
-            if left == NO_CHILD:
-                if is_bc:
-                    index._scan_leaf_with_pruning(
-                        node, ip_node, query, query_norm, collector, stats, False
-                    )
-                else:
-                    index._scan_leaf(node, query, collector, stats, False)
-                continue
-
-            right = tree.right_child[node]
-            ip_left = float(centers[left] @ query)
-            stats.center_inner_products += 1
-            if is_bc and index.collaborative_ip:
-                size = tree.end[node] - tree.start[node]
-                left_size = tree.end[left] - tree.start[left]
-                right_size = tree.end[right] - tree.start[right]
-                ip_right = (size * ip_node - left_size * ip_left) / right_size
-            else:
-                ip_right = float(centers[right] @ query)
-                stats.center_inner_products += 1
-
-            lb_left = node_ball_bound(ip_left, query_norm, radii[left])
-            lb_right = node_ball_bound(ip_right, query_norm, radii[right])
-            threshold = collector.threshold
-            if lb_left < threshold:
-                heapq.heappush(frontier, (lb_left, next(counter), left, ip_left))
-            if lb_right < threshold:
-                heapq.heappush(frontier, (lb_right, next(counter), right, ip_right))
-
-        return collector.to_result(stats)
 
 
 def best_first_search(

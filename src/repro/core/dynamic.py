@@ -32,6 +32,7 @@ from repro.core.bc_tree import BCTree
 from repro.core.distances import augment_points, normalize_query
 from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.engine.batch import BatchSearchResult, execute_batch
 from repro.utils.validation import check_points_matrix, check_query_vector
 
 
@@ -194,6 +195,25 @@ class DynamicP2HIndex:
                 stats.candidates_verified += int(live_mask.sum())
 
         return collector.to_result(stats)
+
+    def batch_search(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        *,
+        n_jobs: Optional[int] = None,
+        executor: str = "thread",
+        **search_kwargs,
+    ) -> BatchSearchResult:
+        """Run :meth:`search` for every row of ``queries``.
+
+        Dispatched through :func:`repro.engine.batch.execute_batch`, so
+        results are bit-identical to sequential per-query calls for every
+        ``n_jobs``.
+        """
+        return execute_batch(
+            self, queries, k, n_jobs=n_jobs, executor=executor, **search_kwargs
+        )
 
     def rebuild(self) -> None:
         """Fold the buffer and purge tombstones into a freshly built index."""

@@ -7,27 +7,33 @@ hashing baselines — implement the same small contract:
 * ``search(query, k, ...)`` returns a :class:`~repro.core.results.SearchResult`
   holding the top-k nearest points to the hyperplane together with work
   counters.
-* ``batch_search(queries, k, ...)`` runs many queries and returns a list of
-  results.
+* ``batch_search(queries, k, n_jobs=...)`` runs many queries through the
+  query-execution engine (:mod:`repro.engine`) and returns a
+  :class:`~repro.engine.batch.BatchSearchResult` — a sequence of per-query
+  results plus pooled statistics and batch timing.  Results are
+  bit-identical to sequential ``search`` for every ``n_jobs``.
 * ``index_size_bytes()`` reports the memory footprint of the index payload
   (Table III's "Size" column).
 * ``save(path)`` / ``load(path)`` persist the fitted index.
 
-The base class also owns the augmented data matrix, dimension checks, and
-indexing-time bookkeeping, so concrete indexes only implement ``_build`` and
-``_search_one``.
+The base class also owns the augmented data matrix, dimension checks,
+indexing-time bookkeeping, and the cached
+:class:`~repro.engine.traversal.TraversalEngine` for tree indexes, so
+concrete indexes only implement ``_build``, ``_search_one`` and (for tree
+indexes) ``_make_engine``.
 """
 
 from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.distances import augment_points, is_augmented, normalize_query
 from repro.core.results import SearchResult
+from repro.engine.batch import BatchSearchResult, execute_batch
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points_matrix, check_query_vector
 
@@ -58,6 +64,7 @@ class P2HIndex:
         self.num_points: int = 0
         self.dim: int = 0
         self.indexing_seconds: float = 0.0
+        self._engine_cache = None
 
     # ------------------------------------------------------------------ API
 
@@ -84,6 +91,7 @@ class P2HIndex:
             )
         self._points = pts
         self.num_points, self.dim = pts.shape
+        self._engine_cache = None
         with Timer() as timer:
             self._build(pts)
         self.indexing_seconds = timer.elapsed
@@ -116,11 +124,39 @@ class P2HIndex:
         return result
 
     def batch_search(
-        self, queries: np.ndarray, k: int = 1, **kwargs
-    ) -> List[SearchResult]:
-        """Run :meth:`search` for every row of ``queries``."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.search(q, k=k, **kwargs) for q in queries]
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        *,
+        n_jobs: Optional[int] = None,
+        executor: str = "thread",
+        **kwargs,
+    ) -> BatchSearchResult:
+        """Answer every row of ``queries`` through the execution engine.
+
+        Parameters
+        ----------
+        queries:
+            Query matrix of shape ``(q, d)`` (a single vector is promoted).
+        k:
+            Top-k size for every query.
+        n_jobs:
+            Worker-pool size; ``None`` or 1 runs inline.
+        executor:
+            ``"thread"`` (default) or ``"process"`` — see
+            :func:`repro.engine.batch.execute_batch`.
+        kwargs:
+            Index-specific search options, forwarded to every query.
+
+        Returns
+        -------
+        BatchSearchResult
+            Sequence of per-query results (bit-identical to sequential
+            :meth:`search` calls) plus pooled stats and wall/CPU timing.
+        """
+        return execute_batch(
+            self, queries, k, n_jobs=n_jobs, executor=executor, **kwargs
+        )
 
     def index_size_bytes(self) -> int:
         """Memory footprint of the index payload in bytes.
@@ -167,6 +203,33 @@ class P2HIndex:
                 f"{type(self).__name__} must be fitted before it can be used"
             )
 
+    def _engine(self):
+        """The cached :class:`TraversalEngine`, built lazily after ``fit``.
+
+        The cache is keyed on :meth:`_engine_signature`, so mutating a
+        search-relevant public attribute (e.g. BC-Tree's bound flags)
+        after a search transparently rebuilds the engine instead of
+        silently keeping the stale configuration.
+        """
+        signature = self._engine_signature()
+        cached = self._engine_cache
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        engine = self._make_engine()
+        self._engine_cache = (signature, engine)
+        return engine
+
+    def _engine_signature(self) -> tuple:
+        """Search-relevant attributes the engine bakes in at build time."""
+        return ()
+
+    def __getstate__(self):
+        # The engine is a derived structure (plain-list mirrors of the tree
+        # arrays); drop it from pickles and rebuild lazily after load.
+        state = dict(self.__dict__)
+        state["_engine_cache"] = None
+        return state
+
     # ------------------------------------------------------------- overrides
 
     def _build(self, points: np.ndarray) -> None:
@@ -176,6 +239,12 @@ class P2HIndex:
     def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
         """Answer a single normalized query."""
         raise NotImplementedError
+
+    def _make_engine(self):
+        """Build the traversal engine (tree indexes only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not use a traversal engine"
+        )
 
     def _payload_arrays(self) -> Sequence[np.ndarray]:
         """Arrays that constitute the index payload (for size accounting)."""

@@ -10,6 +10,9 @@ for the "why Ball-Tree?" design discussion.
 
 The tree uses the classic median split on the widest dimension and the same
 search API as the other indexes (branch-and-bound with a candidate budget).
+Traversal runs on the shared :class:`~repro.engine.traversal.TraversalEngine`
+(stack frontier, children ordered by the smaller box bound), which
+evaluates the box bound for every node in one vectorized pass per query.
 """
 
 from __future__ import annotations
@@ -19,10 +22,11 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.bounds import kd_box_bound
 from repro.core.index_base import P2HIndex
-from repro.core.results import SearchResult, SearchStats, TopKCollector
-from repro.utils.validation import check_fraction, check_positive_int
+from repro.core.results import SearchResult
+from repro.engine.budget import resolve_budget
+from repro.engine.traversal import TraversalEngine
+from repro.utils.validation import check_positive_int
 
 NO_CHILD = -1
 
@@ -143,6 +147,9 @@ class KDTree(P2HIndex):
 
     # ---------------------------------------------------------------- search
 
+    def _make_engine(self) -> TraversalEngine:
+        return TraversalEngine.for_kd_tree(self)
+
     def _search_one(
         self,
         query: np.ndarray,
@@ -155,45 +162,5 @@ class KDTree(P2HIndex):
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(f"KDTree.search got unexpected options: {unexpected}")
-        candidate_fraction = check_fraction(candidate_fraction, name="candidate_fraction")
-        if max_candidates is not None:
-            max_candidates = check_positive_int(max_candidates, name="max_candidates")
-        if candidate_fraction is not None:
-            budget = max(1.0, candidate_fraction * self.num_points)
-        elif max_candidates is not None:
-            budget = float(max_candidates)
-        else:
-            budget = float("inf")
-
-        tree = self.tree
-        stats = SearchStats()
-        collector = TopKCollector(k)
-        stack = [0]
-        while stack:
-            if stats.candidates_verified >= budget:
-                break
-            node = stack.pop()
-            stats.nodes_visited += 1
-            bound = kd_box_bound(query, tree.lower[node], tree.upper[node])
-            if bound >= collector.threshold:
-                continue
-            left = tree.left_child[node]
-            if left == NO_CHILD:
-                start, end = tree.start[node], tree.end[node]
-                indices = tree.perm[start:end]
-                distances = np.abs(self._points[indices] @ query)
-                collector.offer_batch(indices, distances)
-                stats.candidates_verified += int(indices.shape[0])
-                stats.leaves_scanned += 1
-                continue
-            right = tree.right_child[node]
-            bound_left = kd_box_bound(query, tree.lower[left], tree.upper[left])
-            bound_right = kd_box_bound(query, tree.lower[right], tree.upper[right])
-            # Visit the child with the smaller box bound first.
-            if bound_left < bound_right:
-                stack.append(right)
-                stack.append(left)
-            else:
-                stack.append(left)
-                stack.append(right)
-        return collector.to_result(stats)
+        budget = resolve_budget(candidate_fraction, max_candidates, self.num_points)
+        return self._engine().search(query, k, budget=budget, order="depth_first")

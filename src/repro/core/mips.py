@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.index_base import NotFittedError
 from repro.core.results import SearchResult, SearchStats
 from repro.core.tree_base import NO_CHILD, TreeArrays, build_tree
+from repro.engine.batch import BatchSearchResult, execute_batch
 from repro.utils.timing import Timer
 from repro.utils.validation import (
     check_points_matrix,
@@ -167,6 +168,25 @@ class BallTreeMIPS:
         """Top-``k`` points maximizing ``|<x, q>|`` (P2H furthest neighbors)."""
         return self._search(query, k, absolute=True)
 
+    def batch_search(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        *,
+        n_jobs: Optional[int] = None,
+        absolute: bool = False,
+    ) -> BatchSearchResult:
+        """Run :meth:`search` (or :meth:`search_absolute`) for every query.
+
+        Dispatched through :func:`repro.engine.batch.execute_batch`, so
+        results are bit-identical to sequential per-query calls for every
+        ``n_jobs``.
+        """
+        search = self.search_absolute if absolute else self.search
+        return execute_batch(
+            self, queries, k, n_jobs=n_jobs, search_fn=lambda q: search(q, k=k)
+        )
+
     def index_size_bytes(self) -> int:
         """Memory footprint of the tree arrays in bytes."""
         self._check_fitted()
@@ -254,3 +274,33 @@ def linear_mips(points: np.ndarray, query: np.ndarray, k: int = 1) -> SearchResu
         distances=scores[order].astype(np.float64),
         stats=stats,
     )
+
+
+def linear_mips_batch(
+    points: np.ndarray, queries: np.ndarray, k: int = 1
+) -> List[SearchResult]:
+    """Brute-force top-k MIPS for a whole query batch with one matmul.
+
+    Equivalent to ``[linear_mips(points, q, k) for q in queries]`` up to
+    BLAS GEMM-vs-GEMV rounding in the last ulp of the scores.
+    """
+    pts = check_points_matrix(points, name="points")
+    matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    if matrix.shape[1] != pts.shape[1]:
+        raise ValueError(
+            f"queries have dimension {matrix.shape[1]}, expected {pts.shape[1]}"
+        )
+    k = min(check_positive_int(k, name="k"), pts.shape[0])
+    scores = pts @ matrix.T  # one GEMM for the whole batch
+    results: List[SearchResult] = []
+    for column in range(scores.shape[1]):
+        column_scores = scores[:, column]
+        order = np.argsort(-column_scores, kind="stable")[:k]
+        results.append(
+            SearchResult(
+                indices=order.astype(np.int64),
+                distances=column_scores[order].astype(np.float64),
+                stats=SearchStats(candidates_verified=int(pts.shape[0])),
+            )
+        )
+    return results

@@ -28,6 +28,7 @@ an approximate index whose recall/time trade-off is measured by
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.core.bc_tree import BCTree
 from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
 from repro.core.splits import seed_grow_split
+from repro.engine.batch import BatchSearchResult, pool_results
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points_matrix, check_positive_int
@@ -192,11 +194,62 @@ class PartitionedP2HIndex:
         return merged
 
     def batch_search(
-        self, queries: np.ndarray, k: int = 1, **search_kwargs
-    ) -> List[SearchResult]:
-        """Run :meth:`search` for every row of ``queries``."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.search(q, k=k, **search_kwargs) for q in queries]
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        *,
+        n_jobs: Optional[int] = None,
+        executor: str = "thread",
+        **search_kwargs,
+    ) -> BatchSearchResult:
+        """Answer every row of ``queries``, fanning the batch out per shard.
+
+        Each shard answers the *whole* batch through its own engine-backed
+        ``batch_search`` (with the shard's worker pool), and the per-shard
+        top-k lists are then merged per query in shard order — the same
+        merge :meth:`search` performs, so the results are bit-identical to
+        sequential per-query search for every ``n_jobs``.
+        """
+        self._check_fitted()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+        matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+
+        wall_tic = time.perf_counter()
+        cpu_tic = time.process_time()
+        shard_batches = []
+        for sub_index, ids in zip(self.shards, self.shard_point_ids):
+            shard_k = min(k, int(ids.size))
+            shard_batches.append(
+                sub_index.batch_search(
+                    matrix,
+                    k=shard_k,
+                    n_jobs=n_jobs,
+                    executor=executor,
+                    **search_kwargs,
+                )
+            )
+        results: List[SearchResult] = []
+        for row in range(matrix.shape[0]):
+            stats = SearchStats()
+            collector = TopKCollector(k)
+            for batch, ids in zip(shard_batches, self.shard_point_ids):
+                result = batch[row]
+                stats.merge(result.stats)
+                global_ids = ids[result.indices]
+                collector.offer_batch(global_ids, result.distances)
+            results.append(collector.to_result(stats))
+        wall = time.perf_counter() - wall_tic
+        cpu = time.process_time() - cpu_tic
+        return pool_results(
+            results,
+            wall_seconds=wall,
+            cpu_seconds=cpu,
+            # Report the pool size the shards actually ran with (the
+            # request is capped at the machine's CPU count downstream).
+            n_jobs=shard_batches[0].n_jobs if shard_batches else 1,
+        )
 
     def index_size_bytes(self) -> int:
         """Total payload size across all shards (plus the id maps)."""

@@ -136,21 +136,28 @@ class TopKCollector:
         """Offer a batch of candidates (vectorized fast path).
 
         Only candidates strictly below the current threshold can enter the
-        heap, so the batch is pre-filtered before the per-element pushes.
+        heap, and of those only the k smallest matter, so the batch is cut
+        down with one comparison (and, when still large, one
+        ``argpartition``) before the per-element pushes.  This is the one
+        batch-offer implementation — the engine's leaf scans and the
+        partitioned/dynamic merge paths all route through it.
         """
         if len(indices) == 0:
             return
         threshold = self.threshold
-        if np.isinf(threshold):
-            order = np.argsort(distances, kind="stable")
-            for pos in order:
-                self.offer(int(indices[pos]), float(distances[pos]))
-            return
-        mask = distances < threshold
-        if not mask.any():
-            return
-        for idx, dist in zip(indices[mask], distances[mask]):
-            self.offer(int(idx), float(dist))
+        if not np.isinf(threshold):
+            mask = distances < threshold
+            if not mask.any():
+                return
+            indices = indices[mask]
+            distances = distances[mask]
+        if distances.shape[0] > self.k:
+            keep = np.argpartition(distances, self.k - 1)[: self.k]
+            indices = indices[keep]
+            distances = distances[keep]
+        order = np.argsort(distances, kind="stable")
+        for pos in order:
+            self.offer(int(indices[pos]), float(distances[pos]))
 
     def to_result(self, stats: SearchStats = None) -> SearchResult:
         """Materialize the collected candidates as a sorted :class:`SearchResult`."""

@@ -41,6 +41,7 @@ class TreeArrays:
     left_child: np.ndarray    # (num_nodes,) index of left child or -1
     right_child: np.ndarray   # (num_nodes,) index of right child or -1
     perm: np.ndarray          # (n,) permutation of point indices
+    center_norms: np.ndarray  # (num_nodes,) ||center||, precomputed at build
 
     @property
     def num_nodes(self) -> int:
@@ -84,6 +85,7 @@ class TreeArrays:
             self.left_child,
             self.right_child,
             self.perm,
+            self.center_norms,
         )
 
 
@@ -261,12 +263,17 @@ def build_tree(
         stack.append((right_id, 0))
         stack.append((left_id, 0))
 
+    centers_arr = np.asarray(centers, dtype=np.float64)
     return TreeArrays(
-        centers=np.asarray(centers, dtype=np.float64),
+        centers=centers_arr,
         radii=np.asarray(radii, dtype=np.float64),
         start=np.asarray(starts, dtype=np.int64),
         end=np.asarray(ends, dtype=np.int64),
         left_child=np.asarray(lefts, dtype=np.int64),
         right_child=np.asarray(rights, dtype=np.int64),
         perm=perm,
+        # Search-time leaf kernels need ||center|| per node (the cone bound's
+        # query decomposition); computing the norms once here removes a
+        # np.linalg.norm call from every leaf visit.
+        center_norms=np.linalg.norm(centers_arr, axis=1),
     )

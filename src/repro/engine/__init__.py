@@ -1,0 +1,36 @@
+"""Query-execution engine shared by every index in the library.
+
+This subpackage owns *how* queries are answered; the index classes under
+:mod:`repro.core` own *what* is indexed.  Three pieces:
+
+* :mod:`repro.engine.traversal` — :class:`TraversalEngine`, the single
+  branch-and-bound implementation behind Ball-Tree, BC-Tree and KD-Tree
+  search, expressing depth-first and best-first traversal over one frontier
+  abstraction (stack vs. heap).
+* :mod:`repro.engine.batch` — :func:`execute_batch` and
+  :class:`BatchSearchResult`, the batched path behind every index's
+  ``batch_search`` (vectorized schedule seeding, thread/process worker
+  pools, pooled statistics, bit-identical to sequential ``search``).
+* :mod:`repro.engine.budget` — :func:`resolve_budget`, the one translation
+  of the approximate-search knobs into a candidate budget.
+
+Future backends (sharded execution, async serving, compiled kernels) plug
+in here without touching the index classes.
+"""
+
+from repro.engine.batch import (
+    BatchSearchResult,
+    execute_batch,
+    pool_results,
+)
+from repro.engine.budget import resolve_budget
+from repro.engine.traversal import LeafPruningData, TraversalEngine
+
+__all__ = [
+    "BatchSearchResult",
+    "LeafPruningData",
+    "TraversalEngine",
+    "execute_batch",
+    "pool_results",
+    "resolve_budget",
+]

@@ -1,0 +1,56 @@
+"""Candidate-budget resolution shared by every traversal.
+
+The paper's approximate search (Figures 5-6) stops traversal once a given
+number — or fraction — of points has been verified.  Every index used to
+carry its own copy of the translation from the two user-facing knobs
+(``candidate_fraction`` / ``max_candidates``) into a single numeric budget;
+this module is now the only implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+def resolve_budget(
+    candidate_fraction: Optional[float],
+    max_candidates: Optional[int],
+    num_points: int,
+) -> float:
+    """Translate the approximate-search knobs into a candidate budget.
+
+    Parameters
+    ----------
+    candidate_fraction:
+        Fraction of ``num_points`` that may be verified, or None.
+    max_candidates:
+        Absolute number of candidates that may be verified, or None.
+    num_points:
+        Number of points owned by the index (scales ``candidate_fraction``).
+
+    Returns
+    -------
+    float
+        The budget: ``+inf`` when both knobs are None (exact search),
+        otherwise a positive count.  Traversal stops once the number of
+        verified candidates reaches the budget.
+
+    Raises
+    ------
+    ValueError
+        If both knobs are given, or either is out of range.
+    """
+    candidate_fraction = check_fraction(candidate_fraction, name="candidate_fraction")
+    if max_candidates is not None:
+        max_candidates = check_positive_int(max_candidates, name="max_candidates")
+    if candidate_fraction is not None and max_candidates is not None:
+        raise ValueError(
+            "pass either candidate_fraction or max_candidates, not both"
+        )
+    if candidate_fraction is not None:
+        return max(1.0, candidate_fraction * num_points)
+    if max_candidates is not None:
+        return float(max_candidates)
+    return float("inf")

@@ -56,6 +56,7 @@ EXPERIMENTS = (
     "fig10",
     "fig11",
     "partitioned",
+    "batch",
 )
 
 
@@ -522,6 +523,71 @@ def run_partitioned(config: ExperimentConfig) -> ExperimentOutput:
     )
 
 
+def run_batch(config: ExperimentConfig) -> ExperimentOutput:
+    """Extension — batched query throughput through the execution engine.
+
+    Measures queries/second of ``batch_search`` for the tree indexes and
+    the linear scan across worker-pool sizes; recall is reported as a
+    sanity check (batched results are bit-identical to sequential search,
+    so it always matches the sequential number).
+    """
+    from repro import LinearScan
+
+    n_jobs_grid = (1, 2, 4)
+    records = []
+    for name in config.dataset_names():
+        workload = _build_workload(name, config)
+        methods: Dict[str, Callable[[], object]] = {}
+        methods.update(_tree_methods(config))
+        methods["Linear"] = lambda: LinearScan()
+        for method, factory in methods.items():
+            index = factory().fit(workload.points)
+            # Warm up (builds the traversal engine) so the n_jobs=1 baseline
+            # doesn't carry one-time setup cost into the speedup column.
+            index.search(workload.queries[0], k=config.k)
+            baseline_qps = None
+            for n_jobs in n_jobs_grid:
+                batch = index.batch_search(
+                    workload.queries, k=config.k, n_jobs=n_jobs
+                )
+                recalls = [
+                    average_recall([result], truth[None, :])
+                    for result, truth in zip(batch, workload.ground_truth)
+                ]
+                qps = batch.queries_per_second
+                if baseline_qps is None:
+                    baseline_qps = qps
+                records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "n_jobs": n_jobs,
+                        # batch.n_jobs is the pool size actually used (the
+                        # request is capped at the machine's CPU count).
+                        "workers": batch.n_jobs,
+                        "queries_per_second": qps,
+                        "speedup_vs_1": (
+                            qps / baseline_qps if baseline_qps else 0.0
+                        ),
+                        "recall": float(np.mean(recalls)),
+                    }
+                )
+    return ExperimentOutput(
+        experiment="batch",
+        title="Extension — batched search throughput (engine worker pool)",
+        columns=[
+            "dataset",
+            "method",
+            "n_jobs",
+            "workers",
+            "queries_per_second",
+            "speedup_vs_1",
+            "recall",
+        ],
+        records=records,
+    )
+
+
 _DRIVERS: Dict[str, Callable[[ExperimentConfig], ExperimentOutput]] = {
     "table2": run_table2,
     "table3": run_table3,
@@ -533,6 +599,7 @@ _DRIVERS: Dict[str, Callable[[ExperimentConfig], ExperimentOutput]] = {
     "fig10": run_fig10,
     "fig11": run_fig11,
     "partitioned": run_partitioned,
+    "batch": run_batch,
 }
 
 

@@ -5,6 +5,12 @@ This is the layer every benchmark script uses.  It deliberately works on
 generators produce) and owns ground-truth computation, so a benchmark is a
 few lines: load data, generate queries, call :func:`evaluate_index` for each
 method/parameter combination, and feed the results to the reporting module.
+
+Query execution goes through the engine's batched path
+(``index.batch_search``); per-query wall times come from the engine's
+per-query timers, and an ``n_jobs`` knob exposes the worker pool.  Batched
+results are bit-identical to sequential search, so recall numbers are
+unaffected by the execution mode.
 """
 
 from __future__ import annotations
@@ -18,7 +24,6 @@ from repro.core.index_base import P2HIndex
 from repro.core.results import SearchResult
 from repro.eval.ground_truth import exact_ground_truth
 from repro.eval.metrics import average_recall, indexing_report, summarize_query_stats
-from repro.utils.timing import Timer
 
 
 @dataclass
@@ -93,6 +98,8 @@ def evaluate_index(
     ground_truth: Optional[np.ndarray] = None,
     search_kwargs: Optional[Dict] = None,
     fit: bool = True,
+    n_jobs: Optional[int] = None,
+    executor: str = "thread",
 ) -> EvaluationResult:
     """Fit (optionally) and evaluate ``index`` on a query workload.
 
@@ -117,6 +124,9 @@ def evaluate_index(
     fit:
         If False the index is assumed to be fitted on ``points`` already
         (lets a sweep reuse one index across many search settings).
+    n_jobs, executor:
+        Worker-pool configuration for the engine's batched execution; the
+        results (and therefore recall) are identical for every setting.
     """
     search_kwargs = dict(search_kwargs or {})
     if fit:
@@ -135,13 +145,16 @@ def evaluate_index(
     )
 
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    for query, truth in zip(queries, ground_truth):
-        with Timer() as timer:
-            result = index.search(query, k=k, **search_kwargs)
+    batch = index.batch_search(
+        queries, k=k, n_jobs=n_jobs, executor=executor, **search_kwargs
+    )
+    for result, truth in zip(batch, ground_truth):
         recall = average_recall([result], truth[None, :])
         evaluation.per_query.append(
             QueryEvaluation(
-                recall=recall, query_seconds=timer.elapsed, result=result
+                recall=recall,
+                query_seconds=result.stats.elapsed_seconds,
+                result=result,
             )
         )
     return evaluation

@@ -1,0 +1,231 @@
+"""Batched search must be bit-identical to sequential per-query search.
+
+This is the engine's central guarantee: for every index, ``batch_search``
+with any ``n_jobs`` returns exactly the indices and distances that
+sequential ``search`` calls produce — including under candidate budgets,
+where an ulp-level perturbation of an inner product could otherwise change
+*which* candidates get verified (which is why the batch seed matmul never
+feeds traversal; see :mod:`repro.engine.batch`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BallTree,
+    BCTree,
+    DynamicP2HIndex,
+    FHIndex,
+    KDTree,
+    LinearScan,
+    NHIndex,
+    PartitionedP2HIndex,
+)
+from repro.core.best_first import BestFirstSearcher
+from repro.core.mips import BallTreeMIPS, linear_mips_batch
+from repro.engine.batch import BatchSearchResult
+
+K = 10
+
+
+@pytest.fixture(autouse=True)
+def force_worker_pools(monkeypatch):
+    """Pretend the machine has many cores so the pool paths really run.
+
+    ``execute_batch`` caps the pool at ``os.cpu_count()``; without this the
+    parity tests would silently degrade to the inline path on small CI
+    machines and stop covering the worker-pool plumbing.
+    """
+    import repro.engine.batch as batch_module
+
+    monkeypatch.setattr(batch_module.os, "cpu_count", lambda: 8)
+
+
+def _assert_bit_identical(batch, sequential):
+    assert isinstance(batch, BatchSearchResult)
+    assert len(batch) == len(sequential)
+    for got, expected in zip(batch, sequential):
+        np.testing.assert_array_equal(got.indices, expected.indices)
+        np.testing.assert_array_equal(got.distances, expected.distances)
+
+
+def _index_factories(seed_data_dim):
+    """Every index family the library ships, at small test scale."""
+    return {
+        "ball": lambda: BallTree(leaf_size=40, random_state=0),
+        "bc": lambda: BCTree(leaf_size=40, random_state=0),
+        "bc_sequential": lambda: BCTree(
+            leaf_size=40, random_state=0, scan_mode="sequential"
+        ),
+        "kd": lambda: KDTree(leaf_size=40),
+        "linear": lambda: LinearScan(),
+        "nh": lambda: NHIndex(
+            num_tables=8, sample_dim=2 * seed_data_dim, random_state=0
+        ),
+        "fh": lambda: FHIndex(
+            num_tables=8,
+            num_partitions=2,
+            sample_dim=2 * seed_data_dim,
+            random_state=0,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted_indexes(small_clustered_data):
+    dim = small_clustered_data.shape[1] + 1
+    return {
+        name: factory().fit(small_clustered_data)
+        for name, factory in _index_factories(dim).items()
+    }
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize(
+        "name",
+        ["ball", "bc", "bc_sequential", "kd", "linear", "nh", "fh"],
+    )
+    def test_parallel_batch_matches_sequential(self, fitted_indexes,
+                                               small_queries, name):
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
+    @pytest.mark.parametrize("candidate_fraction", [0.05, 0.3])
+    def test_parity_under_budget(self, fitted_indexes, small_queries, name,
+                                 candidate_fraction):
+        """Budgets make results order-sensitive; parity must still hold."""
+        index = fitted_indexes[name]
+        sequential = [
+            index.search(q, k=K, candidate_fraction=candidate_fraction)
+            for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=4, candidate_fraction=candidate_fraction
+        )
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("n_jobs", [None, 1, 2, 4])
+    def test_parity_across_pool_sizes(self, fitted_indexes, small_queries,
+                                      n_jobs):
+        index = fitted_indexes["bc"]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=n_jobs)
+        _assert_bit_identical(batch, sequential)
+
+    def test_partitioned_parity(self, small_clustered_data, small_queries):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=0).fit(
+            small_clustered_data
+        )
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        _assert_bit_identical(batch, sequential)
+
+    def test_partitioned_parity_under_budget(self, small_clustered_data,
+                                             small_queries):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=0).fit(
+            small_clustered_data
+        )
+        sequential = [
+            index.search(q, k=K, candidate_fraction=0.2) for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=4, candidate_fraction=0.2
+        )
+        _assert_bit_identical(batch, sequential)
+
+    def test_dynamic_parity(self, small_clustered_data, small_queries):
+        index = DynamicP2HIndex(random_state=0)
+        ids = index.insert(small_clustered_data)
+        index.delete(ids[:25])
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        _assert_bit_identical(batch, sequential)
+
+    def test_best_first_parity(self, small_clustered_data, small_queries):
+        tree = BCTree(leaf_size=40, random_state=0).fit(small_clustered_data)
+        searcher = BestFirstSearcher(tree)
+        sequential = [searcher.search(q, k=K) for q in small_queries]
+        batch = searcher.batch_search(small_queries, k=K, n_jobs=4)
+        _assert_bit_identical(batch, sequential)
+
+    def test_mips_parity(self, gaussian_blob, rng):
+        index = BallTreeMIPS(leaf_size=32, random_state=1).fit(gaussian_blob)
+        queries = rng.normal(size=(6, gaussian_blob.shape[1]))
+        for absolute in (False, True):
+            search = index.search_absolute if absolute else index.search
+            sequential = [search(q, k=5) for q in queries]
+            batch = index.batch_search(queries, k=5, n_jobs=3, absolute=absolute)
+            _assert_bit_identical(batch, sequential)
+
+    def test_process_executor_parity(self, small_clustered_data,
+                                     small_queries):
+        """Forked workers run the same per-query code: still bit-identical."""
+        index = BCTree(leaf_size=40, random_state=0).fit(small_clustered_data)
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, executor="process"
+        )
+        _assert_bit_identical(batch, sequential)
+
+
+class TestVectorizedLinearPaths:
+    """The explicit matmul fast paths trade ulp-level reproducibility for
+    a single GEMM; indices must still agree on data without ties."""
+
+    def test_linear_scan_vectorized(self, small_clustered_data, small_queries):
+        scan = LinearScan().fit(small_clustered_data)
+        sequential = [scan.search(q, k=K) for q in small_queries]
+        batch = scan.batch_search(small_queries, k=K, vectorized=True)
+        assert len(batch) == len(sequential)
+        for got, expected in zip(batch, sequential):
+            np.testing.assert_array_equal(got.indices, expected.indices)
+            np.testing.assert_allclose(
+                got.distances, expected.distances, rtol=1e-12, atol=1e-12
+            )
+
+    def test_linear_mips_batch(self, gaussian_blob, rng):
+        queries = rng.normal(size=(5, gaussian_blob.shape[1]))
+        from repro.core.mips import linear_mips
+
+        batched = linear_mips_batch(gaussian_blob, queries, k=5)
+        for got, query in zip(batched, queries):
+            expected = linear_mips(gaussian_blob, query, k=5)
+            np.testing.assert_array_equal(got.indices, expected.indices)
+            np.testing.assert_allclose(
+                got.distances, expected.distances, rtol=1e-12, atol=1e-12
+            )
+
+    def test_vectorized_rejects_unknown_kwargs(self, small_clustered_data,
+                                               small_queries):
+        scan = LinearScan().fit(small_clustered_data)
+        with pytest.raises(TypeError):
+            scan.batch_search(small_queries, k=K, vectorized=True, probes=3)
+
+
+class TestBatchStats:
+    def test_pooled_stats_match_sequential_sum(self, small_clustered_data,
+                                               small_queries):
+        index = BCTree(leaf_size=40, random_state=0).fit(small_clustered_data)
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        assert batch.stats.candidates_verified == sum(
+            r.stats.candidates_verified for r in sequential
+        )
+        assert batch.stats.nodes_visited == sum(
+            r.stats.nodes_visited for r in sequential
+        )
+        assert batch.stats.center_inner_products == sum(
+            r.stats.center_inner_products for r in sequential
+        )
+        assert batch.wall_seconds > 0.0
+
+    def test_per_query_elapsed_recorded(self, small_clustered_data,
+                                        small_queries):
+        index = BallTree(leaf_size=40, random_state=0).fit(small_clustered_data)
+        batch = index.batch_search(small_queries, k=K, n_jobs=2)
+        assert all(r.stats.elapsed_seconds > 0.0 for r in batch)
