@@ -1,0 +1,316 @@
+"""Extension — batched hashing-baseline throughput (NH + FH).
+
+The paper's headline comparison pits the tree indexes against the NH/FH
+hashing baselines, so the baselines deserve the same batched treatment: the
+vectorized hashing kernel (:mod:`repro.hashing.base`) answers a whole query
+block per call instead of running pure-Python per-table generator loops per
+query.  This benchmark records queries/second for ``n_jobs in {1, 2, 4}``
+and compares against **two** per-query baselines:
+
+* ``seed_loop`` — a faithful replica of the original per-query probing
+  (Python loop over tables, one ``searchsorted`` + window trim per table,
+  per-query candidate verification).  This is the loop-overhead-artifact
+  shape the baseline timings used to be measured with, and the reference
+  the batch path must beat by >= 3x single-process.
+* ``loop`` — the *current* per-query ``search`` loop, which itself runs
+  the vectorized kernel on blocks of one and is therefore already much
+  faster than the seed shape.
+
+Batched results are bit-identical to sequential ``search`` (asserted
+below), so the throughput gains carry no accuracy trade-off.
+
+Two tests: the dataset sweep records the throughput table across the
+configured surrogates (on the high-dimensional ones — Cifar-10/Sun at
+d=512 — verification GEMVs dominate every path and the ratio tapers,
+which is itself a faithful profile observation), and a dedicated
+4k-point low-dimensional clustered surrogate enforces the >= 3x
+single-process floor in the probing-bound regime the seed's
+loop-overhead artifact actually lived in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import FHIndex, NHIndex
+from repro.core.distances import normalize_query
+from repro.core.results import SearchStats, TopKCollector
+from repro.datasets import random_hyperplane_queries
+from repro.datasets.synthetic import clustered_gaussian
+from repro.eval.reporting import print_and_save
+from repro.hashing.transform import nh_query
+from repro.utils.validation import check_query_vector
+
+from conftest import (
+    bench_num_points,
+    measure_batch_throughput,
+    measure_loop_throughput,
+)
+
+K = 10
+N_JOBS_GRID = (1, 2, 4)
+NUM_TABLES = 16
+PROBES = 32
+
+
+def _methods(dim):
+    lifted = 2 * (dim + 1)
+    return {
+        "NH": lambda: NHIndex(
+            num_tables=NUM_TABLES,
+            sample_dim=lifted,
+            probes_per_table=PROBES,
+            random_state=0,
+        ),
+        "FH": lambda: FHIndex(
+            num_tables=NUM_TABLES,
+            num_partitions=4,
+            sample_dim=lifted,
+            probes_per_table=PROBES,
+            random_state=0,
+        ),
+    }
+
+
+# ---------------------------------------------------- seed per-query replica
+
+
+def _seed_probe_nearest(tables, query_projections, probes):
+    """The seed's per-table QALSH probing: generator loop, one table a time."""
+    for table in range(tables.num_tables):
+        values = tables.projections[table]
+        ids = tables.order[table]
+        pos = int(np.searchsorted(values, query_projections[table]))
+        lo = max(0, pos - probes)
+        hi = min(tables.num_points, pos + probes)
+        window_ids = ids[lo:hi]
+        window_vals = values[lo:hi]
+        if window_ids.shape[0] > probes:
+            gaps = np.abs(window_vals - query_projections[table])
+            keep = np.argpartition(gaps, probes - 1)[:probes]
+            window_ids = window_ids[keep]
+        yield window_ids
+
+
+def _seed_probe_furthest(tables, query_projections, probes):
+    """The seed's per-table RQALSH probing (including its head/tail merge)."""
+    for table in range(tables.num_tables):
+        values = tables.projections[table]
+        ids = tables.order[table]
+        query_value = query_projections[table]
+        take = min(probes, tables.num_points)
+        head_ids = ids[:take]
+        head_gap = np.abs(values[:take] - query_value)
+        tail_ids = ids[tables.num_points - take:]
+        tail_gap = np.abs(values[tables.num_points - take:] - query_value)
+        merged_ids = np.concatenate([head_ids, tail_ids])
+        merged_gap = np.concatenate([head_gap, tail_gap])
+        if merged_ids.shape[0] > take:
+            keep = np.argpartition(-merged_gap, take - 1)[:take]
+            merged_ids = merged_ids[keep]
+        yield merged_ids
+
+
+def _seed_verify(index, query, candidate_ids, stats, k):
+    """The seed's per-query verification: unique + GEMV + top-k heap."""
+    candidates = (
+        np.unique(np.concatenate(candidate_ids))
+        if candidate_ids
+        else np.empty(0, dtype=np.int64)
+    )
+    collector = TopKCollector(k)
+    if candidates.shape[0]:
+        distances = np.abs(index._points[candidates] @ query)
+        collector.offer_batch(candidates, distances)
+        stats.candidates_verified += int(candidates.shape[0])
+    return collector.to_result(stats)
+
+
+def _seed_prepare(index, query):
+    """The seed's per-query validation + normalization (from ``search``)."""
+    query = check_query_vector(query, expected_dim=index.dim, name="query")
+    return normalize_query(query)
+
+
+def _seed_nh_search(index, query, k):
+    query = _seed_prepare(index, query)
+    stats = SearchStats()
+    transformed = nh_query(index._lift.transform(query))
+    query_projections = index._tables.project_query(transformed)
+    candidate_ids = []
+    for ids in _seed_probe_nearest(index._tables, query_projections, PROBES):
+        stats.buckets_probed += 1
+        candidate_ids.append(ids)
+    return _seed_verify(index, query, candidate_ids, stats, k)
+
+
+def _seed_fh_search(index, query, k):
+    query = _seed_prepare(index, query)
+    stats = SearchStats()
+    lifted_query = index._lift.transform(query)
+    candidate_ids = []
+    for partition in index._partitions:
+        query_projections = partition.tables.project_query(lifted_query)
+        for ids in _seed_probe_furthest(
+            partition.tables, query_projections, PROBES
+        ):
+            stats.buckets_probed += 1
+            candidate_ids.append(ids)
+    return _seed_verify(index, query, candidate_ids, stats, k)
+
+
+def _measure_seed_loop(index, queries, k, *, repeats=2):
+    """Queries/second of the seed per-query probing loop."""
+    seed_fn = _seed_nh_search if isinstance(index, NHIndex) else _seed_fh_search
+    best = float("inf")
+    for _ in range(max(1, int(repeats))):
+        tic = time.perf_counter()
+        for query in queries:
+            seed_fn(index, query, k)
+        best = min(best, time.perf_counter() - tic)
+    if best <= 0.0:
+        return 0.0
+    return len(queries) / best
+
+
+def test_hashing_throughput(benchmark, workloads, results_dir):
+    """Vectorized hashing kernels vs the per-query loops, per n_jobs."""
+    records = []
+    for name, workload in workloads.items():
+        for method, factory in _methods(workload.dim).items():
+            index = factory().fit(workload.points)
+            seed_loop_qps = _measure_seed_loop(
+                index, workload.queries, K, repeats=2
+            )
+            loop_qps = measure_loop_throughput(
+                index, workload.queries, K, repeats=2
+            )
+            sequential = [index.search(q, k=K) for q in workload.queries]
+            for n_jobs in N_JOBS_GRID:
+                qps, batch = measure_batch_throughput(
+                    index, workload.queries, K, n_jobs, repeats=2
+                )
+                # The batched kernel must be bit-identical to per-query
+                # search.
+                for got, expected in zip(batch, sequential):
+                    np.testing.assert_array_equal(got.indices,
+                                                  expected.indices)
+                    np.testing.assert_array_equal(got.distances,
+                                                  expected.distances)
+                records.append(
+                    {
+                        "dataset": name,
+                        "method": method,
+                        "n_jobs": n_jobs,
+                        # Pool size actually used (request capped at CPUs).
+                        "workers": batch.n_jobs,
+                        "batch_qps": qps,
+                        "loop_qps": loop_qps,
+                        "seed_loop_qps": seed_loop_qps,
+                        "speedup_vs_loop": (
+                            qps / loop_qps if loop_qps else 0.0
+                        ),
+                        "speedup_vs_seed_loop": (
+                            qps / seed_loop_qps if seed_loop_qps else 0.0
+                        ),
+                        "avg_candidates": batch.stats.candidates_verified
+                        / max(len(batch), 1),
+                    }
+                )
+                assert qps > 0.0
+                if n_jobs == 1 and bench_num_points() >= 4000:
+                    # At full surrogate scale the batched kernel must beat
+                    # the seed's per-query probing loop outright on every
+                    # surrogate (the >= 3x floor lives in the dedicated
+                    # test below).  Sub-millisecond smoke workloads skip
+                    # the comparison — a scheduler stall on a shared CI
+                    # runner can flip it spuriously.
+                    assert qps > seed_loop_qps, (
+                        f"{method} batch ({qps:.0f} qps) does not beat "
+                        f"the seed loop ({seed_loop_qps:.0f} qps)"
+                    )
+
+    print()
+    print_and_save(
+        records,
+        [
+            "dataset",
+            "method",
+            "n_jobs",
+            "workers",
+            "batch_qps",
+            "loop_qps",
+            "seed_loop_qps",
+            "speedup_vs_loop",
+            "speedup_vs_seed_loop",
+            "avg_candidates",
+        ],
+        title="Extension: batched hashing throughput (queries/second)",
+        json_path=results_dir / "hashing_throughput.json",
+    )
+
+    first = next(iter(workloads.values()))
+    index = _methods(first.dim)["NH"]().fit(first.points)
+    benchmark(lambda: index.batch_search(first.queries, k=K, n_jobs=4))
+
+
+def test_hashing_speedup_floor(results_dir):
+    """>= 3x single-process speedup over the seed loop, probing-bound regime.
+
+    The seed's per-query generator probing was pure Python overhead; on a
+    low-dimensional 4k-point clustered surrogate (where probing, not the
+    verification GEMV, dominates) the vectorized kernel must beat it by at
+    least 3x with ``n_jobs=1``.  Tiny smoke sizes only enforce a sanity
+    floor — per-query Python costs don't shrink with ``n``, but CI noise
+    at sub-millisecond workloads does.
+    """
+    num_points = min(bench_num_points(), 4000)
+    points = clustered_gaussian(
+        num_points, 20, num_clusters=8, cluster_radius=2.0,
+        center_spread=8.0, rng=21,
+    )
+    queries = random_hyperplane_queries(points, 20, rng=22)
+    floor = 3.0 if num_points >= 4000 else 1.2
+    records = []
+    for method, factory in _methods(points.shape[1]).items():
+        index = factory().fit(points)
+        seed_loop_qps = _measure_seed_loop(index, queries, K, repeats=3)
+        qps, batch = measure_batch_throughput(
+            index, queries, K, 1, repeats=3
+        )
+        sequential = [index.search(q, k=K) for q in queries]
+        for got, expected in zip(batch, sequential):
+            np.testing.assert_array_equal(got.indices, expected.indices)
+            np.testing.assert_array_equal(got.distances, expected.distances)
+        speedup = qps / seed_loop_qps if seed_loop_qps else float("inf")
+        records.append(
+            {
+                "method": method,
+                "num_points": num_points,
+                "batch_qps": qps,
+                "seed_loop_qps": seed_loop_qps,
+                "speedup_vs_seed_loop": speedup,
+                "required_floor": floor,
+            }
+        )
+        assert speedup >= floor, (
+            f"{method} batch ({qps:.0f} qps) is only {speedup:.2f}x the "
+            f"seed per-query loop ({seed_loop_qps:.0f} qps); need {floor}x"
+        )
+
+    print()
+    print_and_save(
+        records,
+        [
+            "method",
+            "num_points",
+            "batch_qps",
+            "seed_loop_qps",
+            "speedup_vs_seed_loop",
+            "required_floor",
+        ],
+        title="Extension: hashing batch speedup floor (vs seed loop)",
+        json_path=results_dir / "hashing_speedup_floor.json",
+    )

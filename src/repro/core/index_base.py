@@ -153,6 +153,14 @@ class P2HIndex:
         BatchSearchResult
             Sequence of per-query results (bit-identical to sequential
             :meth:`search` calls) plus pooled stats and wall/CPU timing.
+
+        Notes
+        -----
+        Indexes that expose a vectorized ``_batch_kernel`` (the hashing
+        baselines) are answered in whole-block kernel calls instead of
+        per-query dispatch; the engine chunks the block across the worker
+        pool, and results stay bit-identical for every ``n_jobs`` because
+        the kernels are per-row independent.
         """
         return execute_batch(
             self, queries, k, n_jobs=n_jobs, executor=executor, **kwargs
@@ -190,6 +198,28 @@ class P2HIndex:
         return obj
 
     # --------------------------------------------------------------- helpers
+
+    def _prepare_query_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Normalize a pre-validated query block exactly as :meth:`search` does.
+
+        Vectorized batch kernels (indexes exposing ``_batch_kernel``; see
+        :func:`repro.engine.batch.execute_batch`) run whole query blocks
+        without going through :meth:`search`.  The engine has already
+        promoted and finiteness-checked the block with
+        :func:`~repro.utils.validation.check_query_matrix` (validating
+        again here would re-scan the whole matrix per chunk), so only the
+        index-specific dimension check remains, and normalization runs the
+        same per-row kernel :meth:`search` uses — keeping blocked execution
+        bit-identical to sequential calls.
+        """
+        self._check_fitted()
+        if matrix.shape[1] != self.dim:
+            raise ValueError(
+                f"query must have dimension {self.dim}, got {matrix.shape[1]}"
+            )
+        if not self.normalize_queries or matrix.shape[0] == 0:
+            return matrix
+        return np.vstack([normalize_query(row) for row in matrix])
 
     @property
     def points(self) -> np.ndarray:

@@ -9,12 +9,23 @@ traversals over a worker pool, and aggregates the per-query results into a
 :class:`~repro.core.results.SearchResult` plus pooled
 :class:`~repro.core.results.SearchStats` and wall/CPU timing).
 
+Indexes that expose a **vectorized batch kernel** — a ``_batch_kernel``
+method answering a whole query block in one call (the hashing baselines in
+:mod:`repro.hashing.base`) — are dispatched differently: instead of pooling
+per-query ``search`` calls, the engine splits the query matrix into one
+contiguous chunk per worker and hands each chunk to the kernel.  The
+kernels are per-row independent by contract, so the chunking cannot change
+any query's answer.
+
 Determinism contract
 --------------------
 ``batch_search`` returns **bit-identical** indices and distances to calling
 ``search`` once per query, for every index and every ``n_jobs`` — including
-under ``candidate_fraction`` / ``max_candidates`` budgets.  This holds
-because each worker runs exactly the per-query code path of ``search``.
+under ``candidate_fraction`` / ``max_candidates`` budgets.  For per-query
+dispatch this holds because each worker runs exactly the per-query code
+path of ``search``; for kernel dispatch it holds because the sequential
+``search`` of those indexes delegates to the same kernel with a block of
+one query, and every kernel step is per-row independent.
 
 The batch-level seed matmul deliberately does *not* feed inner products
 into traversal: BLAS GEMM results are not bit-reproducible against the
@@ -26,7 +37,10 @@ test, which under a candidate budget changes *which* candidates are
 verified — silently breaking the parity guarantee.  The seed matmul is
 therefore used where it cannot perturb results: estimating per-query
 difficulty (how weak the upper-level bounds are) so that hard queries are
-spread evenly across workers.
+spread evenly across workers.  The batch kernels obey the same rule: any
+quantity that feeds candidate selection (query-table projections, hash
+codes) is computed with the per-query GEMV kernel, never a whole-block
+GEMM.
 """
 
 from __future__ import annotations
@@ -39,7 +53,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.results import SearchResult, SearchStats
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, check_query_matrix
 
 EXECUTORS = ("thread", "process")
 
@@ -183,9 +197,11 @@ def execute_batch(
     search_fn:
         Optional replacement for ``index.search`` (e.g. a best-first
         searcher or MIPS mode); called as ``search_fn(query)`` and expected
-        to honor ``k``/``search_kwargs`` itself via closure.
+        to honor ``k``/``search_kwargs`` itself via closure.  Supplying it
+        disables the vectorized-kernel dispatch.
     search_kwargs:
-        Extra options forwarded to every ``index.search`` call.
+        Extra options forwarded to every ``index.search`` call (or to every
+        kernel call when the index exposes ``_batch_kernel``).
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -193,12 +209,16 @@ def execute_batch(
         )
     n_jobs = 1 if n_jobs is None else check_positive_int(n_jobs, name="n_jobs")
     workers = min(n_jobs, os.cpu_count() or 1)
-    matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    if matrix.ndim != 2:
-        raise ValueError(
-            f"queries must be a vector or a 2-D matrix, got shape {matrix.shape}"
-        )
+    kernel = getattr(index, "_batch_kernel", None) if search_fn is None else None
+    # The finiteness scan runs once here for the kernel path (kernels trust
+    # the engine's validation); per-query dispatch re-validates every row
+    # inside index.search, so scanning the matrix as well would be wasted.
+    matrix = check_query_matrix(queries, check_finite=kernel is not None)
     num_queries = matrix.shape[0]
+    if kernel is not None:
+        return _execute_kernel_batch(
+            index, kernel, matrix, k, workers, executor, search_kwargs
+        )
     if search_fn is None:
         def search_fn(query):
             return index.search(query, k=k, **search_kwargs)
@@ -239,6 +259,54 @@ def execute_batch(
                 ):
                     for pos, result in pairs:
                         results[pos] = result
+    wall = time.perf_counter() - wall_tic
+    cpu = time.process_time() - cpu_tic
+    return pool_results(
+        results, wall_seconds=wall, cpu_seconds=cpu, n_jobs=workers
+    )
+
+
+def _execute_kernel_batch(
+    index,
+    kernel: Callable,
+    matrix: np.ndarray,
+    k: int,
+    workers: int,
+    executor: str,
+    search_kwargs: dict,
+) -> BatchSearchResult:
+    """Dispatch a vectorized ``_batch_kernel`` over contiguous query chunks.
+
+    Each worker answers one contiguous slice of the query matrix with a
+    single kernel call; the kernel's per-row independence guarantees the
+    reassembled results equal a single whole-batch call (and sequential
+    ``search``, which runs the same kernel on blocks of one).
+    """
+    num_queries = matrix.shape[0]
+    wall_tic = time.perf_counter()
+    cpu_tic = time.process_time()
+    if num_queries == 0:
+        results: List[SearchResult] = []
+    elif workers == 1 or num_queries == 1:
+        results = kernel(matrix, k, **search_kwargs)
+    else:
+        chunks = [
+            chunk for chunk in np.array_split(matrix, workers) if chunk.shape[0]
+        ]
+        if executor == "thread":
+            def run_chunk(chunk):
+                return kernel(chunk, k, **search_kwargs)
+
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                parts = list(pool.map(run_chunk, chunks))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=len(chunks),
+                initializer=_process_worker_init,
+                initargs=(index, k, search_kwargs),
+            ) as pool:
+                parts = list(pool.map(_process_worker_run_kernel, chunks))
+        results = [result for part in parts for result in part]
     wall = time.perf_counter() - wall_tic
     cpu = time.process_time() - cpu_tic
     return pool_results(
@@ -334,3 +402,7 @@ def _process_worker_run(payload):
         (pos, _WORKER_INDEX.search(row, k=_WORKER_K, **_WORKER_KWARGS))
         for row, pos in zip(rows, positions)
     ]
+
+
+def _process_worker_run_kernel(rows):
+    return _WORKER_INDEX._batch_kernel(rows, _WORKER_K, **_WORKER_KWARGS)

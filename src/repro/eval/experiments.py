@@ -526,10 +526,12 @@ def run_partitioned(config: ExperimentConfig) -> ExperimentOutput:
 def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     """Extension — batched query throughput through the execution engine.
 
-    Measures queries/second of ``batch_search`` for the tree indexes and
-    the linear scan across worker-pool sizes; recall is reported as a
-    sanity check (batched results are bit-identical to sequential search,
-    so it always matches the sequential number).
+    Measures queries/second of ``batch_search`` for the tree indexes, the
+    linear scan, and the NH/FH hashing baselines (answered by the
+    vectorized whole-batch hashing kernel) across worker-pool sizes;
+    recall is reported as a sanity check (batched results are
+    bit-identical to sequential search, so it always matches the
+    sequential number).
     """
     from repro import LinearScan
 
@@ -537,9 +539,11 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     records = []
     for name in config.dataset_names():
         workload = _build_workload(name, config)
+        dim = workload.points.shape[1] + 1
         methods: Dict[str, Callable[[], object]] = {}
         methods.update(_tree_methods(config))
         methods["Linear"] = lambda: LinearScan()
+        methods.update(_hash_methods(config, dim))
         for method, factory in methods.items():
             index = factory().fit(workload.points)
             # Warm up (builds the traversal engine) so the n_jobs=1 baseline

@@ -8,9 +8,13 @@ method/parameter combination, and feed the results to the reporting module.
 
 Query execution goes through the engine's batched path
 (``index.batch_search``); per-query wall times come from the engine's
-per-query timers, and an ``n_jobs`` knob exposes the worker pool.  Batched
-results are bit-identical to sequential search, so recall numbers are
-unaffected by the execution mode.
+per-query timers, and an ``n_jobs`` knob exposes the worker pool.  Tree
+indexes dispatch per-query traversals over the pool; the hashing
+baselines are answered by their vectorized whole-batch kernel
+(:mod:`repro.hashing.base`), so NH/FH sweeps measure algorithm cost, not
+Python loop overhead.  Batched results are bit-identical to sequential
+search in both modes, so recall numbers are unaffected by the execution
+mode.
 """
 
 from __future__ import annotations

@@ -6,9 +6,20 @@ asymmetric tensor-lift transformation they rely on, plus the older
 angle-based hyperplane hashing schemes (AH/EH and their bilinear /
 multilinear descendants BH/MH) that only work for unit-norm data
 (Section VI related work).
+
+All four index families share the whole-batch kernel in
+:mod:`repro.hashing.base`, so their ``batch_search`` is answered in
+chunked block calls by the execution engine (bit-identical to sequential
+``search``) instead of a per-query worker-pool loop.  NH/FH probe their
+projection tables with fully batched array kernels; the bucket-based
+AH/EH/BH/MH schemes run the same kernel protocol but keep hash-code
+computation, bucket lookups, and verification per row (their sign kernels
+must match the sequential path bit for bit) — for them the batch path
+strips per-query dispatch overhead rather than vectorizing the probe.
 """
 
 from repro.hashing.angular import AngularHyperplaneHash
+from repro.hashing.base import HashingIndex
 from repro.hashing.fh import FHIndex
 from repro.hashing.multilinear import MultilinearHyperplaneHash
 from repro.hashing.nh import NHIndex
@@ -21,6 +32,7 @@ from repro.hashing.transform import (
 __all__ = [
     "NHIndex",
     "FHIndex",
+    "HashingIndex",
     "AngularHyperplaneHash",
     "MultilinearHyperplaneHash",
     "TensorLift",

@@ -22,18 +22,17 @@ degrades, which is the behaviour the paper describes.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
-from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.results import SearchStats
+from repro.hashing.base import HashingIndex
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive_int
 
 
-class AngularHyperplaneHash(P2HIndex):
+class AngularHyperplaneHash(HashingIndex):
     """AH / EH hyperplane hashing for (near) unit-norm data.
 
     Parameters
@@ -67,7 +66,9 @@ class AngularHyperplaneHash(P2HIndex):
         self.num_tables = check_positive_int(num_tables, name="num_tables")
         self.bits_per_table = check_positive_int(bits_per_table, name="bits_per_table")
         self.random_state = random_state
-        self._tables: List[Dict[Tuple[int, ...], np.ndarray]] = []
+        # Buckets are keyed by the byte representation of the table's code
+        # bits (cheap to derive in both the build and batched query paths).
+        self._tables: List[Dict[bytes, np.ndarray]] = []
         self._directions_u: Optional[np.ndarray] = None
         self._directions_v: Optional[np.ndarray] = None
         self._eh_planes: Optional[np.ndarray] = None
@@ -101,15 +102,13 @@ class AngularHyperplaneHash(P2HIndex):
             )
             codes = (outer @ flattened.T) >= 0.0
 
-        self._tables = []
-        for table in range(self.num_tables):
-            chunk = codes[:, self._table_columns(table)]
-            buckets: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
-            for row, bits in enumerate(chunk):
-                buckets[tuple(int(b) for b in bits)].append(row)
-            self._tables.append(
-                {key: np.asarray(value, dtype=np.int64) for key, value in buckets.items()}
-            )
+        self._tables = self._build_byte_buckets(codes, self._key_columns())
+
+    def _key_columns(self) -> List[np.ndarray]:
+        """Each table's key bits (u- and v-blocks for AH; see below)."""
+        return [
+            self._table_columns(table) for table in range(self.num_tables)
+        ]
 
     def _table_columns(self, table: int) -> np.ndarray:
         """Column indices of ``table``'s bits in the full code matrix.
@@ -154,25 +153,12 @@ class AngularHyperplaneHash(P2HIndex):
         flattened = self._eh_planes.reshape(total_funcs, -1)
         return (flattened @ (-outer)) >= 0.0
 
-    def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+    def _candidates_batch(
+        self, matrix: np.ndarray, **kwargs
+    ) -> Tuple[List[np.ndarray], List[SearchStats]]:
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(
                 f"AngularHyperplaneHash.search got unexpected options: {unexpected}"
             )
-        stats = SearchStats()
-        codes = self._query_codes(query)
-        candidate_ids = []
-        for table_index, table in enumerate(self._tables):
-            key = tuple(int(b) for b in codes[self._table_columns(table_index)])
-            stats.buckets_probed += 1
-            bucket = table.get(key)
-            if bucket is not None:
-                candidate_ids.append(bucket)
-        collector = TopKCollector(k)
-        if candidate_ids:
-            candidates = np.unique(np.concatenate(candidate_ids))
-            distances = np.abs(self._points[candidates] @ query)
-            collector.offer_batch(candidates, distances)
-            stats.candidates_verified += int(candidates.shape[0])
-        return collector.to_result(stats)
+        return self._probe_byte_buckets(matrix, self._key_columns())

@@ -12,17 +12,30 @@ tables (:meth:`~repro.hashing.projections.ProjectionTables.probe_furthest`).
 The extra partition bookkeeping is why FH's index is larger than NH's for
 the same ``lambda`` in Table III, and the per-partition probing is why FH
 spends more time on "table lookup" in the Figure 10 profile.
+
+Batched queries run through the vectorized hashing kernel
+(:class:`repro.hashing.base.HashingIndex`): the block is lifted once, each
+partition is probed with the batch reverse-probing kernel, and the merged
+candidates are deduplicated in one row sort and verified per query —
+bit-identical to per-query ``search``.  A query-time ``num_tables`` override restricts both projection
+and probing to the requested tables in every partition, so
+``stats.buckets_probed`` counts tables actually probed (the same meaning NH
+reports).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
-from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.results import SearchStats
+from repro.hashing.base import (
+    KERNEL_TARGET_ELEMENTS,
+    HashingIndex,
+    unique_id_rows,
+)
 from repro.hashing.projections import ProjectionTables
 from repro.hashing.transform import make_lift
 from repro.utils.rng import ensure_rng, spawn_rng
@@ -39,7 +52,7 @@ class _Partition:
     max_norm: float
 
 
-class FHIndex(P2HIndex):
+class FHIndex(HashingIndex):
     """Furthest-Hyperplane hashing index.
 
     Parameters
@@ -142,49 +155,61 @@ class FHIndex(P2HIndex):
 
     # ---------------------------------------------------------------- search
 
-    def _search_one(
+    def _kernel_block_queries(
         self,
-        query: np.ndarray,
-        k: int,
         *,
         probes_per_table: Optional[int] = None,
         num_tables: Optional[int] = None,
         **kwargs,
-    ) -> SearchResult:
+    ) -> int:
+        probes, tables = self._resolve_probe_options(
+            probes_per_table, num_tables
+        )
+        cap = min(2 * probes, max(1, self.num_points))
+        # Every partition contributes its own probe intermediates and
+        # candidate columns to the block.
+        partitions = max(1, len(self._partitions))
+        return max(1, KERNEL_TARGET_ELEMENTS // (tables * cap * partitions))
+
+    def _candidates_batch(
+        self,
+        matrix: np.ndarray,
+        *,
+        probes_per_table: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        **kwargs,
+    ) -> Tuple[List[np.ndarray], List[SearchStats]]:
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(f"FHIndex.search got unexpected options: {unexpected}")
-        probes = (
-            self.probes_per_table
-            if probes_per_table is None
-            else check_positive_int(probes_per_table, name="probes_per_table")
-        )
-        tables_to_use = self.num_tables if num_tables is None else min(
-            check_positive_int(num_tables, name="num_tables"), self.num_tables
+        probes, tables_to_use = self._resolve_probe_options(
+            probes_per_table, num_tables
         )
 
-        stats = SearchStats()
-        lifted_query = self._lift.transform(query)
-
-        candidate_ids = []
+        # One element-wise lift covers the block; every partition then
+        # projects the block only onto the tables actually probed (the
+        # ``num_tables`` override no longer pays for unused tables) and runs
+        # the batch reverse-probing kernel.
+        lifted = self._lift.transform(matrix)
+        num_queries = matrix.shape[0]
+        blocks: List[np.ndarray] = []
         for partition in self._partitions:
-            query_projections = partition.tables.project_query(lifted_query)
-            for table, ids in enumerate(
-                partition.tables.probe_furthest(query_projections, probes)
-            ):
-                if table >= tables_to_use:
-                    break
-                stats.buckets_probed += 1
-                candidate_ids.append(ids)
-        candidates = (
-            np.unique(np.concatenate(candidate_ids))
-            if candidate_ids
-            else np.empty(0, dtype=np.int64)
-        )
+            query_projections = partition.tables.project_queries(
+                lifted, num_tables=tables_to_use
+            )
+            probed = partition.tables.probe_furthest_batch(
+                query_projections, probes
+            )
+            blocks.append(probed.reshape(num_queries, -1))
 
-        collector = TopKCollector(k)
-        if candidates.shape[0]:
-            distances = np.abs(self._points[candidates] @ query)
-            collector.offer_batch(candidates, distances)
-            stats.candidates_verified += int(candidates.shape[0])
-        return collector.to_result(stats)
+        if blocks:
+            candidate_lists = unique_id_rows(np.concatenate(blocks, axis=1))
+        else:
+            candidate_lists = [
+                np.empty(0, dtype=np.int64) for _ in range(num_queries)
+            ]
+        buckets = tables_to_use * len(self._partitions)
+        stats_list = [
+            SearchStats(buckets_probed=buckets) for _ in range(num_queries)
+        ]
+        return candidate_lists, stats_list

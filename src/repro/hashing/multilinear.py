@@ -19,18 +19,17 @@ mentions and so the "degrades on unnormalized data" claim can be reproduced.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
-from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.results import SearchStats
+from repro.hashing.base import HashingIndex
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive_int
 
 
-class MultilinearHyperplaneHash(P2HIndex):
+class MultilinearHyperplaneHash(HashingIndex):
     """BH / MH hyperplane hashing for (near) unit-norm data.
 
     Parameters
@@ -81,7 +80,10 @@ class MultilinearHyperplaneHash(P2HIndex):
         self.num_tables = check_positive_int(num_tables, name="num_tables")
         self.bits_per_table = check_positive_int(bits_per_table, name="bits_per_table")
         self.random_state = random_state
-        self._tables: List[Dict[Tuple[int, ...], np.ndarray]] = []
+        # Buckets are keyed by the byte representation of the table's code
+        # bits (cheap to derive from a row of the code matrix in both the
+        # build and the batched query path).
+        self._tables: List[Dict[bytes, np.ndarray]] = []
         self._directions_u: Optional[np.ndarray] = None
         self._directions_v: Optional[np.ndarray] = None
         self._hash_dim: int = 0
@@ -102,16 +104,15 @@ class MultilinearHyperplaneHash(P2HIndex):
         self._directions_v = rng.normal(size=shape)
 
         codes = self._point_codes(normalized)
-        self._tables = []
-        for table in range(self.num_tables):
-            start = table * self.bits_per_table
-            chunk = codes[:, start: start + self.bits_per_table]
-            buckets: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
-            for row, bits in enumerate(chunk):
-                buckets[tuple(int(b) for b in bits)].append(row)
-            self._tables.append(
-                {key: np.asarray(value, dtype=np.int64) for key, value in buckets.items()}
-            )
+        self._tables = self._build_byte_buckets(codes, self._key_columns())
+
+    def _key_columns(self) -> List[slice]:
+        """Each table's key bits: a contiguous block of the code matrix."""
+        return [
+            slice(table * self.bits_per_table,
+                  (table + 1) * self.bits_per_table)
+            for table in range(self.num_tables)
+        ]
 
     def _point_codes(self, unit_points: np.ndarray) -> np.ndarray:
         """Product-of-signs code matrix ``(n, total_funcs)`` for data points."""
@@ -150,26 +151,12 @@ class MultilinearHyperplaneHash(P2HIndex):
 
     # ---------------------------------------------------------------- search
 
-    def _search_one(self, query: np.ndarray, k: int, **kwargs) -> SearchResult:
+    def _candidates_batch(
+        self, matrix: np.ndarray, **kwargs
+    ) -> Tuple[List[np.ndarray], List[SearchStats]]:
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(
                 f"MultilinearHyperplaneHash.search got unexpected options: {unexpected}"
             )
-        stats = SearchStats()
-        codes = self._query_codes(query)
-        candidate_ids = []
-        for table_index, table in enumerate(self._tables):
-            start = table_index * self.bits_per_table
-            key = tuple(int(b) for b in codes[start: start + self.bits_per_table])
-            stats.buckets_probed += 1
-            bucket = table.get(key)
-            if bucket is not None:
-                candidate_ids.append(bucket)
-        collector = TopKCollector(k)
-        if candidate_ids:
-            candidates = np.unique(np.concatenate(candidate_ids))
-            distances = np.abs(self._points[candidates] @ query)
-            collector.offer_batch(candidates, distances)
-            stats.candidates_verified += int(candidates.shape[0])
-        return collector.to_result(stats)
+        return self._probe_byte_buckets(matrix, self._key_columns())

@@ -18,23 +18,33 @@ The two costs the paper attributes to NH fall out of this construction:
 indexing pays the Omega(d^2) (or lambda-sampled) lift for every point and
 stores ``num_tables`` full projection tables, and queries suffer the
 distortion introduced by the additive ``M^2`` constant.
+
+Batched queries run through the vectorized hashing kernel
+(:class:`repro.hashing.base.HashingIndex`): the whole block is lifted and
+transformed at once, probed with the batch projection-table kernels,
+deduplicated in one row sort, and verified per query — bit-identical to
+per-query ``search``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
-from repro.core.results import SearchResult, SearchStats, TopKCollector
+from repro.core.results import SearchStats
+from repro.hashing.base import (
+    KERNEL_TARGET_ELEMENTS,
+    HashingIndex,
+    unique_id_rows,
+)
 from repro.hashing.projections import ProjectionTables
 from repro.hashing.transform import make_lift, nh_pad, nh_query
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.validation import check_positive_int
 
 
-class NHIndex(P2HIndex):
+class NHIndex(HashingIndex):
     """Nearest-Hyperplane hashing index.
 
     Parameters
@@ -106,48 +116,47 @@ class NHIndex(P2HIndex):
 
     # ---------------------------------------------------------------- search
 
-    def _search_one(
+    def _kernel_block_queries(
         self,
-        query: np.ndarray,
-        k: int,
         *,
         probes_per_table: Optional[int] = None,
         num_tables: Optional[int] = None,
         **kwargs,
-    ) -> SearchResult:
+    ) -> int:
+        probes, tables = self._resolve_probe_options(
+            probes_per_table, num_tables
+        )
+        cap = min(2 * probes, max(1, self.num_points))
+        return max(1, KERNEL_TARGET_ELEMENTS // (tables * cap))
+
+    def _candidates_batch(
+        self,
+        matrix: np.ndarray,
+        *,
+        probes_per_table: Optional[int] = None,
+        num_tables: Optional[int] = None,
+        **kwargs,
+    ) -> Tuple[List[np.ndarray], List[SearchStats]]:
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(f"NHIndex.search got unexpected options: {unexpected}")
-        probes = (
-            self.probes_per_table
-            if probes_per_table is None
-            else check_positive_int(probes_per_table, name="probes_per_table")
-        )
-        tables_to_use = self.num_tables if num_tables is None else min(
-            check_positive_int(num_tables, name="num_tables"), self.num_tables
+        probes, tables_to_use = self._resolve_probe_options(
+            probes_per_table, num_tables
         )
 
-        stats = SearchStats()
-        transformed_query = nh_query(self._lift.transform(query))
-        query_projections = self._tables.project_query(transformed_query)
-
-        candidate_ids = []
-        for table, ids in enumerate(
-            self._tables.probe_nearest(query_projections, probes)
-        ):
-            if table >= tables_to_use:
-                break
-            stats.buckets_probed += 1
-            candidate_ids.append(ids)
-        candidates = (
-            np.unique(np.concatenate(candidate_ids))
-            if candidate_ids
-            else np.empty(0, dtype=np.int64)
+        # Lift + NH transform are element-wise per row: one call covers the
+        # whole block.  Projections are restricted to the tables actually
+        # probed, so a query-time ``num_tables`` override never pays for
+        # unused tables.
+        transformed = nh_query(self._lift.transform(matrix))
+        query_projections = self._tables.project_queries(
+            transformed, num_tables=tables_to_use
         )
+        probed = self._tables.probe_nearest_batch(query_projections, probes)
 
-        collector = TopKCollector(k)
-        if candidates.shape[0]:
-            distances = np.abs(self._points[candidates] @ query)
-            collector.offer_batch(candidates, distances)
-            stats.candidates_verified += int(candidates.shape[0])
-        return collector.to_result(stats)
+        candidate_lists = unique_id_rows(probed.reshape(matrix.shape[0], -1))
+        stats_list = [
+            SearchStats(buckets_probed=tables_to_use)
+            for _ in range(matrix.shape[0])
+        ]
+        return candidate_lists, stats_list

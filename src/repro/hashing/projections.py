@@ -10,22 +10,49 @@ This module provides that substrate:
 
 * :class:`ProjectionTables` stores ``num_tables`` random unit directions and
   the per-table sorted data projections.
-* :meth:`ProjectionTables.probe_nearest` returns, per table, the points whose
-  projections are closest to the query's projection (QALSH-style, used by
-  NH).
-* :meth:`ProjectionTables.probe_furthest` returns the points whose
-  projections are furthest from the query's projection (RQALSH-style, used
-  by FH).
+* :meth:`ProjectionTables.probe_nearest_batch` returns, for a whole batch of
+  queries at once, the points whose projections are closest to each query's
+  projection (QALSH-style, used by NH).
+* :meth:`ProjectionTables.probe_furthest_batch` returns the points whose
+  projections are furthest from each query's projection (RQALSH-style, used
+  by FH); head/tail windows that overlap (``num_points < 2 * probes``) are
+  deduplicated so a point can never fill two candidate slots of one table.
+* :meth:`ProjectionTables.probe_nearest` / :meth:`probe_furthest` are the
+  per-query generator views of the same kernels (one query, yielded table by
+  table), kept for callers that probe a single query.
 
 Probing cost per table is ``O(log n + probes)`` thanks to the sorted order,
 so query time stays sublinear in ``n`` — while index size is
 ``O(n * num_tables)``, reproducing the large index footprint of the hashing
 baselines in Table III.
+
+Batch probe API
+---------------
+The batched kernels answer ``q`` queries against ``t`` tables with ``t``
+vectorized table passes instead of ``q * t`` per-table Python iterations:
+
+1. :meth:`project_queries` maps a ``(q, dim)`` query block to its
+   ``(q, t)`` per-table projections;
+2. ``probe_*_batch`` turns those projections into a dense
+   ``(q, t, probes)`` candidate-id array via one ``np.searchsorted`` +
+   window gather + ``argpartition`` trim per table.
+
+Determinism contract: every step of the batched kernels is *per-row
+independent* (element-wise arithmetic, per-element binary search, per-row
+partition), so the results are bit-identical no matter how a batch is
+chunked — including a batch of one, which is exactly what the sequential
+generators run.  The one operation that would break this is a whole-batch
+GEMM for the query projections: BLAS GEMM results differ from the per-query
+GEMV kernel in the last ulp and depend on the batch size (measured on this
+build of OpenBLAS; see :mod:`repro.engine.batch`), and an ulp-perturbed
+projection can flip a ``searchsorted`` boundary or a window-trim tie and
+silently change *which* candidates are probed.  :meth:`project_queries`
+therefore applies the same GEMV kernel per row.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -59,13 +86,19 @@ class ProjectionTables:
         Parameters
         ----------
         points:
-            Matrix of shape ``(n, dim)`` in the (possibly lifted) space.
+            Matrix of shape ``(n, dim)`` in the (possibly lifted) space;
+            must contain at least one point.
         point_ids:
             Optional ids to report for each row (defaults to ``0..n-1``);
             FH uses this to keep original dataset ids inside norm partitions.
         """
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         n, dim = points.shape
+        if n == 0:
+            raise ValueError(
+                "ProjectionTables.fit requires at least one point; got an "
+                "empty matrix (a zero-point partition cannot be probed)"
+            )
         if point_ids is None:
             point_ids = np.arange(n, dtype=np.int64)
         else:
@@ -93,45 +126,165 @@ class ProjectionTables:
         query = np.asarray(query, dtype=np.float64)
         return self.directions @ query
 
+    def project_queries(
+        self, queries: np.ndarray, *, num_tables: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-table projections ``(q, tables)`` for a whole query block.
+
+        ``num_tables`` restricts the projection to the first tables (the
+        query-time override): unused tables are never projected onto, so an
+        override of ``m' < m`` pays only ``m'`` inner products per query.
+
+        Each row is computed with the same ``directions @ query`` GEMV
+        kernel as :meth:`project_query` rather than one whole-block GEMM —
+        GEMM results are not bit-reproducible against the GEMV kernel and
+        vary with the block size, which would let the chunking of a batch
+        change which candidates a ``searchsorted`` window captures (see the
+        module docstring).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        directions = (
+            self.directions if num_tables is None else self.directions[:num_tables]
+        )
+        out = np.empty((queries.shape[0], directions.shape[0]), dtype=np.float64)
+        for row in range(queries.shape[0]):
+            out[row] = directions @ queries[row]
+        return out
+
+    def probe_nearest_batch(
+        self, query_projections: np.ndarray, probes_per_table: int
+    ) -> np.ndarray:
+        """Candidate ids projection-closest to each query, every table at once.
+
+        Parameters
+        ----------
+        query_projections:
+            ``(q, tables)`` projections from :meth:`project_queries`; passing
+            fewer columns than ``num_tables`` probes only those tables.
+        probes_per_table:
+            Candidates kept per table (clamped to the population size).
+
+        Returns
+        -------
+        numpy.ndarray
+            Dense id array of shape ``(q, tables, t)`` with
+            ``t = min(probes_per_table, num_points)``; ``out[i, j]`` holds
+            the ids of the ``t`` points whose projections are closest to
+            query ``i`` in table ``j``.
+        """
+        query_projections = np.atleast_2d(
+            np.asarray(query_projections, dtype=np.float64)
+        )
+        num_queries, tables_used = query_projections.shape
+        probes = max(1, int(probes_per_table))
+        n = self.num_points
+        take = min(probes, n)
+        # The window around the insertion position spans at most
+        # min(2 * probes, n) sorted slots.  Only the binary search is done
+        # table by table; window gather, gap computation, and trimming run
+        # as single 3-D operations over all queries and tables at once.
+        cap = min(2 * probes, n)
+        pos = np.empty((num_queries, tables_used), dtype=np.int64)
+        for table in range(tables_used):
+            pos[:, table] = self.projections[table].searchsorted(
+                query_projections[:, table]
+            )
+        lo = np.maximum(0, pos - probes)                     # (q, tables)
+        hi = np.minimum(n, pos + probes)
+        cols = lo[:, :, None] + np.arange(cap)[None, None, :]
+        valid = cols < hi[:, :, None]
+        np.minimum(cols, n - 1, out=cols)
+        table_idx = np.arange(tables_used)[None, :, None]
+        gaps = np.abs(
+            self.projections[table_idx, cols]
+            - query_projections[:, :, None]
+        )
+        gaps[~valid] = np.inf
+        if cap > take:
+            keep = gaps.argpartition(take - 1, axis=2)[:, :, :take]
+        else:
+            keep = np.broadcast_to(
+                np.arange(take)[None, None, :],
+                (num_queries, tables_used, take),
+            )
+        kept_cols = np.take_along_axis(cols, keep, axis=2)
+        return self.order[table_idx, kept_cols]
+
+    def probe_furthest_batch(
+        self, query_projections: np.ndarray, probes_per_table: int
+    ) -> np.ndarray:
+        """Candidate ids projection-furthest from each query, every table at once.
+
+        Same shape contract as :meth:`probe_nearest_batch`.  The candidate
+        pool per table is the union of the ``t`` head and ``t`` tail slots of
+        the sorted projections; when the two windows overlap
+        (``num_points < 2 * t``) the overlap is deduplicated *before*
+        selection, so every returned slot holds a distinct point and the
+        per-table candidate budget is never silently shrunk.
+        """
+        query_projections = np.atleast_2d(
+            np.asarray(query_projections, dtype=np.float64)
+        )
+        num_queries, tables_used = query_projections.shape
+        probes = max(1, int(probes_per_table))
+        n = self.num_points
+        take = min(probes, n)
+        # Head/tail slot positions are query-independent; dedupe the overlap
+        # once.  ``positions`` is sorted with min(2 * take, n) distinct
+        # slots, so the whole probe reduces to one gap computation and one
+        # per-lane partition over all queries and tables at once (no
+        # binary search needed, unlike the nearest-probe kernel).
+        positions = np.unique(
+            np.concatenate([np.arange(take), np.arange(n - take, n)])
+        )
+        pool = positions.shape[0]
+        values = self.projections[:tables_used, positions]   # (tables, pool)
+        ids = self.order[:tables_used, positions]
+        gaps = np.abs(values[None, :, :] - query_projections[:, :, None])
+        if pool > take:
+            keep = np.argpartition(-gaps, take - 1, axis=2)[:, :, :take]
+        else:
+            keep = np.broadcast_to(
+                np.arange(take)[None, None, :],
+                (num_queries, tables_used, take),
+            )
+        return ids[np.arange(tables_used)[None, :, None], keep]
+
     def probe_nearest(
         self, query_projections: np.ndarray, probes_per_table: int
     ) -> Iterable[np.ndarray]:
-        """Yield, per table, ids of points projection-closest to the query."""
-        probes_per_table = max(1, int(probes_per_table))
-        for table in range(self.num_tables):
-            values = self.projections[table]
-            ids = self.order[table]
-            pos = int(np.searchsorted(values, query_projections[table]))
-            lo = max(0, pos - probes_per_table)
-            hi = min(self.num_points, pos + probes_per_table)
-            window_ids = ids[lo:hi]
-            window_vals = values[lo:hi]
-            if window_ids.shape[0] > probes_per_table:
-                gaps = np.abs(window_vals - query_projections[table])
-                keep = np.argpartition(gaps, probes_per_table - 1)[:probes_per_table]
-                window_ids = window_ids[keep]
-            yield window_ids
+        """Yield, per table, ids of points projection-closest to the query.
+
+        Per-query generator view of :meth:`probe_nearest_batch` (it runs the
+        batched kernel on a block of one, so a sequential probe is
+        bit-identical to the same query inside any batch).  All tables are
+        probed eagerly before the first yield — breaking out early saves no
+        work; probe fewer columns of ``query_projections`` instead.
+        """
+        block = self.probe_nearest_batch(
+            np.asarray(query_projections, dtype=np.float64)[None, :],
+            probes_per_table,
+        )[0]
+        for table in range(block.shape[0]):
+            yield block[table]
 
     def probe_furthest(
         self, query_projections: np.ndarray, probes_per_table: int
     ) -> Iterable[np.ndarray]:
-        """Yield, per table, ids of points projection-furthest from the query."""
-        probes_per_table = max(1, int(probes_per_table))
-        for table in range(self.num_tables):
-            values = self.projections[table]
-            ids = self.order[table]
-            query_value = query_projections[table]
-            take = min(probes_per_table, self.num_points)
-            head_ids = ids[:take]
-            head_gap = np.abs(values[:take] - query_value)
-            tail_ids = ids[self.num_points - take:]
-            tail_gap = np.abs(values[self.num_points - take:] - query_value)
-            merged_ids = np.concatenate([head_ids, tail_ids])
-            merged_gap = np.concatenate([head_gap, tail_gap])
-            if merged_ids.shape[0] > take:
-                keep = np.argpartition(-merged_gap, take - 1)[:take]
-                merged_ids = merged_ids[keep]
-            yield merged_ids
+        """Yield, per table, ids of points projection-furthest from the query.
+
+        Per-query generator view of :meth:`probe_furthest_batch`; each
+        yielded id array is duplicate-free even when the head and tail
+        windows overlap.  All tables are probed eagerly before the first
+        yield — breaking out early saves no work; probe fewer columns of
+        ``query_projections`` instead.
+        """
+        block = self.probe_furthest_batch(
+            np.asarray(query_projections, dtype=np.float64)[None, :],
+            probes_per_table,
+        )[0]
+        for table in range(block.shape[0]):
+            yield block[table]
 
     # ------------------------------------------------------------------ misc
 

@@ -140,16 +140,36 @@ def nh_pad(lifted_points: np.ndarray) -> Tuple[np.ndarray, float]:
 
     Returns the padded matrix and ``M`` (the maximum lifted norm), which the
     query transform needs for bookkeeping.  All padded rows have norm ``M``.
+
+    Raises
+    ------
+    ValueError
+        If the lifted matrix is empty — a silent ``M = 0`` would build an
+        index whose every padded coordinate is meaningless.
     """
     lifted_points = np.atleast_2d(np.asarray(lifted_points, dtype=np.float64))
+    if lifted_points.shape[0] == 0 or lifted_points.shape[1] == 0:
+        raise ValueError(
+            "nh_pad requires a non-empty lifted matrix, got shape "
+            f"{lifted_points.shape}"
+        )
     sq_norms = np.einsum("ij,ij->i", lifted_points, lifted_points)
-    max_sq = float(sq_norms.max()) if sq_norms.size else 0.0
+    max_sq = float(sq_norms.max())
     pad = np.sqrt(np.maximum(max_sq - sq_norms, 0.0))
     padded = np.hstack([lifted_points, pad[:, None]])
     return padded, float(np.sqrt(max_sq))
 
 
 def nh_query(lifted_query: np.ndarray) -> np.ndarray:
-    """NH query transform: negate the lifted query and append a zero."""
+    """NH query transform: negate the lifted query and append a zero.
+
+    Accepts one lifted query (``(L,)``) or a block (``(q, L)``); the block
+    form is element-wise per row, so a batched transform is bit-identical to
+    transforming each row alone.
+    """
     lifted_query = np.asarray(lifted_query, dtype=np.float64)
-    return np.concatenate([-lifted_query, [0.0]])
+    if lifted_query.ndim == 1:
+        return np.concatenate([-lifted_query, [0.0]])
+    return np.hstack(
+        [-lifted_query, np.zeros((lifted_query.shape[0], 1), dtype=np.float64)]
+    )

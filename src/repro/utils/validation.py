@@ -94,6 +94,61 @@ def check_query_vector(
     return np.ascontiguousarray(arr)
 
 
+def check_query_matrix(
+    queries: np.ndarray,
+    *,
+    expected_dim: Optional[int] = None,
+    name: str = "queries",
+    dtype: np.dtype = np.float64,
+    check_finite: bool = True,
+) -> np.ndarray:
+    """Validate a query block, promoting a single vector to one row.
+
+    The one promotion/shape/finiteness check shared by the engine's batch
+    dispatch and the indexes' vectorized kernels, so batch and sequential
+    error behavior cannot drift apart.
+
+    Parameters
+    ----------
+    queries:
+        Array-like of shape ``(q, d)`` or a single ``(d,)`` vector.
+    expected_dim:
+        If given, the required number of columns.
+    name:
+        Name used in error messages.
+    dtype:
+        Target floating dtype.
+    check_finite:
+        Skip the O(q*d) finiteness scan when False — for dispatch paths
+        whose downstream per-query validation re-checks every row anyway.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous 2-D float array.
+
+    Raises
+    ------
+    ValueError
+        If the input is not promotable to 2-D, has the wrong dimension, or
+        contains non-finite entries.
+    """
+    matrix = np.ascontiguousarray(
+        np.atleast_2d(np.asarray(queries, dtype=dtype))
+    )
+    if matrix.ndim != 2:
+        raise ValueError(
+            f"{name} must be a vector or a 2-D matrix, got shape {matrix.shape}"
+        )
+    if expected_dim is not None and matrix.shape[1] != expected_dim:
+        raise ValueError(
+            f"{name} must have dimension {expected_dim}, got {matrix.shape[1]}"
+        )
+    if check_finite and not np.isfinite(matrix).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return matrix
+
+
 def check_positive_int(value: int, *, name: str, minimum: int = 1) -> int:
     """Validate that ``value`` is an integer of at least ``minimum``."""
     if not isinstance(value, (int, np.integer)) or isinstance(value, bool):

@@ -26,6 +26,7 @@ from repro import (
 from repro.core.best_first import BestFirstSearcher
 from repro.core.mips import BallTreeMIPS, linear_mips_batch
 from repro.engine.batch import BatchSearchResult
+from repro.hashing import AngularHyperplaneHash, MultilinearHyperplaneHash
 
 K = 10
 
@@ -70,6 +71,18 @@ def _index_factories(seed_data_dim):
             sample_dim=2 * seed_data_dim,
             random_state=0,
         ),
+        "bh": lambda: MultilinearHyperplaneHash(
+            "bh", num_tables=8, bits_per_table=4, random_state=0
+        ),
+        "mh": lambda: MultilinearHyperplaneHash(
+            "mh", order=2, num_tables=8, bits_per_table=4, random_state=0
+        ),
+        "ah": lambda: AngularHyperplaneHash(
+            "ah", num_tables=8, bits_per_table=4, random_state=0
+        ),
+        "eh": lambda: AngularHyperplaneHash(
+            "eh", num_tables=8, bits_per_table=4, random_state=0
+        ),
     }
 
 
@@ -85,7 +98,8 @@ def fitted_indexes(small_clustered_data):
 class TestBatchParity:
     @pytest.mark.parametrize(
         "name",
-        ["ball", "bc", "bc_sequential", "kd", "linear", "nh", "fh"],
+        ["ball", "bc", "bc_sequential", "kd", "linear", "nh", "fh", "bh",
+         "mh", "ah", "eh"],
     )
     def test_parallel_batch_matches_sequential(self, fitted_indexes,
                                                small_queries, name):
@@ -171,6 +185,121 @@ class TestBatchParity:
             small_queries, k=K, n_jobs=2, executor="process"
         )
         _assert_bit_identical(batch, sequential)
+
+
+class TestHashingKernelParity:
+    """The hashing indexes are answered by the vectorized whole-batch
+    kernel (chunked across workers), not a per-query pool; results must
+    still be bit-identical to sequential ``search`` for every ``n_jobs``
+    and every query-time override."""
+
+    @pytest.mark.parametrize("name", ["nh", "fh", "bh", "mh", "ah", "eh"])
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_parity_across_pool_sizes(self, fitted_indexes, small_queries,
+                                      name, n_jobs):
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=n_jobs)
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("name", ["nh", "fh"])
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"probes_per_table": 4},
+            {"probes_per_table": 400},
+            {"num_tables": 3},
+            {"probes_per_table": 16, "num_tables": 2},
+        ],
+    )
+    def test_parity_under_probe_overrides(self, fitted_indexes, small_queries,
+                                          name, n_jobs, overrides):
+        """probes_per_table / num_tables change the candidate sets; the
+        kernel must apply them exactly like the sequential path."""
+        index = fitted_indexes[name]
+        sequential = [
+            index.search(q, k=K, **overrides) for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=n_jobs, **overrides
+        )
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("name", ["nh", "fh"])
+    def test_process_executor_parity(self, fitted_indexes, small_queries,
+                                     name):
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, executor="process"
+        )
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("name", ["nh", "fh", "bh", "ah"])
+    def test_pooled_stats_match_sequential_sum(self, fitted_indexes,
+                                               small_queries, name):
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        assert batch.stats.buckets_probed == sum(
+            r.stats.buckets_probed for r in sequential
+        )
+        assert batch.stats.candidates_verified == sum(
+            r.stats.candidates_verified for r in sequential
+        )
+        assert all(r.stats.elapsed_seconds > 0.0 for r in batch)
+
+    def test_kernel_rejects_unknown_kwargs(self, fitted_indexes,
+                                           small_queries):
+        with pytest.raises(TypeError):
+            fitted_indexes["nh"].batch_search(
+                small_queries, k=K, candidate_fraction=0.5
+            )
+
+    def test_single_query_promotion(self, fitted_indexes, small_queries):
+        """A single vector goes through the kernel path like a 1-row batch."""
+        index = fitted_indexes["nh"]
+        expected = index.search(small_queries[0], k=K)
+        batch = index.batch_search(small_queries[0], k=K)
+        assert len(batch) == 1
+        np.testing.assert_array_equal(batch[0].indices, expected.indices)
+        np.testing.assert_array_equal(batch[0].distances, expected.distances)
+
+    def test_kernel_sub_blocking_invisible(self, fitted_indexes,
+                                           small_queries, monkeypatch):
+        """The kernel's internal memory-bounding sub-blocks must not change
+        results (every step is per-row independent)."""
+        import repro.hashing.base as hashing_base
+
+        index = fitted_indexes["fh"]
+        expected = [index.search(q, k=K) for q in small_queries]
+        monkeypatch.setattr(hashing_base, "KERNEL_BLOCK_QUERIES", 3)
+        batch = index.batch_search(small_queries, k=K)
+        _assert_bit_identical(batch, expected)
+
+    @pytest.mark.parametrize("name", ["bh", "ah"])
+    def test_legacy_tuple_key_pickles_migrate(self, fitted_indexes,
+                                              small_queries, name):
+        """Pickles saved with the old tuple-of-bits bucket keys must keep
+        returning results after load (keys are migrated to bytes)."""
+        import pickle
+
+        index = fitted_indexes[name]
+        expected = [index.search(q, k=K) for q in small_queries]
+        legacy = pickle.loads(pickle.dumps(index))
+        legacy._tables = [
+            {
+                tuple(int(b) for b in np.frombuffer(key, dtype=bool)): value
+                for key, value in table.items()
+            }
+            for table in legacy._tables
+        ]
+        migrated = pickle.loads(pickle.dumps(legacy))
+        for query, exp in zip(small_queries, expected):
+            got = migrated.search(query, k=K)
+            np.testing.assert_array_equal(got.indices, exp.indices)
+            np.testing.assert_array_equal(got.distances, exp.distances)
 
 
 class TestVectorizedLinearPaths:

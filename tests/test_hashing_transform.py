@@ -144,6 +144,23 @@ class TestNHTransforms:
         transformed = nh_query(query)
         np.testing.assert_allclose(transformed, [-1.0, 2.0, -3.0, 0.0])
 
+    def test_query_transform_block_matches_per_row(self):
+        """The batched NH query transform is element-wise per row."""
+        rng = np.random.default_rng(9)
+        block = rng.normal(size=(5, 7))
+        transformed = nh_query(block)
+        assert transformed.shape == (5, 8)
+        for row in range(5):
+            np.testing.assert_array_equal(transformed[row],
+                                          nh_query(block[row]))
+
+    def test_pad_rejects_empty_matrix(self):
+        """An empty lift must not silently produce M = 0."""
+        with pytest.raises(ValueError, match="non-empty"):
+            nh_pad(np.empty((0, 4)))
+        with pytest.raises(ValueError, match="non-empty"):
+            nh_pad(np.empty((3, 0)))
+
     def test_transformed_distance_monotone_in_p2h_distance(self):
         """The NH reduction: transformed Euclidean NNS == P2HNNS.
 

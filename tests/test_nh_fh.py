@@ -66,6 +66,24 @@ class TestNHIndex:
         result = index.search(queries[0], k=5, num_tables=100)
         assert result.stats.buckets_probed <= 4
 
+    def test_num_tables_override_probes_exactly_that_many(self, workload):
+        """buckets_probed counts tables actually probed, and the override
+        restricts projection/probing to those tables (no wasted work)."""
+        points, queries, _ = workload
+        index = NHIndex(num_tables=8, sample_dim=40, random_state=0).fit(points)
+        result = index.search(queries[0], k=5, num_tables=3)
+        assert result.stats.buckets_probed == 3
+
+    def test_num_tables_override_subset_of_full_candidates(self, workload):
+        """Probing fewer tables can only shrink the candidate set."""
+        points, queries, _ = workload
+        index = NHIndex(num_tables=8, sample_dim=40, random_state=0).fit(points)
+        few = index.search(queries[0], k=5, num_tables=2)
+        full = index.search(queries[0], k=5)
+        assert (
+            few.stats.candidates_verified <= full.stats.candidates_verified
+        )
+
     def test_stats_counters(self, workload):
         points, queries, _ = workload
         index = NHIndex(num_tables=8, sample_dim=40, random_state=0).fit(points)
@@ -122,6 +140,72 @@ class TestFHIndex:
         index = FHIndex(num_tables=4, sample_dim=40, random_state=0).fit(points)
         with pytest.raises(TypeError):
             index.search(queries[0], k=5, candidate_fraction=0.5)
+
+    def test_buckets_probed_counts_tables_actually_probed(self, workload):
+        """With a num_tables override, FH's counter means the same thing as
+        NH's: tables probed (summed over partitions), not tables built."""
+        points, queries, _ = workload
+        index = FHIndex(num_tables=8, num_partitions=4, sample_dim=40,
+                        random_state=0).fit(points)
+        partitions = len(index.partition_sizes)
+        full = index.search(queries[0], k=5)
+        assert full.stats.buckets_probed == 8 * partitions
+        limited = index.search(queries[0], k=5, num_tables=3)
+        assert limited.stats.buckets_probed == 3 * partitions
+
+
+class TestDegenerateInputs:
+    """Empty fits fail loudly; tiny and pathological datasets still work."""
+
+    def test_nh_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            NHIndex(num_tables=2, sample_dim=8, random_state=0).fit(
+                np.empty((0, 4))
+            )
+
+    def test_fh_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            FHIndex(num_tables=2, sample_dim=8, random_state=0).fit(
+                np.empty((0, 4))
+            )
+
+    @pytest.mark.parametrize("factory", [
+        lambda: NHIndex(num_tables=4, sample_dim=12, random_state=0),
+        lambda: FHIndex(num_tables=4, num_partitions=4, sample_dim=12,
+                        random_state=0),
+    ])
+    def test_single_point_dataset(self, factory):
+        point = np.array([[1.0, -2.0, 0.5]])
+        index = factory().fit(point)
+        result = index.search(np.array([1.0, 0.0, 0.0, -0.5]), k=5)
+        assert len(result) == 1
+        assert result.indices[0] == 0
+
+    @pytest.mark.parametrize("factory", [
+        lambda: NHIndex(num_tables=4, sample_dim=20, random_state=0),
+        lambda: FHIndex(num_tables=4, num_partitions=4, sample_dim=20,
+                        random_state=0),
+    ])
+    def test_k_larger_than_n(self, factory):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(10, 5))
+        index = factory().fit(points)
+        result = index.search(rng.normal(size=6), k=50)
+        assert len(result) <= 10
+
+    def test_fh_all_equal_norm_dataset_collapses_to_one_partition(self):
+        """Exactly equal lifted norms give identical quantile cuts; FH must
+        fall back to a single non-empty partition (skipping the empty ones)
+        instead of fitting zero-point projection tables."""
+        # Tiled basis vectors have *bit*-exact equal norms, before and
+        # after the lift.
+        points = np.tile(np.eye(6), (5, 1))
+        index = FHIndex(num_tables=4, num_partitions=4, sample_dim=None,
+                        random_state=0).fit(points)
+        assert len(index.partition_sizes) == 1
+        assert sum(index.partition_sizes) == 30
+        result = index.search(np.r_[np.ones(6), -0.5], k=5)
+        assert len(result) == 5
 
 
 class TestIndexingOverheadShape:

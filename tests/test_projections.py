@@ -54,6 +54,11 @@ class TestFit:
         with pytest.raises(ValueError):
             ProjectionTables(0)
 
+    def test_empty_fit_rejected(self):
+        """A zero-point fit must fail loudly, not build unprobeable tables."""
+        with pytest.raises(ValueError, match="at least one point"):
+            ProjectionTables(2, rng=0).fit(np.empty((0, 4)))
+
 
 class TestProbing:
     def test_probe_nearest_returns_projection_closest_points(self, fitted_tables):
@@ -84,8 +89,85 @@ class TestProbing:
         for ids in tables.probe_nearest(query_projections, 10_000):
             assert len(ids) <= tables.num_points
 
+    def test_probe_furthest_no_duplicates_on_overlap(self):
+        """Regression: with ``num_points < 2 * probes`` the head and tail
+        windows overlap; a point must never fill two candidate slots of one
+        table (the seed yielded duplicates, silently shrinking the per-table
+        candidate budget)."""
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(12, 5))
+        tables = ProjectionTables(4, rng=3).fit(points)
+        query_projections = tables.project_query(rng.normal(size=5))
+        for ids in tables.probe_furthest(query_projections, 10):
+            assert len(ids) == 10
+            assert len(np.unique(ids)) == len(ids)
+
+    def test_probe_furthest_small_population_returns_everyone(self):
+        rng = np.random.default_rng(8)
+        points = rng.normal(size=(6, 4))
+        tables = ProjectionTables(3, rng=1).fit(points)
+        query_projections = tables.project_query(rng.normal(size=4))
+        for ids in tables.probe_furthest(query_projections, 50):
+            np.testing.assert_array_equal(np.sort(ids), np.arange(6))
+
     def test_payload_arrays_nonempty(self, fitted_tables):
         _, tables = fitted_tables
         arrays = tables.payload_arrays()
         assert len(arrays) == 3
         assert sum(a.nbytes for a in arrays) > 0
+
+
+class TestBatchProbing:
+    """The batched kernels must agree with the per-query generators (which
+    run the same code on a block of one)."""
+
+    @pytest.fixture()
+    def query_block(self, fitted_tables):
+        _, tables = fitted_tables
+        rng = np.random.default_rng(17)
+        return rng.normal(size=(7, 12)), tables
+
+    def test_project_queries_matches_project_query(self, query_block):
+        queries, tables = query_block
+        block = tables.project_queries(queries)
+        assert block.shape == (7, tables.num_tables)
+        for row, query in enumerate(queries):
+            np.testing.assert_array_equal(block[row],
+                                          tables.project_query(query))
+
+    def test_project_queries_num_tables_restriction(self, query_block):
+        queries, tables = query_block
+        block = tables.project_queries(queries, num_tables=2)
+        assert block.shape == (7, 2)
+
+    @pytest.mark.parametrize("probes", [3, 10, 1000])
+    def test_probe_nearest_batch_matches_generator(self, query_block, probes):
+        queries, tables = query_block
+        projections = tables.project_queries(queries)
+        batch = tables.probe_nearest_batch(projections, probes)
+        assert batch.shape[:2] == (7, tables.num_tables)
+        for row in range(queries.shape[0]):
+            for table, ids in enumerate(
+                tables.probe_nearest(projections[row], probes)
+            ):
+                np.testing.assert_array_equal(batch[row, table], ids)
+
+    @pytest.mark.parametrize("probes", [3, 10, 1000])
+    def test_probe_furthest_batch_matches_generator(self, query_block, probes):
+        queries, tables = query_block
+        projections = tables.project_queries(queries)
+        batch = tables.probe_furthest_batch(projections, probes)
+        assert batch.shape[:2] == (7, tables.num_tables)
+        for row in range(queries.shape[0]):
+            for table, ids in enumerate(
+                tables.probe_furthest(projections[row], probes)
+            ):
+                np.testing.assert_array_equal(batch[row, table], ids)
+
+    def test_batch_shapes_clamped_to_population(self, fitted_tables):
+        _, tables = fitted_tables
+        projections = np.zeros((3, tables.num_tables))
+        near = tables.probe_nearest_batch(projections, 10_000)
+        far = tables.probe_furthest_batch(projections, 10_000)
+        assert near.shape == (3, tables.num_tables, tables.num_points)
+        assert far.shape == (3, tables.num_tables, tables.num_points)
