@@ -23,7 +23,8 @@ construction and the engine configuration.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import time
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.core.index_base import P2HIndex
 from repro.core.policies import BranchPreference
 from repro.core.results import SearchResult
 from repro.core.tree_base import NodeView, TreeArrays, build_tree
+from repro.engine.block import attach_block_timing
 from repro.engine.budget import resolve_budget
 from repro.engine.traversal import TraversalEngine
 from repro.utils.validation import check_positive_int
@@ -149,3 +151,55 @@ class BallTree(P2HIndex):
             preference=preference,
             profile=profile,
         )
+
+    # ---------------------------------------------------------- batch kernel
+
+    def _batch_kernel_supports(
+        self,
+        candidate_fraction=None,
+        max_candidates=None,
+        branch_preference=None,
+        profile: bool = False,
+        **unknown,
+    ) -> bool:
+        """Whether the block traversal kernel covers these search options.
+
+        Budgets and profiling are order-sensitive (and a budgeted batch
+        additionally benefits from the engine's difficulty scheduling);
+        those combinations run the per-query path.  Unknown options also
+        decline the kernel so the per-query ``search`` raises its usual
+        ``TypeError``.
+        """
+        if unknown or profile:
+            return False
+        return candidate_fraction is None and max_candidates is None
+
+    def _batch_kernel(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        candidate_fraction=None,
+        max_candidates=None,
+        branch_preference=None,
+        profile: bool = False,
+    ) -> List[SearchResult]:
+        """Answer a whole query block with the block traversal kernel.
+
+        The engine dispatches here only for option combinations
+        :meth:`_batch_kernel_supports` accepts — the signature still names
+        every supported option so explicitly passing its default (e.g.
+        ``candidate_fraction=None``) works exactly like per-query
+        ``search``.  Results and work counters are bit-identical to
+        per-query :meth:`search` (see :mod:`repro.engine.block`).
+        """
+        wall_tic = time.perf_counter()
+        matrix = self._prepare_query_matrix(queries)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+        results = self._engine().block_kernel().search_block(
+            matrix, k, preference=branch_preference
+        )
+        attach_block_timing(results, time.perf_counter() - wall_tic)
+        return results

@@ -21,6 +21,11 @@ BC leaf scan (Algorithm 5's ``ScanWithPruning``).  The engine keeps
 reporting the paper's logical inner-product cost: with Lemma 2's
 collaborative strategy (Theorem 5) one inner product per expanded node,
 without it two — which is what the ``collaborative_ip`` flag controls.
+Batches are answered by the block traversal kernel
+(:mod:`repro.engine.block`): whole query blocks descend the tree together
+with shared per-leaf bound evaluation, bit-identical — results and work
+counters — to per-query search (the sequential scan mode is the one
+configuration that stays per-query; see :meth:`_batch_kernel_supports`).
 
 The ablation variants of Figure 8 are exposed through the
 ``use_ball_bound`` / ``use_cone_bound`` constructor flags:
@@ -184,3 +189,17 @@ class BCTree(BallTree):
             self.collaborative_ip,
             self.scan_mode,
         )
+
+    def _batch_kernel_supports(self, **search_kwargs) -> bool:
+        """Block-kernel coverage for BC-Tree search options.
+
+        In addition to Ball-Tree's exclusions (budgets, profiling, unknown
+        options), the sequential scan mode stays per-query: Algorithm 5's
+        point-by-point leaf scan tightens the threshold *inside* a leaf,
+        which the block kernel's whole-leaf events cannot reproduce.  The
+        vectorized scan mode — with or without the ball/cone bounds or the
+        collaborative inner-product accounting — is fully covered.
+        """
+        if self.scan_mode == "sequential":
+            return False
+        return super()._batch_kernel_supports(**search_kwargs)

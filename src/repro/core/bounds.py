@@ -145,6 +145,73 @@ def point_cone_bound(q_cos: float, q_sin: float, x_cos, x_sin) -> np.ndarray:
     return bound
 
 
+def query_angle_terms_block(
+    ip_center: np.ndarray, query_norms: np.ndarray, center_norm: float
+) -> tuple:
+    """:func:`query_angle_terms` for a block of queries against one center.
+
+    Every operation is the elementwise image of the scalar function —
+    division, the radicand, and the guarded square root — so each row of
+    the result is bit-identical to calling :func:`query_angle_terms` with
+    that query's scalars (the block traversal kernel relies on this to stay
+    bit-identical to per-query search).
+    """
+    query_norms = np.asarray(query_norms, dtype=np.float64)
+    if center_norm <= 0.0:
+        return np.zeros_like(query_norms), query_norms.copy()
+    q_cos = np.asarray(ip_center, dtype=np.float64) / center_norm
+    radicand = query_norms * query_norms - q_cos * q_cos
+    q_sin = np.where(radicand > 0.0, np.sqrt(np.maximum(radicand, 0.0)), 0.0)
+    return q_cos, q_sin
+
+
+def cone_prune_mask_block(
+    q_cos: np.ndarray,
+    q_sin: np.ndarray,
+    x_cos: np.ndarray,
+    x_sin: np.ndarray,
+    x_cos_pos: np.ndarray,
+    thresholds: np.ndarray,
+) -> np.ndarray:
+    """Cone-bound prune decisions for a block of queries over one leaf.
+
+    Row ``i`` of the returned boolean matrix marks the leaf points whose
+    cone bound (Theorem 3) meets or exceeds ``thresholds[i]`` — the points
+    the vectorized ``ScanWithPruning`` skips.  The case analysis matches
+    the per-query scan exactly (simplified for ``threshold > 0``): case 1,
+    ``cos(theta + phi)``, prunes only when ``q_cos > 0`` and ``x_cos > 0``;
+    case 2, ``-cos(theta - phi)``, prunes when it reaches the threshold
+    (and then rules case 1 out since ``cos_sum <= cos_diff``).  All
+    operations are elementwise, so each row is bit-identical to the
+    per-query evaluation.
+
+    Parameters
+    ----------
+    q_cos, q_sin:
+        Per-query angle terms from :func:`query_angle_terms_block`,
+        shape ``(g,)``.
+    x_cos, x_sin:
+        Leaf cone structures, shape ``(m,)``.
+    x_cos_pos:
+        Precomputed ``x_cos > 0`` mask, shape ``(m,)``.
+    thresholds:
+        Per-query pruning thresholds, shape ``(g,)`` (finite, positive).
+    """
+    prod = q_cos[:, None] * x_cos[None, :]
+    scaled = q_sin[:, None] * x_sin[None, :]
+    sum_le = prod + scaled <= -thresholds[:, None]
+    pos_rows = q_cos > 0.0
+    if not pos_rows.any():
+        return sum_le
+    diff = prod
+    diff -= scaled  # in place: prod is not needed past this point
+    return np.where(
+        pos_rows[:, None],
+        (x_cos_pos[None, :] & (diff >= thresholds[:, None])) | sum_le,
+        sum_le,
+    )
+
+
 def kd_box_bound(query: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> float:
     """Lower bound of ``|<x, q>|`` over an axis-aligned box (KD-Tree baseline).
 

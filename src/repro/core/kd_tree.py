@@ -17,6 +17,7 @@ evaluates the box bound for every node in one vectorized pass per query.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.core.index_base import P2HIndex
 from repro.core.results import SearchResult
+from repro.engine.block import attach_block_timing
 from repro.engine.budget import resolve_budget
 from repro.engine.traversal import TraversalEngine
 from repro.utils.validation import check_positive_int
@@ -164,3 +166,46 @@ class KDTree(P2HIndex):
             raise TypeError(f"KDTree.search got unexpected options: {unexpected}")
         budget = resolve_budget(candidate_fraction, max_candidates, self.num_points)
         return self._engine().search(query, k, budget=budget, order="depth_first")
+
+    # ---------------------------------------------------------- batch kernel
+
+    def _batch_kernel_supports(
+        self,
+        candidate_fraction=None,
+        max_candidates=None,
+        **unknown,
+    ) -> bool:
+        """Whether the block traversal kernel covers these search options.
+
+        Budgets are order-sensitive and keep the scheduled per-query path;
+        unknown options decline the kernel so per-query ``search`` raises
+        its usual ``TypeError``.
+        """
+        if unknown:
+            return False
+        return candidate_fraction is None and max_candidates is None
+
+    def _batch_kernel(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        candidate_fraction=None,
+        max_candidates=None,
+    ) -> List[SearchResult]:
+        """Answer a whole query block with the block traversal kernel.
+
+        Dispatched only for options :meth:`_batch_kernel_supports` accepts;
+        the signature still names every supported option so explicitly
+        passing its default works exactly like per-query ``search``.
+        Results and work counters are bit-identical to per-query
+        :meth:`search` (see :mod:`repro.engine.block`).
+        """
+        wall_tic = time.perf_counter()
+        matrix = self._prepare_query_matrix(queries)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(int(k), self.num_points)
+        results = self._engine().block_kernel().search_block(matrix, k)
+        attach_block_timing(results, time.perf_counter() - wall_tic)
+        return results

@@ -7,10 +7,15 @@ This subpackage owns *how* queries are answered; the index classes under
   branch-and-bound implementation behind Ball-Tree, BC-Tree and KD-Tree
   search, expressing depth-first and best-first traversal over one frontier
   abstraction (stack vs. heap).
+* :mod:`repro.engine.block` — :class:`BlockTraversalKernel`, the
+  multi-query block DFS that answers whole query blocks with one shared
+  tree walk, bit-identical (results and work counters) to per-query
+  traversal.
 * :mod:`repro.engine.batch` — :func:`execute_batch` and
   :class:`BatchSearchResult`, the batched path behind every index's
-  ``batch_search`` (vectorized schedule seeding, thread/process worker
-  pools, pooled statistics, bit-identical to sequential ``search``).
+  ``batch_search`` (vectorized schedule seeding, block/hashing kernel
+  dispatch, thread/process worker pools, pooled statistics, bit-identical
+  to sequential ``search``).
 * :mod:`repro.engine.budget` — :func:`resolve_budget`, the one translation
   of the approximate-search knobs into a candidate budget.
 
@@ -23,11 +28,13 @@ from repro.engine.batch import (
     execute_batch,
     pool_results,
 )
+from repro.engine.block import BlockTraversalKernel
 from repro.engine.budget import resolve_budget
 from repro.engine.traversal import LeafPruningData, TraversalEngine
 
 __all__ = [
     "BatchSearchResult",
+    "BlockTraversalKernel",
     "LeafPruningData",
     "TraversalEngine",
     "execute_batch",

@@ -10,12 +10,25 @@ traversals over a worker pool, and aggregates the per-query results into a
 :class:`~repro.core.results.SearchStats` and wall/CPU timing).
 
 Indexes that expose a **vectorized batch kernel** — a ``_batch_kernel``
-method answering a whole query block in one call (the hashing baselines in
-:mod:`repro.hashing.base`) — are dispatched differently: instead of pooling
-per-query ``search`` calls, the engine splits the query matrix into one
-contiguous chunk per worker and hands each chunk to the kernel.  The
-kernels are per-row independent by contract, so the chunking cannot change
-any query's answer.
+method answering a whole query block in one call — are dispatched
+differently: instead of pooling per-query ``search`` calls, the engine
+splits the query matrix into one contiguous chunk per worker and hands each
+chunk to the kernel.  The kernels are per-row independent by contract, so
+the chunking cannot change any query's answer.  Two kernel families exist:
+
+* the hashing baselines (:mod:`repro.hashing.base`) probe and verify whole
+  query blocks with batched table lookups;
+* the tree indexes (Ball-Tree, BC-Tree, KD-Tree) push per-worker query
+  blocks down the tree together through the block traversal kernel
+  (:mod:`repro.engine.block`), which is bit-identical to per-query
+  traversal in both results and work counters.
+
+A kernel index may additionally expose ``_batch_kernel_supports(**kwargs)``
+to veto kernel dispatch for search options its kernel does not cover; the
+batch then runs the scheduled per-query path instead.  The tree indexes use
+this for candidate budgets, ``profile=True``, and BC-Tree's sequential scan
+mode, whose semantics are order-sensitive (see
+:mod:`repro.engine.block`).
 
 Determinism contract
 --------------------
@@ -163,6 +176,23 @@ def pool_results(
     )
 
 
+def uses_kernel_dispatch(index, **search_kwargs) -> bool:
+    """Whether :func:`execute_batch` will answer via a vectorized kernel.
+
+    True when the index exposes a ``_batch_kernel`` and (if present) its
+    ``_batch_kernel_supports`` accepts the given search options; False
+    means per-query dispatch over the worker pool.  Exposed so callers
+    (the eval runner's batch experiment, benchmarks) can report which
+    execution path a configuration actually measures.
+    """
+    if getattr(index, "_batch_kernel", None) is None:
+        return False
+    supports = getattr(index, "_batch_kernel_supports", None)
+    if supports is None:
+        return True
+    return bool(supports(**search_kwargs))
+
+
 def execute_batch(
     index,
     queries: np.ndarray,
@@ -209,7 +239,13 @@ def execute_batch(
         )
     n_jobs = 1 if n_jobs is None else check_positive_int(n_jobs, name="n_jobs")
     workers = min(n_jobs, os.cpu_count() or 1)
-    kernel = getattr(index, "_batch_kernel", None) if search_fn is None else None
+    # Indexes whose kernel covers only part of their search-option space
+    # (the tree indexes: budgets, profiling, and the sequential BC leaf
+    # scan are order-sensitive and stay per-query) veto kernel dispatch
+    # via _batch_kernel_supports and keep the scheduled per-query path.
+    kernel = None
+    if search_fn is None and uses_kernel_dispatch(index, **search_kwargs):
+        kernel = index._batch_kernel
     # The finiteness scan runs once here for the kernel path (kernels trust
     # the engine's validation); per-query dispatch re-validates every row
     # inside index.search, so scanning the matrix as well would be wasted.
@@ -290,6 +326,9 @@ def _execute_kernel_batch(
     elif workers == 1 or num_queries == 1:
         results = kernel(matrix, k, **search_kwargs)
     else:
+        # Same guard as the per-query path: racing worker threads through a
+        # fresh index's first engine build would construct duplicates.
+        _warm_engine(index)
         chunks = [
             chunk for chunk in np.array_split(matrix, workers) if chunk.shape[0]
         ]

@@ -1,0 +1,693 @@
+"""Block-vectorized multi-query tree traversal kernel.
+
+:class:`BlockTraversalKernel` answers a whole *block* of queries with one
+depth-first pass over the tree instead of one traversal per query.  The
+frontier holds ``(node, query-group)`` entries: a node is popped once per
+group, its lower bound is compared against every live query's pruning
+threshold in one vectorized operation, queries whose bound prunes the
+subtree are masked out, and a leaf is scanned for all surviving queries of
+the group in one batched event (shared 2-D ball-cut and cone-mask
+evaluation, one distance GEMV per surviving query).
+
+Bit-identity contract
+---------------------
+The kernel returns **bit-identical** results *and*
+:class:`~repro.core.results.SearchStats` work counters to running the
+per-query :meth:`TraversalEngine.search` once per query.  Two design rules
+make this hold exactly:
+
+1. **No cross-query GEMM feeds any decision or result.**  BLAS GEMM results
+   differ from the GEMV kernel the per-query path uses in the last ulp (and
+   are not even batch-size independent — measured on this build of
+   OpenBLAS), so every center inner product is computed with the same
+   per-query ``centers @ q`` GEMV and every leaf distance with the same
+   ``points_leaf[start:start + cut] @ q`` slice GEMV as sequential search.
+   Cross-query vectorization is restricted to *elementwise* operations on
+   stacked per-query values (IEEE elementwise arithmetic is bit-deterministic
+   regardless of array shape) and to control flow.
+
+2. **Each query's node-visit order equals its solo DFS order.**  The
+   pruning threshold evolves along the traversal, so visit order changes
+   which nodes survive the bound test — and with it ``nodes_visited`` and
+   every downstream counter.  When the queries of a group disagree on the
+   branch preference at an expanded node, the group therefore *splits*:
+   both child subtrees are traversed once for the left-first queries and
+   once (later, with their post-sibling thresholds) for the right-first
+   queries.  Queries are mutually independent, so interleaving the
+   subtree visits of disjoint groups on one shared stack is free; the
+   per-query subsequence of events is exactly the solo DFS.  Groups that
+   shrink below :data:`SCALAR_GROUP_CUTOFF` finish on a scalar per-query
+   descent (same arithmetic, list-based) where vectorization would cost
+   more than it saves.
+
+Because the per-query work is identical, the speedup comes purely from
+amortizing interpreter and dispatch overhead: one frontier walk per group
+instead of per query, 2-D bound/cone masks shared across a leaf group, and
+a lean inlined top-k heap that replicates
+:meth:`~repro.core.results.TopKCollector.offer_batch` exactly (including
+its tie-breaking arrival order).
+
+Scope
+-----
+The kernel covers exact (unbudgeted) depth-first search for Ball-Tree,
+BC-Tree (vectorized scan mode, with or without the collaborative
+inner-product accounting — the counter is logical either way), and KD-Tree.
+Candidate budgets, ``profile=True``, BC-Tree's ``scan_mode="sequential"``,
+and best-first traversal have order-sensitive semantics of their own and
+fall back to per-query dispatch in :mod:`repro.engine.batch`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.core.bounds import cone_prune_mask_block, query_angle_terms_block
+from repro.core.policies import BranchPreference
+from repro.core.results import SearchResult, SearchStats
+
+NO_CHILD = -1
+
+_INF = float("inf")
+
+#: Upper bound on queries per internal kernel sub-block.  Larger blocks
+#: keep query groups larger for longer (less splitting overhead per query),
+#: at the cost of O(block * num_nodes) bound storage and an
+#: O(block * max_leaf) distance buffer; sub-blocking is invisible in the
+#: results because queries are mutually independent.
+BLOCK_QUERIES = 4096
+
+#: Target element count of one sub-block's transient arrays (bound
+#: matrices plus the leaf-distance buffer); the effective sub-block size is
+#: shrunk so ``block * (7 * num_nodes + max_leaf)`` stays near this bound,
+#: keeping kernel memory flat no matter how deep the tree is.
+BLOCK_TARGET_ELEMENTS = 4_000_000
+
+#: Query groups at or below this size leave the vectorized frontier and
+#: finish on the scalar per-query descent: NumPy dispatch on tiny gathers
+#: costs more than the plain Python loop it would replace.
+SCALAR_GROUP_CUTOFF = 6
+
+
+class BlockTraversalKernel:
+    """Multi-query DFS over one fitted :class:`TraversalEngine`.
+
+    Built (and cached) by :meth:`TraversalEngine.block_kernel`; holds only
+    references to the engine's arrays plus the static leaf geometry, so it
+    is cheap to construct and carries no per-query state.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._max_leaf = max(
+            (
+                end - start
+                for start, end, left in zip(
+                    engine._start, engine._end, engine._left
+                )
+                if left == NO_CHILD
+            ),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------- API
+
+    def search_block(
+        self,
+        matrix: np.ndarray,
+        k: int,
+        *,
+        preference=None,
+    ) -> List[SearchResult]:
+        """Answer every row of the already-normalized query ``matrix``.
+
+        Parameters
+        ----------
+        matrix:
+            Normalized augmented queries, shape ``(B, d)``.
+        k:
+            Top-k size (already clamped to the index size).
+        preference:
+            Branch preference overriding the engine default.
+        """
+        engine = self._engine
+        if engine._sequential_leaf_scan:
+            raise ValueError(
+                "the block kernel only supports the vectorized leaf scan; "
+                "sequential scan mode tightens thresholds inside a leaf and "
+                "must run per-query"
+            )
+        preference = (
+            engine.default_preference
+            if preference is None
+            else BranchPreference.coerce(preference)
+        )
+        num_queries = matrix.shape[0]
+        if num_queries == 0:
+            return []
+        block = max(1, min(BLOCK_QUERIES, self._block_queries()))
+        results: List[SearchResult] = []
+        for start in range(0, num_queries, block):
+            results.extend(
+                self._run_block(matrix[start: start + block], k, preference)
+            )
+        return results
+
+    def _block_queries(self) -> int:
+        """Sub-block size bounding the kernel's transient memory.
+
+        A block of ``B`` queries materializes up to seven float64
+        ``(B, num_nodes)`` matrices (inner products, bounds, keys, and
+        their node-major copies) plus the ``(B, max_leaf)`` distance
+        buffer, so the per-query element footprint is
+        ``7 * num_nodes + max_leaf``; the sub-block is sized to keep the
+        total near :data:`BLOCK_TARGET_ELEMENTS` (~32 MB of float64) no
+        matter how deep the tree is.
+        """
+        per_query = max(1, self._max_leaf + 7 * self._engine.num_nodes)
+        return max(1, BLOCK_TARGET_ELEMENTS // per_query)
+
+    # ------------------------------------------------------------ block DFS
+
+    def _run_block(self, Q, k, preference):
+        engine = self._engine
+        num_nodes = engine.num_nodes
+        B = Q.shape[0]
+        centers = engine._centers
+        left_child = engine._left
+        right_child = engine._right
+        start_arr = engine._start
+        end_arr = engine._end
+        perm = engine._perm
+        points_leaf = engine._points_leaf
+        pruned_scan = engine._leaf is not None
+        if pruned_scan:
+            use_ball = engine._use_ball_bound
+            use_cone = engine._use_cone_bound
+            point_radius = engine._point_radius
+            point_cos = engine._point_cos
+            point_sin = engine._point_sin
+            point_cos_pos = engine._point_cos_pos
+            center_norms = engine._center_norms
+
+        # -- per-query preparation: same GEMV / elementwise kernels as
+        # TraversalEngine.search, stacked into (B, nodes) matrices.
+        qn = np.empty(B)
+        if centers is not None:
+            IPS = np.empty((B, num_nodes))
+            for b in range(B):
+                qn[b] = float(np.linalg.norm(Q[b]))
+                IPS[b] = centers @ Q[b]
+            ABS = np.abs(IPS)
+            BOUNDS = np.maximum(ABS - qn[:, None] * engine._radii[None, :], 0.0)
+            KEYS = ABS if preference is BranchPreference.CENTER else BOUNDS
+        else:
+            IPS = None
+            BOUNDS = np.empty((B, num_nodes))
+            for b in range(B):
+                qn[b] = float(np.linalg.norm(Q[b]))
+                BOUNDS[b] = engine._box_bounds(Q[b])
+            KEYS = BOUNDS
+        # node-major copies: frontier gathers touch one contiguous row
+        BT = np.ascontiguousarray(BOUNDS.T)
+        KT = BT if KEYS is BOUNDS else np.ascontiguousarray(KEYS.T)
+        if pruned_scan:
+            AT = np.ascontiguousarray(ABS.T)
+            IPT = np.ascontiguousarray(IPS.T)
+        qn_list = qn.tolist()
+
+        # -- per-query search state: an inlined TopKCollector (same heap,
+        # same tie semantics) plus its threshold as a plain float / array.
+        heaps = [[] for _ in range(B)]
+        thr_list = [_INF] * B
+        THR = np.full(B, _INF)
+
+        # work counters: python ints for the scalar paths, one vectorized
+        # accumulator for the group paths; summed at materialization.
+        nv = [0] * B
+        exps = [0] * B
+        cand = [0] * B
+        pball = [0] * B
+        pcone = [0] * B
+        nleaves = [0] * B
+        nv_arr = np.zeros(B, dtype=np.int64)
+        exps_arr = np.zeros(B, dtype=np.int64)
+        cand_arr = np.zeros(B, dtype=np.int64)
+        pball_arr = np.zeros(B, dtype=np.int64)
+        pcone_arr = np.zeros(B, dtype=np.int64)
+        nleaves_arr = np.zeros(B, dtype=np.int64)
+
+        # lazy per-query scalar row caches (built when a query goes scalar)
+        brow_cache = [None] * B
+        krow_cache = [None] * B
+        iprow_cache = [None] * B
+
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+
+        max_leaf = self._max_leaf
+        D2 = np.empty((B, max_leaf)) if max_leaf else None
+        col_idx = np.arange(max_leaf)
+
+        def offer_all(q, base, pos, dm):
+            """TopKCollector.offer_batch on already threshold-filtered
+            candidates; returns the updated threshold.
+
+            ``dm`` holds the surviving distances (the ``distance <
+            threshold`` mask — a no-op while the heap is not full — is
+            already applied) and ``pos`` their positions into the id array
+            ``base``.  Only the top-k cut, the stable ascending sort, and
+            the per-candidate heap pushes — the exact arrival order
+            ``offer_batch`` produces — remain.  The partition and sort run
+            on the same distance array (same values, same order) the
+            per-query path builds, so their selections are identical, and
+            the ``base`` gather is deferred to the at-most-k finalists.
+            """
+            heap = heaps[q]
+            if dm.shape[0] > k:
+                keep = dm.argpartition(k - 1)[:k]
+                dm = dm.take(keep)
+                pos = keep if pos is None else pos.take(keep)
+            order = dm.argsort(kind="stable")
+            sel = order if pos is None else pos.take(order)
+            sm = base.take(sel).tolist()
+            dm = dm.take(order).tolist()
+            thr = thr_list[q]
+            n_heap = len(heap)
+            for offset, dist in enumerate(dm):
+                if n_heap < k:
+                    heappush(heap, (-dist, sm[offset]))
+                    n_heap += 1
+                    if n_heap == k:
+                        thr = -heap[0][0]
+                elif dist < thr:
+                    heapreplace(heap, (-dist, sm[offset]))
+                    thr = -heap[0][0]
+                else:
+                    # offers are ascending and the threshold only shrinks:
+                    # the first rejection rejects the whole tail
+                    break
+            thr_list[q] = thr
+            return thr
+
+        def offer_rows_unfiltered(live_list, base, D, g, width):
+            """Offer every distance of ``D``'s rows (no thresholds yet).
+
+            Used by the all-infinite-threshold leaf events, where every
+            group member's candidate set is the *whole* row: the 2-D
+            partition/sort then runs on exactly the arrays the per-query
+            path would partition row by row, so the tie selection at the
+            k-th value is identical, at one NumPy call for the whole group
+            instead of several per member.
+            """
+            if width > k:
+                parts = D.argpartition(k - 1, axis=1)[:, :k]
+                vals = np.take_along_axis(D, parts, axis=1)
+            else:
+                parts = None
+                vals = D
+            order = vals.argsort(axis=1, kind="stable")
+            dms = np.take_along_axis(vals, order, axis=1)
+            sels = order if parts is None else np.take_along_axis(
+                parts, order, axis=1
+            )
+            for i in range(g):
+                q = live_list[i]
+                heap = heaps[q]
+                sm = base.take(sels[i]).tolist()
+                dm = dms[i].tolist()
+                thr = thr_list[q]
+                n_heap = len(heap)
+                for offset, dist in enumerate(dm):
+                    if n_heap < k:
+                        heappush(heap, (-dist, sm[offset]))
+                        n_heap += 1
+                        if n_heap == k:
+                            thr = -heap[0][0]
+                    elif dist < thr:
+                        heapreplace(heap, (-dist, sm[offset]))
+                        thr = -heap[0][0]
+                    else:
+                        break
+                thr_list[q] = thr
+                THR[q] = thr
+
+        # ------------------------------------------------- scalar leaf scans
+
+        def scan_scalar_pruned(node, q, thr, qnorm, iprow, qrow):
+            """_scan_pruned for one query (same slices, same operations)."""
+            nleaves[q] += 1
+            s = start_arr[node]
+            e = end_arr[node]
+            size = e - s
+            ip_node = iprow[node]
+            abs_ip = ip_node if ip_node >= 0.0 else -ip_node
+            cut = size
+            if use_ball and thr != _INF:
+                if thr <= 0.0:
+                    cut = 0
+                else:
+                    ball = abs_ip - qnorm * point_radius[s:e]
+                    cut = int(ball.searchsorted(thr, side="left"))
+                pball[q] += size - cut
+            if cut == 0:
+                return thr
+            distances = np.abs(points_leaf[s: s + cut] @ qrow)
+            if cut > 8 and use_cone and thr != _INF:
+                cn = center_norms[node]
+                if cn <= 0.0:
+                    q_cos, q_sin = 0.0, qnorm
+                else:
+                    q_cos = ip_node / cn
+                    radicand = qnorm * qnorm - q_cos * q_cos
+                    q_sin = float(np.sqrt(radicand)) if radicand > 0.0 else 0.0
+                prod = q_cos * point_cos[s: s + cut]
+                scaled = q_sin * point_sin[s: s + cut]
+                if q_cos > 0.0:
+                    pruned = (
+                        point_cos_pos[s: s + cut] & (prod - scaled >= thr)
+                    ) | (prod + scaled <= -thr)
+                else:
+                    pruned = prod + scaled <= -thr
+                num_pruned = int(np.count_nonzero(pruned))
+                if num_pruned:
+                    pcone[q] += int(num_pruned)
+                    m = cut - int(num_pruned)
+                    if m == 0:
+                        return thr
+                    cand[q] += m
+                    offer_mask = ~pruned
+                    offer_mask &= distances < thr
+                    pos = offer_mask.nonzero()[0]
+                    if pos.shape[0] == 0:
+                        return thr
+                    return offer_all(
+                        q, perm[s: s + cut], pos, distances.take(pos)
+                    )
+            cand[q] += cut
+            if thr != _INF:
+                pos = (distances < thr).nonzero()[0]
+                if pos.shape[0] == 0:
+                    return thr
+                return offer_all(
+                    q, perm[s: s + cut], pos, distances.take(pos)
+                )
+            return offer_all(q, perm[s: s + cut], None, distances)
+
+        def scan_scalar_exhaustive(node, q, thr, qnorm, iprow, qrow):
+            """_scan_exhaustive for one query."""
+            nleaves[q] += 1
+            s = start_arr[node]
+            e = end_arr[node]
+            cand[q] += e - s
+            distances = np.abs(points_leaf[s:e] @ qrow)
+            if thr != _INF:
+                pos = (distances < thr).nonzero()[0]
+                if pos.shape[0] == 0:
+                    return thr
+                return offer_all(
+                    q, perm[s:e], pos, distances.take(pos)
+                )
+            return offer_all(q, perm[s:e], None, distances)
+
+        scan_scalar = (
+            scan_scalar_pruned if pruned_scan else scan_scalar_exhaustive
+        )
+
+        def scalar_descend(node, q):
+            """Finish one query's DFS from ``node`` (solo loop, solo order)."""
+            br = brow_cache[q]
+            if br is None:
+                br = brow_cache[q] = BOUNDS[q].tolist()
+                krow_cache[q] = (
+                    br if KEYS is BOUNDS else KEYS[q].tolist()
+                )
+                iprow_cache[q] = None if IPS is None else IPS[q].tolist()
+            kr = krow_cache[q]
+            ipr = iprow_cache[q]
+            qrow = Q[q]
+            thr = thr_list[q]
+            qnorm = qn_list[q]
+            nvq = 0
+            exq = 0
+            stack = [node]
+            push = stack.append
+            pop = stack.pop
+            while stack:
+                nd = pop()
+                nvq += 1
+                if br[nd] >= thr:
+                    continue
+                left = left_child[nd]
+                if left == NO_CHILD:
+                    thr = scan_scalar(nd, q, thr, qnorm, ipr, qrow)
+                    continue
+                right = right_child[nd]
+                exq += 1
+                if kr[left] < kr[right]:
+                    push(right)
+                    push(left)
+                else:
+                    push(left)
+                    push(right)
+            nv[q] += nvq
+            exps[q] += exq
+            THR[q] = thr
+
+        # -------------------------------------------------- group leaf scans
+
+        def scan_group_pruned(node, live, thr_g, all_inf):
+            """Vectorized ScanWithPruning for a whole query group.
+
+            ``thr_g`` is either all finite or all infinite (``all_inf``);
+            mixed groups are split by the caller.  All bound arithmetic is
+            elementwise on the same values the scalar scan uses, distances
+            come from the same per-query slice GEMVs, and the combined
+            offer mask equals the scalar scan's cone filter AND'ed with
+            ``offer_batch``'s threshold mask (boolean-mask composition
+            preserves both selection and order).
+            """
+            g = live.shape[0]
+            s = start_arr[node]
+            e = end_arr[node]
+            size = e - s
+            nleaves_arr[live] += 1
+            qn_g = qn.take(live)
+            if all_inf:
+                cuts = np.full(g, size, dtype=np.int64)
+            elif use_ball:
+                aip = AT[node].take(live)
+                ball = aip[:, None] - qn_g[:, None] * point_radius[None, s:e]
+                cuts = (ball < thr_g[:, None]).sum(axis=1)
+                np.copyto(cuts, 0, where=thr_g <= 0.0)
+                pball_arr[live] += size - cuts
+            else:
+                cuts = np.full(g, size, dtype=np.int64)
+            maxcut = int(cuts.max())
+            if maxcut == 0:
+                return
+            live_list = live.tolist()
+            cuts_list = cuts.tolist()
+            D = D2[:g, :maxcut]
+            for i in range(g):
+                cut = cuts_list[i]
+                if cut:
+                    np.matmul(
+                        points_leaf[s: s + cut], Q[live_list[i]],
+                        out=D[i, :cut],
+                    )
+            np.abs(D, out=D)
+
+            cone_applied = None
+            cone_rows = None
+            valid = None
+            if use_cone and not all_inf and maxcut > 8:
+                ce = s + maxcut
+                q_cos, q_sin = query_angle_terms_block(
+                    IPT[node].take(live), qn_g, center_norms[node]
+                )
+                cone_rows = cone_prune_mask_block(
+                    q_cos,
+                    q_sin,
+                    point_cos[s:ce],
+                    point_sin[s:ce],
+                    point_cos_pos[s:ce],
+                    thr_g,
+                )
+                valid = col_idx[None, :maxcut] < cuts[:, None]
+                cone_rows &= valid
+                num_pruned = np.count_nonzero(cone_rows, axis=1)
+                cone_applied = (cuts > 8) & (num_pruned > 0)
+                if cone_applied.any():
+                    pcone_arr[live[cone_applied]] += num_pruned[cone_applied]
+                    cand_arr[live] += np.where(
+                        cone_applied, cuts - num_pruned, cuts
+                    )
+                else:
+                    cone_applied = None
+                    cand_arr[live] += cuts
+            else:
+                cand_arr[live] += cuts
+
+            if all_inf:
+                # cuts == size for every member: the whole leaf is offered
+                offer_rows_unfiltered(
+                    live_list, perm[s: s + maxcut], D, g, maxcut
+                )
+                return
+            if valid is None:
+                valid = col_idx[None, :maxcut] < cuts[:, None]
+            om = D < thr_g[:, None]
+            om &= valid
+            if cone_applied is not None:
+                np.logical_not(cone_rows, out=cone_rows)
+                np.logical_and(
+                    om, cone_rows, out=om, where=cone_applied[:, None]
+                )
+            offering = np.nonzero(om.any(axis=1))[0]
+            if offering.shape[0] == 0:
+                return
+            base = perm[s: s + maxcut]
+            for i in offering.tolist():
+                pos = om[i].nonzero()[0]
+                q = live_list[i]
+                THR[q] = offer_all(q, base, pos, D[i].take(pos))
+
+        def scan_group_exhaustive(node, live, thr_g, all_inf):
+            """Vectorized ExhaustiveScan for a whole query group."""
+            g = live.shape[0]
+            s = start_arr[node]
+            e = end_arr[node]
+            size = e - s
+            nleaves_arr[live] += 1
+            cand_arr[live] += size
+            if size == 0:
+                return
+            live_list = live.tolist()
+            D = D2[:g, :size]
+            for i in range(g):
+                np.matmul(points_leaf[s:e], Q[live_list[i]], out=D[i])
+            np.abs(D, out=D)
+            base = perm[s:e]
+            if all_inf:
+                offer_rows_unfiltered(live_list, base, D, g, size)
+                return
+            om = D < thr_g[:, None]
+            offering = np.nonzero(om.any(axis=1))[0]
+            for i in offering.tolist():
+                pos = om[i].nonzero()[0]
+                q = live_list[i]
+                THR[q] = offer_all(q, base, pos, D[i].take(pos))
+
+        scan_group = (
+            scan_group_pruned if pruned_scan else scan_group_exhaustive
+        )
+
+        def scan_group_split(node, live):
+            """Dispatch a leaf group, splitting mixed-threshold groups.
+
+            A group mixes finite and infinite thresholds only around each
+            query's first scanned leaf; the two subsets are independent, so
+            scanning them one after the other is exactly the per-query
+            semantics.
+            """
+            thr_g = THR.take(live)
+            finite = thr_g != _INF
+            if finite.all():
+                scan_group(node, live, thr_g, False)
+            elif not finite.any():
+                scan_group(node, live, thr_g, True)
+            else:
+                scan_group(node, live[finite], thr_g[finite], False)
+                scan_group(node, live[~finite], thr_g[~finite], True)
+
+        # --------------------------------------------------- shared frontier
+
+        stack = [(0, np.arange(B, dtype=np.int64))]
+        while stack:
+            node, qs = stack.pop()
+            n = qs.shape[0]
+            if n == 1:
+                scalar_descend(node, int(qs[0]))
+                continue
+            nv_arr[qs] += 1
+            bound_vals = BT[node].take(qs)
+            mask = bound_vals < THR.take(qs)
+            nlive = int(mask.sum())
+            if nlive == 0:
+                continue
+            live = qs if nlive == n else qs[mask]
+            left = left_child[node]
+            if left == NO_CHILD:
+                scan_group_split(node, live)
+                continue
+            right = right_child[node]
+            exps_arr[live] += 1
+            kl = KT[left].take(live)
+            kr = KT[right].take(live)
+            if nlive <= SCALAR_GROUP_CUTOFF:
+                for i, q in enumerate(live.tolist()):
+                    if kl[i] < kr[i]:
+                        scalar_descend(left, q)
+                        scalar_descend(right, q)
+                    else:
+                        scalar_descend(right, q)
+                        scalar_descend(left, q)
+                continue
+            pref_left = kl < kr
+            npl = int(pref_left.sum())
+            if npl == nlive:
+                stack.append((right, live))
+                stack.append((left, live))
+            elif npl == 0:
+                stack.append((left, live))
+                stack.append((right, live))
+            else:
+                # split: left-first queries traverse (left, right), the
+                # rest (right, left); both child subtrees are visited once
+                # per sub-group, each sub-group in its own solo order
+                first = live[pref_left]
+                second = live[~pref_left]
+                stack.append((left, second))
+                stack.append((right, second))
+                stack.append((right, first))
+                stack.append((left, first))
+
+        # ------------------------------------------------- materialization
+
+        count_ips = centers is not None
+        ip_increment = 1 if engine.collaborative_ip else 2
+        results = []
+        for q in range(B):
+            stats = SearchStats()
+            stats.nodes_visited = nv[q] + int(nv_arr[q])
+            if count_ips:
+                stats.center_inner_products = 1 + ip_increment * (
+                    exps[q] + int(exps_arr[q])
+                )
+            stats.candidates_verified = cand[q] + int(cand_arr[q])
+            stats.points_pruned_ball = pball[q] + int(pball_arr[q])
+            stats.points_pruned_cone = pcone[q] + int(pcone_arr[q])
+            stats.leaves_scanned = nleaves[q] + int(nleaves_arr[q])
+            heap = heaps[q]
+            if heap:
+                pairs = sorted(((-neg, idx) for neg, idx in heap))
+                distances = np.array([p[0] for p in pairs], dtype=np.float64)
+                indices = np.array([p[1] for p in pairs], dtype=np.int64)
+            else:
+                indices = np.empty(0, dtype=np.int64)
+                distances = np.empty(0, dtype=np.float64)
+            results.append(
+                SearchResult(indices=indices, distances=distances, stats=stats)
+            )
+        return results
+
+
+def attach_block_timing(results: List[SearchResult], wall: float) -> None:
+    """Attribute a block's wall time evenly across its per-query stats."""
+    if results:
+        share = wall / len(results)
+        for result in results:
+            result.stats.elapsed_seconds = share

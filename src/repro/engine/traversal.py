@@ -163,6 +163,7 @@ class TraversalEngine:
             self._use_ball_bound = leaf_data.use_ball_bound
             self._use_cone_bound = leaf_data.use_cone_bound
         self.num_nodes = len(self._start)
+        self._block_kernel = None
 
     # ------------------------------------------------------------- factories
 
@@ -225,6 +226,22 @@ class TraversalEngine:
         )
 
     # ------------------------------------------------------------------- API
+
+    def block_kernel(self):
+        """The cached multi-query block kernel over this engine.
+
+        Answers whole query blocks with one shared tree walk while staying
+        bit-identical (results *and* work counters) to per-query
+        :meth:`search` — see :mod:`repro.engine.block` for the contract and
+        its scope (exact depth-first search only; budgets, profiling,
+        best-first order, and the sequential BC leaf scan stay per-query).
+        """
+        from repro.engine.block import BlockTraversalKernel
+
+        kernel = self._block_kernel
+        if kernel is None:
+            kernel = self._block_kernel = BlockTraversalKernel(self)
+        return kernel
 
     def search(
         self,

@@ -526,14 +526,17 @@ def run_partitioned(config: ExperimentConfig) -> ExperimentOutput:
 def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     """Extension — batched query throughput through the execution engine.
 
-    Measures queries/second of ``batch_search`` for the tree indexes, the
-    linear scan, and the NH/FH hashing baselines (answered by the
-    vectorized whole-batch hashing kernel) across worker-pool sizes;
-    recall is reported as a sanity check (batched results are
-    bit-identical to sequential search, so it always matches the
-    sequential number).
+    Measures queries/second of ``batch_search`` for the tree indexes
+    (answered by the block traversal kernel), the linear scan, and the
+    NH/FH hashing baselines (answered by the vectorized whole-batch
+    hashing kernel) across worker-pool sizes; the ``path`` column records
+    which execution path the engine actually dispatched (``kernel`` vs
+    ``per-query``).  Recall is reported as a sanity check (batched
+    results are bit-identical to sequential search, so it always matches
+    the sequential number).
     """
     from repro import LinearScan
+    from repro.engine.batch import uses_kernel_dispatch
 
     n_jobs_grid = (1, 2, 4)
     records = []
@@ -569,6 +572,11 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
                         # batch.n_jobs is the pool size actually used (the
                         # request is capped at the machine's CPU count).
                         "workers": batch.n_jobs,
+                        "path": (
+                            "kernel"
+                            if uses_kernel_dispatch(index)
+                            else "per-query"
+                        ),
                         "queries_per_second": qps,
                         "speedup_vs_1": (
                             qps / baseline_qps if baseline_qps else 0.0
@@ -584,6 +592,7 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
             "method",
             "n_jobs",
             "workers",
+            "path",
             "queries_per_second",
             "speedup_vs_1",
             "recall",

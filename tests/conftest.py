@@ -2,12 +2,37 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.datasets import random_hyperplane_queries
 from repro.datasets.synthetic import clustered_gaussian
 from repro.eval import exact_ground_truth
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Shared example budgets for the property-based suite
+    # (tests/test_property_based.py).  Every example fits one or more
+    # indexes, so the budget — not the assertions — is what CI time buys:
+    #   * dev (default): quick local runs and the tier-1 gate;
+    #   * pr:  slimmer budget for pull-request CI;
+    #   * ci:  the deep run on pushes to main.
+    # Select with HYPOTHESIS_PROFILE=dev|pr|ci (see .github/workflows/ci.yml).
+    _COMMON = dict(
+        deadline=None,  # index fits dominate and vary across machines
+        suppress_health_check=[HealthCheck.too_slow],
+        derandomize=True,  # keep the tier-1 gate deterministic
+        database=None,  # no .hypothesis/ example database in the repo
+    )
+    settings.register_profile("dev", max_examples=25, **_COMMON)
+    settings.register_profile("pr", max_examples=15, **_COMMON)
+    settings.register_profile("ci", max_examples=75, **_COMMON)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is an install extra
+    pass
 
 
 @pytest.fixture(scope="session")

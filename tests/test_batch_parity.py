@@ -302,6 +302,278 @@ class TestHashingKernelParity:
             np.testing.assert_array_equal(got.distances, exp.distances)
 
 
+class TestTreeKernelParity:
+    """The tree indexes are answered by the block traversal kernel
+    (chunked per worker), not a per-query pool; results AND work counters
+    must be bit-identical to sequential ``search`` for every ``n_jobs``
+    and every internal blocking configuration."""
+
+    COUNTERS = (
+        "nodes_visited",
+        "center_inner_products",
+        "candidates_verified",
+        "points_pruned_ball",
+        "points_pruned_cone",
+        "leaves_scanned",
+        "buckets_probed",
+    )
+
+    def _assert_stats_equal(self, batch, sequential):
+        _assert_bit_identical(batch, sequential)
+        for got, expected in zip(batch, sequential):
+            for field in self.COUNTERS:
+                assert getattr(got.stats, field) == getattr(
+                    expected.stats, field
+                ), field
+
+    @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_work_counters_pinned_to_per_query_path(self, fitted_indexes,
+                                                    small_queries, name,
+                                                    n_jobs):
+        """Regression: the block kernel's probe/work counters must equal
+        the per-query path's exactly — the kernel preserves each query's
+        solo DFS visit order precisely so the counters cannot drift."""
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=n_jobs)
+        self._assert_stats_equal(batch, sequential)
+
+    def test_kernel_sub_blocking_invisible(self, fitted_indexes,
+                                           small_queries, monkeypatch):
+        """The kernel's internal query sub-blocks must not change results
+        (queries are mutually independent)."""
+        import repro.engine.block as block_module
+
+        index = fitted_indexes["bc"]
+        expected = [index.search(q, k=K) for q in small_queries]
+        monkeypatch.setattr(block_module, "BLOCK_QUERIES", 3)
+        batch = index.batch_search(small_queries, k=K)
+        self._assert_stats_equal(batch, expected)
+
+    @pytest.mark.parametrize("cutoff", [0, 10_000])
+    def test_scalar_and_vectorized_paths_agree(self, fitted_indexes,
+                                               small_queries, monkeypatch,
+                                               cutoff):
+        """Forcing the fully vectorized frontier (cutoff 0) and the all-
+        scalar descent (huge cutoff) must both match sequential search —
+        the two implementations compute the same floats."""
+        import repro.engine.block as block_module
+
+        index = fitted_indexes["bc"]
+        expected = [index.search(q, k=K) for q in small_queries]
+        monkeypatch.setattr(block_module, "SCALAR_GROUP_CUTOFF", cutoff)
+        batch = index.batch_search(small_queries, k=K)
+        self._assert_stats_equal(batch, expected)
+
+    @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
+    def test_process_executor_parity(self, fitted_indexes, small_queries,
+                                     name):
+        """Forked workers run the same block kernel on their chunks."""
+        index = fitted_indexes[name]
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, executor="process"
+        )
+        self._assert_stats_equal(batch, sequential)
+
+    def test_unsupported_options_fall_back_to_per_query(
+            self, fitted_indexes, small_queries, monkeypatch):
+        """Budgets, profiling, and the sequential scan must never reach
+        the block kernel — they are dispatched per query."""
+        from repro.engine.block import BlockTraversalKernel
+
+        def explode(self, *args, **kwargs):
+            raise AssertionError("block kernel used for unsupported options")
+
+        monkeypatch.setattr(BlockTraversalKernel, "search_block", explode)
+        index = fitted_indexes["bc"]
+        sequential = [
+            index.search(q, k=K, candidate_fraction=0.3)
+            for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, candidate_fraction=0.3
+        )
+        _assert_bit_identical(batch, sequential)
+        index.batch_search(small_queries, k=K, max_candidates=50)
+        index.batch_search(small_queries, k=K, profile=True)
+        sequential_scan = fitted_indexes["bc_sequential"]
+        sequential_scan.batch_search(small_queries, k=K)
+        with pytest.raises(AssertionError, match="block kernel used"):
+            index.batch_search(small_queries, k=K)
+
+    def test_supported_options_use_the_kernel(self, fitted_indexes,
+                                              small_queries, monkeypatch):
+        """Default exact batches must go through the block kernel."""
+        from repro.engine.block import BlockTraversalKernel
+
+        calls = []
+        original = BlockTraversalKernel.search_block
+
+        def spy(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(BlockTraversalKernel, "search_block", spy)
+        for name in ("ball", "bc", "kd"):
+            fitted_indexes[name].batch_search(small_queries, k=K)
+        assert len(calls) == 3
+
+    @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
+    def test_explicit_default_options_accepted(self, fitted_indexes,
+                                               small_queries, name):
+        """Regression: explicitly passing a supported option's default
+        (e.g. ``candidate_fraction=None``) must behave exactly like
+        omitting it — the kernel dispatch may not crash on it."""
+        index = fitted_indexes[name]
+        expected = index.batch_search(small_queries, k=K)
+        kwargs = {"candidate_fraction": None, "max_candidates": None}
+        if name != "kd":
+            kwargs.update(branch_preference=None, profile=False)
+        batch = index.batch_search(small_queries, k=K, **kwargs)
+        _assert_bit_identical(batch, expected)
+
+    def test_tree_kernel_rejects_unknown_kwargs(self, fitted_indexes,
+                                                small_queries):
+        """Unknown options decline the kernel and raise from per-query
+        search, exactly as before the kernel existed."""
+        with pytest.raises(TypeError):
+            fitted_indexes["kd"].batch_search(
+                small_queries, k=K, probes_per_table=3
+            )
+        with pytest.raises(TypeError):
+            fitted_indexes["ball"].batch_search(
+                small_queries, k=K, not_an_option=1
+            )
+
+    def test_branch_preference_override_through_kernel(self, fitted_indexes,
+                                                       small_queries):
+        index = fitted_indexes["bc"]
+        sequential = [
+            index.search(q, k=K, branch_preference="lower_bound")
+            for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, branch_preference="lower_bound"
+        )
+        self._assert_stats_equal(batch, sequential)
+
+
+class TestCompositeEngineParity:
+    """Dynamic and partitioned indexes route through the engine — the
+    dynamic wrapper as per-query dispatch over its static core, the
+    partitioned index by fanning every shard's batch through the shard's
+    own kernel — and must stay bit-identical to sequential search across
+    pool sizes, executors, and update states."""
+
+    @pytest.mark.parametrize("n_jobs", [None, 1, 2, 4])
+    def test_partitioned_parity_across_pool_sizes(self, small_clustered_data,
+                                                  small_queries, n_jobs):
+        index = PartitionedP2HIndex(num_partitions=3, random_state=0).fit(
+            small_clustered_data
+        )
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=n_jobs)
+        _assert_bit_identical(batch, sequential)
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin", "ball"])
+    def test_partitioned_parity_per_strategy(self, small_clustered_data,
+                                             small_queries, strategy):
+        index = PartitionedP2HIndex(
+            num_partitions=4, strategy=strategy, random_state=0
+        ).fit(small_clustered_data)
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=2)
+        _assert_bit_identical(batch, sequential)
+
+    def test_partitioned_ball_tree_shards_through_kernel(
+            self, small_clustered_data, small_queries):
+        """Ball-Tree shards answer the whole batch via the block kernel."""
+        index = PartitionedP2HIndex(
+            num_partitions=3,
+            index_factory=lambda: BallTree(leaf_size=32, random_state=1),
+            random_state=0,
+        ).fit(small_clustered_data)
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=2)
+        _assert_bit_identical(batch, sequential)
+
+    def test_partitioned_pooled_stats_match_sequential_sum(
+            self, small_clustered_data, small_queries):
+        index = PartitionedP2HIndex(num_partitions=4, random_state=0).fit(
+            small_clustered_data
+        )
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=2)
+        assert batch.stats.candidates_verified == sum(
+            r.stats.candidates_verified for r in sequential
+        )
+        assert batch.stats.nodes_visited == sum(
+            r.stats.nodes_visited for r in sequential
+        )
+
+    @pytest.mark.parametrize("n_jobs", [None, 1, 2, 4])
+    def test_dynamic_parity_across_pool_sizes(self, small_clustered_data,
+                                              small_queries, n_jobs):
+        index = DynamicP2HIndex(random_state=0)
+        ids = index.insert(small_clustered_data)
+        index.delete(ids[:40])
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(small_queries, k=K, n_jobs=n_jobs)
+        _assert_bit_identical(batch, sequential)
+
+    def test_dynamic_parity_through_update_states(self, small_clustered_data,
+                                                  small_queries):
+        """Parity must hold in every wrapper state: fresh buffer, mixed
+        buffer + tombstones, and right after an explicit rebuild."""
+        index = DynamicP2HIndex(random_state=0, auto_rebuild=False)
+        ids = index.insert(small_clustered_data[:400])
+        states = []
+        states.append("buffer-only")
+        self._check_state(index, small_queries)
+        index.rebuild()
+        index.insert(small_clustered_data[400:])
+        index.delete(ids[:25])
+        states.append("mixed")
+        self._check_state(index, small_queries)
+        index.rebuild()
+        states.append("rebuilt")
+        self._check_state(index, small_queries)
+        assert states == ["buffer-only", "mixed", "rebuilt"]
+
+    def _check_state(self, index, queries):
+        sequential = [index.search(q, k=K) for q in queries]
+        batch = index.batch_search(queries, k=K, n_jobs=2)
+        _assert_bit_identical(batch, sequential)
+
+    def test_dynamic_parity_with_budget_kwargs(self, small_clustered_data,
+                                               small_queries):
+        """Search options forwarded through the wrapper reach the static
+        core identically on both paths."""
+        index = DynamicP2HIndex(random_state=0)
+        index.insert(small_clustered_data)
+        sequential = [
+            index.search(q, k=K, candidate_fraction=0.4)
+            for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, candidate_fraction=0.4
+        )
+        _assert_bit_identical(batch, sequential)
+
+    def test_dynamic_process_executor_parity(self, small_clustered_data,
+                                             small_queries):
+        index = DynamicP2HIndex(random_state=0)
+        ids = index.insert(small_clustered_data)
+        index.delete(ids[-30:])
+        sequential = [index.search(q, k=K) for q in small_queries]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=2, executor="process"
+        )
+        _assert_bit_identical(batch, sequential)
+
+
 class TestVectorizedLinearPaths:
     """The explicit matmul fast paths trade ulp-level reproducibility for
     a single GEMM; indices must still agree on data without ties."""
