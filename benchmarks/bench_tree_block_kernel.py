@@ -27,14 +27,13 @@ work-counter) trade-off anywhere in this table.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import BallTree, BCTree, KDTree
 from repro.datasets import random_hyperplane_queries
 from repro.datasets.synthetic import clustered_gaussian
 from repro.eval.reporting import print_and_save
 
 from conftest import (
+    assert_block_matches_sequential as _assert_block_matches_sequential,
     bench_num_points,
     measure_batch_throughput,
     measure_loop_throughput,
@@ -53,33 +52,12 @@ FLOOR_QUERIES = 4096
 #: them) and amortize more NumPy dispatch per leaf event.
 FLOOR_LEAF_SIZE = 400
 
-STAT_FIELDS = (
-    "nodes_visited",
-    "center_inner_products",
-    "candidates_verified",
-    "points_pruned_ball",
-    "points_pruned_cone",
-    "leaves_scanned",
-    "buckets_probed",
-)
-
-
 def _methods():
     return {
         "Ball-Tree": lambda: BallTree(leaf_size=100, random_state=0),
         "BC-Tree": lambda: BCTree(leaf_size=100, random_state=0),
         "KD-Tree": lambda: KDTree(leaf_size=100),
     }
-
-
-def _assert_block_matches_sequential(batch, sequential):
-    """Bit-identical results AND work counters, per query."""
-    assert len(batch) == len(sequential)
-    for got, expected in zip(batch, sequential):
-        np.testing.assert_array_equal(got.indices, expected.indices)
-        np.testing.assert_array_equal(got.distances, expected.distances)
-        for field in STAT_FIELDS:
-            assert getattr(got.stats, field) == getattr(expected.stats, field)
 
 
 def test_tree_block_kernel_throughput(benchmark, workloads, results_dir):

@@ -141,3 +141,29 @@ def measure_loop_throughput(index, queries, k, *, repeats=1, **kwargs):
     if best <= 0.0:
         return 0.0
     return len(queries) / best
+
+
+#: SearchStats counters the kernel benchmarks pin against per-query search.
+STAT_FIELDS = (
+    "nodes_visited",
+    "center_inner_products",
+    "candidates_verified",
+    "points_pruned_ball",
+    "points_pruned_cone",
+    "leaves_scanned",
+    "buckets_probed",
+)
+
+
+def assert_block_matches_sequential(batch, sequential):
+    """Bit-identical results AND work counters, per query.
+
+    Shared by the block-kernel benchmarks (exact and budgeted) so a new
+    SearchStats counter only needs to be added to ``STAT_FIELDS`` once.
+    """
+    assert len(batch) == len(sequential)
+    for got, expected in zip(batch, sequential):
+        np.testing.assert_array_equal(got.indices, expected.indices)
+        np.testing.assert_array_equal(got.distances, expected.distances)
+        for field in STAT_FIELDS:
+            assert getattr(got.stats, field) == getattr(expected.stats, field)

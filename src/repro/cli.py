@@ -12,6 +12,10 @@ writing code:
   tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
   ``partitioned``, ``batch``) at a configurable scale, printing the same
   rows the benchmark suite produces and optionally writing JSON/CSV.
+  ``run batch`` sweeps exact and budgeted configurations and reports, per
+  row, the execution path actually dispatched (``kernel`` vs
+  ``per-query``) together with the reason a configuration fell back —
+  so a silently-vetoed option can't masquerade as a kernel run.
 
 Every command is deterministic for a fixed ``--seed``.
 """

@@ -154,25 +154,32 @@ class BallTree(P2HIndex):
 
     # ---------------------------------------------------------- batch kernel
 
-    def _batch_kernel_supports(
+    def _batch_kernel_veto(
         self,
         candidate_fraction=None,
         max_candidates=None,
         branch_preference=None,
         profile: bool = False,
         **unknown,
-    ) -> bool:
-        """Whether the block traversal kernel covers these search options.
+    ) -> Optional[str]:
+        """Why the block traversal kernel cannot cover these search options.
 
-        Budgets and profiling are order-sensitive (and a budgeted batch
-        additionally benefits from the engine's difficulty scheduling);
-        those combinations run the per-query path.  Unknown options also
-        decline the kernel so the per-query ``search`` raises its usual
-        ``TypeError``.
+        Returns a human-readable reason (surfaced by
+        :func:`repro.engine.batch.kernel_dispatch_reason` and the ``run
+        batch`` experiment) or None when the kernel applies.  Candidate
+        budgets are covered — the kernel carries a per-query verified count
+        and retires exhausted queries exactly where the per-query loop
+        breaks.  ``profile=True`` needs per-stage wall timers the kernel
+        does not keep, and unknown options decline the kernel so the
+        per-query ``search`` raises its usual ``TypeError``.
         """
-        if unknown or profile:
-            return False
-        return candidate_fraction is None and max_candidates is None
+        if unknown:
+            return "unknown search options: " + ", ".join(sorted(unknown))
+        if profile:
+            return (
+                "profile=True needs the per-query path's per-stage timers"
+            )
+        return None
 
     def _batch_kernel(
         self,
@@ -187,19 +194,21 @@ class BallTree(P2HIndex):
         """Answer a whole query block with the block traversal kernel.
 
         The engine dispatches here only for option combinations
-        :meth:`_batch_kernel_supports` accepts — the signature still names
+        :meth:`_batch_kernel_veto` accepts — the signature still names
         every supported option so explicitly passing its default (e.g.
         ``candidate_fraction=None``) works exactly like per-query
         ``search``.  Results and work counters are bit-identical to
-        per-query :meth:`search` (see :mod:`repro.engine.block`).
+        per-query :meth:`search` (see :mod:`repro.engine.block`), including
+        under ``candidate_fraction`` / ``max_candidates`` budgets.
         """
         wall_tic = time.perf_counter()
         matrix = self._prepare_query_matrix(queries)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         k = min(int(k), self.num_points)
+        budget = self._resolve_budget(candidate_fraction, max_candidates)
         results = self._engine().block_kernel().search_block(
-            matrix, k, preference=branch_preference
+            matrix, k, preference=branch_preference, budget=budget
         )
         attach_block_timing(results, time.perf_counter() - wall_tic)
         return results

@@ -25,7 +25,7 @@ Batches are answered by the block traversal kernel
 (:mod:`repro.engine.block`): whole query blocks descend the tree together
 with shared per-leaf bound evaluation, bit-identical — results and work
 counters — to per-query search (the sequential scan mode is the one
-configuration that stays per-query; see :meth:`_batch_kernel_supports`).
+configuration that stays per-query; see :meth:`_batch_kernel_veto`).
 
 The ablation variants of Figure 8 are exposed through the
 ``use_ball_bound`` / ``use_cone_bound`` constructor flags:
@@ -190,16 +190,20 @@ class BCTree(BallTree):
             self.scan_mode,
         )
 
-    def _batch_kernel_supports(self, **search_kwargs) -> bool:
+    def _batch_kernel_veto(self, **search_kwargs) -> Optional[str]:
         """Block-kernel coverage for BC-Tree search options.
 
-        In addition to Ball-Tree's exclusions (budgets, profiling, unknown
-        options), the sequential scan mode stays per-query: Algorithm 5's
+        In addition to Ball-Tree's exclusions (profiling, unknown options),
+        the sequential scan mode stays per-query: Algorithm 5's
         point-by-point leaf scan tightens the threshold *inside* a leaf,
         which the block kernel's whole-leaf events cannot reproduce.  The
-        vectorized scan mode — with or without the ball/cone bounds or the
-        collaborative inner-product accounting — is fully covered.
+        vectorized scan mode — with or without the ball/cone bounds, the
+        collaborative inner-product accounting, or a candidate budget — is
+        fully covered.
         """
         if self.scan_mode == "sequential":
-            return False
-        return super()._batch_kernel_supports(**search_kwargs)
+            return (
+                "scan_mode='sequential' tightens the threshold inside each "
+                "leaf and must run per-query"
+            )
+        return super()._batch_kernel_veto(**search_kwargs)

@@ -169,21 +169,23 @@ class KDTree(P2HIndex):
 
     # ---------------------------------------------------------- batch kernel
 
-    def _batch_kernel_supports(
+    def _batch_kernel_veto(
         self,
         candidate_fraction=None,
         max_candidates=None,
         **unknown,
-    ) -> bool:
-        """Whether the block traversal kernel covers these search options.
+    ) -> Optional[str]:
+        """Why the block traversal kernel cannot cover these search options.
 
-        Budgets are order-sensitive and keep the scheduled per-query path;
-        unknown options decline the kernel so per-query ``search`` raises
-        its usual ``TypeError``.
+        Candidate budgets are covered (the kernel replays the per-query
+        budget check before every pop, and the KD box bound's lazy per-node
+        evaluation is bit-identical to the vectorized pass, so no value
+        strategy split is needed); unknown options decline the kernel so
+        per-query ``search`` raises its usual ``TypeError``.
         """
         if unknown:
-            return False
-        return candidate_fraction is None and max_candidates is None
+            return "unknown search options: " + ", ".join(sorted(unknown))
+        return None
 
     def _batch_kernel(
         self,
@@ -195,17 +197,23 @@ class KDTree(P2HIndex):
     ) -> List[SearchResult]:
         """Answer a whole query block with the block traversal kernel.
 
-        Dispatched only for options :meth:`_batch_kernel_supports` accepts;
+        Dispatched only for options :meth:`_batch_kernel_veto` accepts;
         the signature still names every supported option so explicitly
         passing its default works exactly like per-query ``search``.
         Results and work counters are bit-identical to per-query
-        :meth:`search` (see :mod:`repro.engine.block`).
+        :meth:`search` (see :mod:`repro.engine.block`), including under
+        ``candidate_fraction`` / ``max_candidates`` budgets.
         """
         wall_tic = time.perf_counter()
         matrix = self._prepare_query_matrix(queries)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         k = min(int(k), self.num_points)
-        results = self._engine().block_kernel().search_block(matrix, k)
+        budget = resolve_budget(
+            candidate_fraction, max_candidates, self.num_points
+        )
+        results = self._engine().block_kernel().search_block(
+            matrix, k, budget=budget
+        )
         attach_block_timing(results, time.perf_counter() - wall_tic)
         return results

@@ -45,6 +45,40 @@ from repro.utils.validation import check_points_matrix, check_positive_int
 PARTITION_STRATEGIES = ("contiguous", "round_robin", "ball")
 
 
+def effective_pool_size(shard_batches: Sequence[BatchSearchResult]) -> int:
+    """Worker-pool size a sharded batch actually ran with.
+
+    Each shard reports the pool its own ``batch_search`` used; normally the
+    values agree (same request, same CPU cap), but a custom sub-index may
+    cap differently, so the batch-level number is the *largest* pool any
+    shard ran with — the peak parallelism of the call.  Defaults to 1 when
+    there are no shard batches at all (previously this indexed
+    ``shard_batches[0]`` unconditionally).
+    """
+    return max((batch.n_jobs for batch in shard_batches), default=1)
+
+
+def merge_shard_row(
+    shard_rows: Sequence[SearchResult],
+    shard_point_ids: Sequence[np.ndarray],
+    k: int,
+) -> TopKCollector:
+    """Reference merge of one query's per-shard top-k lists (shard order).
+
+    This is the loop the per-query :meth:`PartitionedP2HIndex.search` runs
+    and the semantics the vectorized batch merge must reproduce: offer each
+    shard's (already sorted) row to one bounded collector, in shard order,
+    so ties at the k-th distance resolve by the collector's arrival/eviction
+    rules.  The batch path falls back to it for the rare rows with a tie at
+    the top-k boundary, where a plain stable selection could keep a
+    different tied id than the collector's heap does.
+    """
+    collector = TopKCollector(k)
+    for result, ids in zip(shard_rows, shard_point_ids):
+        collector.offer_batch(ids[result.indices], result.distances)
+    return collector
+
+
 def partition_indices(
     points: np.ndarray,
     num_partitions: int,
@@ -206,9 +240,11 @@ class PartitionedP2HIndex:
 
         Each shard answers the *whole* batch through its own engine-backed
         ``batch_search`` (with the shard's worker pool), and the per-shard
-        top-k lists are then merged per query in shard order — the same
-        merge :meth:`search` performs, so the results are bit-identical to
-        sequential per-query search for every ``n_jobs``.
+        top-k lists are then merged per query with one vectorized block
+        merge (a stable sort over the shard-concatenated rows — the same
+        selection the per-query collector makes, with a per-row collector
+        fallback for ties at the top-k boundary), so the results are
+        bit-identical to sequential per-query search for every ``n_jobs``.
         """
         self._check_fitted()
         if k < 1:
@@ -230,16 +266,7 @@ class PartitionedP2HIndex:
                     **search_kwargs,
                 )
             )
-        results: List[SearchResult] = []
-        for row in range(matrix.shape[0]):
-            stats = SearchStats()
-            collector = TopKCollector(k)
-            for batch, ids in zip(shard_batches, self.shard_point_ids):
-                result = batch[row]
-                stats.merge(result.stats)
-                global_ids = ids[result.indices]
-                collector.offer_batch(global_ids, result.distances)
-            results.append(collector.to_result(stats))
+        results = self._merge_shard_batches(shard_batches, k, matrix.shape[0])
         wall = time.perf_counter() - wall_tic
         cpu = time.process_time() - cpu_tic
         return pool_results(
@@ -248,8 +275,108 @@ class PartitionedP2HIndex:
             cpu_seconds=cpu,
             # Report the pool size the shards actually ran with (the
             # request is capped at the machine's CPU count downstream).
-            n_jobs=shard_batches[0].n_jobs if shard_batches else 1,
+            n_jobs=effective_pool_size(shard_batches),
         )
+
+    def _merge_shard_batches(
+        self,
+        shard_batches: List[BatchSearchResult],
+        k: int,
+        num_queries: int,
+    ) -> List[SearchResult]:
+        """Vectorized per-query merge of the per-shard top-k lists.
+
+        Replaces the per-row ``TopKCollector``-over-all-shards loop (which
+        dominated wall time for large batches with many shards) with block
+        operations over the shard-concatenated distance matrix, while
+        staying bit-identical to :func:`merge_shard_row`:
+
+        * each shard row is already sorted ascending by ``(distance, id)``
+          and holds at most ``k`` entries, so the collector's arrival order
+          equals concatenation order — one *stable* argsort by distance
+          over the concatenated row reproduces it exactly;
+        * when the k-th and (k+1)-th sorted distances differ, the kept set
+          is exactly "every entry at or below the k-th distance" for both
+          the collector and the stable selection, and the final ascending
+          ``(distance, id)`` order is what ``TopKCollector.to_result``
+          emits;
+        * only rows with an exact distance tie *at the boundary* can
+          diverge (the collector's heap evicts the smallest-id tied entry,
+          not the latest-arrived); those rare rows fall back to the
+          reference collector merge.
+        """
+        # Per-row pooled stats: same shard-order merge the loop performed.
+        stats_list = []
+        for row in range(num_queries):
+            stats = SearchStats()
+            for batch in shard_batches:
+                stats.merge(batch[row].stats)
+            stats_list.append(stats)
+
+        dist_blocks = []
+        id_blocks = []
+        for batch, ids in zip(shard_batches, self.shard_point_ids):
+            distances = batch.distances_matrix(fill=np.inf)
+            if distances.shape[1] == 0:
+                continue
+            # Pad with local id 0 (the shard is non-empty); padded slots
+            # carry an infinite distance and are dropped after selection.
+            local = batch.indices_matrix(fill=0)
+            dist_blocks.append(distances)
+            id_blocks.append(ids[local])
+        if not dist_blocks:
+            return [
+                SearchResult(
+                    indices=np.empty(0, dtype=np.int64),
+                    distances=np.empty(0, dtype=np.float64),
+                    stats=stats,
+                )
+                for stats in stats_list
+            ]
+
+        dist_cat = np.concatenate(dist_blocks, axis=1)
+        id_cat = np.concatenate(id_blocks, axis=1)
+        width = dist_cat.shape[1]
+        order = np.argsort(dist_cat, axis=1, kind="stable")
+        dist_sorted = np.take_along_axis(dist_cat, order, axis=1)
+        id_sorted = np.take_along_axis(id_cat, order, axis=1)
+        kk = min(k, width)
+        if width > kk:
+            boundary_tie = dist_sorted[:, kk - 1] == dist_sorted[:, kk]
+            boundary_tie &= np.isfinite(dist_sorted[:, kk - 1])
+        else:
+            boundary_tie = np.zeros(num_queries, dtype=bool)
+        top_d = dist_sorted[:, :kk]
+        top_i = id_sorted[:, :kk]
+        # Final output order is ascending (distance, id): two stable
+        # argsorts (id first, then distance) are a per-row lexsort.
+        id_order = np.argsort(top_i, axis=1, kind="stable")
+        top_d = np.take_along_axis(top_d, id_order, axis=1)
+        top_i = np.take_along_axis(top_i, id_order, axis=1)
+        d_order = np.argsort(top_d, axis=1, kind="stable")
+        top_d = np.take_along_axis(top_d, d_order, axis=1)
+        top_i = np.take_along_axis(top_i, d_order, axis=1)
+        lengths = np.isfinite(top_d).sum(axis=1).tolist()
+
+        results: List[SearchResult] = []
+        for row in range(num_queries):
+            if boundary_tie[row]:
+                collector = merge_shard_row(
+                    [batch[row] for batch in shard_batches],
+                    self.shard_point_ids,
+                    k,
+                )
+                results.append(collector.to_result(stats_list[row]))
+                continue
+            length = lengths[row]
+            results.append(
+                SearchResult(
+                    indices=np.ascontiguousarray(top_i[row, :length]),
+                    distances=np.ascontiguousarray(top_d[row, :length]),
+                    stats=stats_list[row],
+                )
+            )
+        return results
 
     def index_size_bytes(self) -> int:
         """Total payload size across all shards (plus the id maps)."""

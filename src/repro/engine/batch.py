@@ -23,12 +23,20 @@ the chunking cannot change any query's answer.  Two kernel families exist:
   (:mod:`repro.engine.block`), which is bit-identical to per-query
   traversal in both results and work counters.
 
-A kernel index may additionally expose ``_batch_kernel_supports(**kwargs)``
-to veto kernel dispatch for search options its kernel does not cover; the
-batch then runs the scheduled per-query path instead.  The tree indexes use
-this for candidate budgets, ``profile=True``, and BC-Tree's sequential scan
-mode, whose semantics are order-sensitive (see
-:mod:`repro.engine.block`).
+A kernel index may additionally expose ``_batch_kernel_veto(**kwargs)``,
+returning a human-readable reason string (or None) to veto kernel dispatch
+for search options its kernel does not cover; the batch then runs the
+scheduled per-query path instead, and :func:`kernel_dispatch_reason`
+surfaces the reason so callers can report *why* a configuration fell back.
+The tree indexes use this for ``profile=True`` and BC-Tree's sequential
+scan mode, whose semantics are order-sensitive (see
+:mod:`repro.engine.block`).  Candidate budgets (``candidate_fraction`` /
+``max_candidates``) dispatch through the kernel: it carries a per-query
+verified-candidate count and retires exhausted queries exactly where the
+per-query loop breaks, so the paper's budgeted time–recall sweeps
+(Figures 5-6) run on the fast path too.  An index without a veto hook may
+instead expose a boolean ``_batch_kernel_supports(**kwargs)``; with
+neither, every option combination goes to its kernel.
 
 Determinism contract
 --------------------
@@ -180,17 +188,34 @@ def uses_kernel_dispatch(index, **search_kwargs) -> bool:
     """Whether :func:`execute_batch` will answer via a vectorized kernel.
 
     True when the index exposes a ``_batch_kernel`` and (if present) its
-    ``_batch_kernel_supports`` accepts the given search options; False
-    means per-query dispatch over the worker pool.  Exposed so callers
-    (the eval runner's batch experiment, benchmarks) can report which
+    veto/supports hook accepts the given search options; False means
+    per-query dispatch over the worker pool.  Exposed so callers (the
+    eval runner's batch experiment, benchmarks) can report which
     execution path a configuration actually measures.
     """
+    return kernel_dispatch_reason(index, **search_kwargs) is None
+
+
+def kernel_dispatch_reason(index, **search_kwargs) -> Optional[str]:
+    """Why :func:`execute_batch` will fall back to per-query dispatch.
+
+    Returns None when the batch will run through the index's vectorized
+    kernel, otherwise a human-readable reason — either the index has no
+    kernel at all, or its veto hook declined these search options.  A
+    silently-vetoed kwarg is otherwise indistinguishable from a kernel run
+    in throughput tables, so the ``run batch`` experiment prints this next
+    to the ``path`` column.
+    """
     if getattr(index, "_batch_kernel", None) is None:
-        return False
+        return "index has no vectorized batch kernel"
+    veto = getattr(index, "_batch_kernel_veto", None)
+    if veto is not None:
+        reason = veto(**search_kwargs)
+        return None if reason is None else str(reason)
     supports = getattr(index, "_batch_kernel_supports", None)
-    if supports is None:
-        return True
-    return bool(supports(**search_kwargs))
+    if supports is None or supports(**search_kwargs):
+        return None
+    return "index vetoed kernel dispatch for these search options"
 
 
 def execute_batch(
@@ -240,9 +265,10 @@ def execute_batch(
     n_jobs = 1 if n_jobs is None else check_positive_int(n_jobs, name="n_jobs")
     workers = min(n_jobs, os.cpu_count() or 1)
     # Indexes whose kernel covers only part of their search-option space
-    # (the tree indexes: budgets, profiling, and the sequential BC leaf
-    # scan are order-sensitive and stay per-query) veto kernel dispatch
-    # via _batch_kernel_supports and keep the scheduled per-query path.
+    # (the tree indexes: profiling and the sequential BC leaf scan are
+    # order-sensitive and stay per-query; budgets are kernel-covered) veto
+    # kernel dispatch via _batch_kernel_veto and keep the scheduled
+    # per-query path, which still benefits from difficulty scheduling.
     kernel = None
     if search_fn is None and uses_kernel_dispatch(index, **search_kwargs):
         kernel = index._batch_kernel

@@ -49,12 +49,40 @@ its tie-breaking arrival order).
 
 Scope
 -----
-The kernel covers exact (unbudgeted) depth-first search for Ball-Tree,
-BC-Tree (vectorized scan mode, with or without the collaborative
-inner-product accounting — the counter is logical either way), and KD-Tree.
-Candidate budgets, ``profile=True``, BC-Tree's ``scan_mode="sequential"``,
+The kernel covers depth-first search — exact *and* under a candidate
+budget — for Ball-Tree, BC-Tree (vectorized scan mode, with or without the
+collaborative inner-product accounting — the counter is logical either
+way), and KD-Tree.  ``profile=True``, BC-Tree's ``scan_mode="sequential"``,
 and best-first traversal have order-sensitive semantics of their own and
 fall back to per-query dispatch in :mod:`repro.engine.batch`.
+
+Candidate budgets
+-----------------
+The per-query path checks ``candidates_verified >= budget`` before every
+frontier pop and stops the whole traversal at the first failure — the leaf
+scan that crossed the budget is *not* truncated, so the counter may
+overshoot mid-leaf.  The kernel replays exactly that: a per-query verified
+count is carried next to the thresholds, every ``(node, query-group)`` pop
+first retires the members whose count has reached the budget (they stop
+accruing ``nodes_visited`` from that event on, exactly like the solo
+``break``), and leaf events still offer their full slice.  Because each
+query's event sequence equals its solo DFS (rule 2 above), the count seen
+at each pop equals the solo count at the same point, so the first-B
+candidate sequence — and with it every result and counter — is identical.
+
+One more arithmetic subtlety keeps the bits in line: for
+``budget < num_nodes`` the per-query path evaluates node inner products
+*lazily* with one ``centers[node] @ q`` dot per touched node, and on this
+BLAS build the ddot kernel is **not** bit-identical to the rows of the
+eager ``centers @ q`` GEMV (nor is a GEMV over a row slice identical to
+the same rows of the full GEMV — both measured).  The kernel therefore
+mirrors the per-query strategy rule exactly: eager GEMV precompute when
+``budget >= num_nodes``, per-``(node, query)`` lazy ddots (the same
+:class:`~repro.engine.traversal._LazyNodeValues` arithmetic) below it.
+KD-Tree has no center inner products and its lazy per-node box bound is
+bit-identical to the rows of the vectorized bound pass (elementwise
+products plus NumPy's shape-independent pairwise row sums), so the KD
+kernel keeps the eager precompute under every budget.
 """
 
 from __future__ import annotations
@@ -120,6 +148,7 @@ class BlockTraversalKernel:
         k: int,
         *,
         preference=None,
+        budget: float = _INF,
     ) -> List[SearchResult]:
         """Answer every row of the already-normalized query ``matrix``.
 
@@ -131,6 +160,12 @@ class BlockTraversalKernel:
             Top-k size (already clamped to the index size).
         preference:
             Branch preference overriding the engine default.
+        budget:
+            Per-query candidate budget from
+            :func:`repro.engine.budget.resolve_budget` (``inf`` = exact
+            search).  Each query stops traversing — results and counters
+            bit-identical to per-query ``search`` with the same budget —
+            once its verified-candidate count reaches it.
         """
         engine = self._engine
         if engine._sequential_leaf_scan:
@@ -151,7 +186,9 @@ class BlockTraversalKernel:
         results: List[SearchResult] = []
         for start in range(0, num_queries, block):
             results.extend(
-                self._run_block(matrix[start: start + block], k, preference)
+                self._run_block(
+                    matrix[start: start + block], k, preference, budget
+                )
             )
         return results
 
@@ -171,7 +208,7 @@ class BlockTraversalKernel:
 
     # ------------------------------------------------------------ block DFS
 
-    def _run_block(self, Q, k, preference):
+    def _run_block(self, Q, k, preference, budget=_INF):
         engine = self._engine
         num_nodes = engine.num_nodes
         B = Q.shape[0]
@@ -192,10 +229,22 @@ class BlockTraversalKernel:
             point_cos_pos = engine._point_cos_pos
             center_norms = engine._center_norms
 
+        budgeted = budget != _INF
+        # Same strategy rule as TraversalEngine.search: under a tight budget
+        # the per-query path evaluates node inner products lazily with one
+        # ddot per touched node, and ddot is not bit-identical to the rows
+        # of the eager GEMV on this BLAS — so the kernel must follow suit.
+        # KD-Tree (no centers) keeps the eager precompute under any budget:
+        # its lazy per-node box bound is bit-identical to the rows of the
+        # vectorized pass (elementwise products + NumPy's shape-independent
+        # pairwise row sums).
+        lazy_values = budgeted and budget < num_nodes and centers is not None
+
         # -- per-query preparation: same GEMV / elementwise kernels as
-        # TraversalEngine.search, stacked into (B, nodes) matrices.
+        # TraversalEngine.search, stacked into (B, nodes) matrices (eager
+        # strategy), or the same per-node ddot closures (lazy strategy).
         qn = np.empty(B)
-        if centers is not None:
+        if centers is not None and not lazy_values:
             IPS = np.empty((B, num_nodes))
             for b in range(B):
                 qn[b] = float(np.linalg.norm(Q[b]))
@@ -203,6 +252,12 @@ class BlockTraversalKernel:
             ABS = np.abs(IPS)
             BOUNDS = np.maximum(ABS - qn[:, None] * engine._radii[None, :], 0.0)
             KEYS = ABS if preference is BranchPreference.CENTER else BOUNDS
+        elif centers is not None:
+            IPS = None
+            BOUNDS = None
+            KEYS = None
+            for b in range(B):
+                qn[b] = float(np.linalg.norm(Q[b]))
         else:
             IPS = None
             BOUNDS = np.empty((B, num_nodes))
@@ -211,11 +266,14 @@ class BlockTraversalKernel:
                 BOUNDS[b] = engine._box_bounds(Q[b])
             KEYS = BOUNDS
         # node-major copies: frontier gathers touch one contiguous row
-        BT = np.ascontiguousarray(BOUNDS.T)
-        KT = BT if KEYS is BOUNDS else np.ascontiguousarray(KEYS.T)
-        if pruned_scan:
-            AT = np.ascontiguousarray(ABS.T)
-            IPT = np.ascontiguousarray(IPS.T)
+        if lazy_values:
+            BT = KT = AT = IPT = None
+        else:
+            BT = np.ascontiguousarray(BOUNDS.T)
+            KT = BT if KEYS is BOUNDS else np.ascontiguousarray(KEYS.T)
+            if pruned_scan:
+                AT = np.ascontiguousarray(ABS.T)
+                IPT = np.ascontiguousarray(IPS.T)
         qn_list = qn.tolist()
 
         # -- per-query search state: an inlined TopKCollector (same heap,
@@ -239,10 +297,28 @@ class BlockTraversalKernel:
         pcone_arr = np.zeros(B, dtype=np.int64)
         nleaves_arr = np.zeros(B, dtype=np.int64)
 
-        # lazy per-query scalar row caches (built when a query goes scalar)
+        # lazy per-query scalar row caches (built when a query goes scalar;
+        # in the lazy-value strategy they hold _LazyNodeValues and serve the
+        # group paths too)
         brow_cache = [None] * B
         krow_cache = [None] * B
         iprow_cache = [None] * B
+
+        # per-query verified-candidate counts driving the budget checks
+        # (int64 so the vectorized pop filter needs no Python loop)
+        VER = np.zeros(B, dtype=np.int64) if budgeted else None
+
+        if lazy_values:
+            for q in range(B):
+                # The exact lazy closures TraversalEngine.search builds for
+                # budget < num_nodes — one shared construction site, so the
+                # two paths cannot drift apart arithmetically.
+                ips_q, bounds_q, keys_q = engine._lazy_node_values(
+                    Q[q], qn_list[q], preference
+                )
+                iprow_cache[q] = ips_q
+                brow_cache[q] = bounds_q
+                krow_cache[q] = keys_q
 
         heappush = heapq.heappush
         heapreplace = heapq.heapreplace
@@ -430,19 +506,31 @@ class BlockTraversalKernel:
             qrow = Q[q]
             thr = thr_list[q]
             qnorm = qn_list[q]
+            if budgeted:
+                verified = int(VER[q])
             nvq = 0
             exq = 0
             stack = [node]
             push = stack.append
             pop = stack.pop
             while stack:
+                # same pre-pop budget check as _run_depth_first: the query
+                # stops dead (no visit counted) once its count reaches the
+                # budget, even when the last leaf scan overshot it
+                if budgeted and verified >= budget:
+                    break
                 nd = pop()
                 nvq += 1
                 if br[nd] >= thr:
                     continue
                 left = left_child[nd]
                 if left == NO_CHILD:
-                    thr = scan_scalar(nd, q, thr, qnorm, ipr, qrow)
+                    if budgeted:
+                        before = cand[q]
+                        thr = scan_scalar(nd, q, thr, qnorm, ipr, qrow)
+                        verified += cand[q] - before
+                    else:
+                        thr = scan_scalar(nd, q, thr, qnorm, ipr, qrow)
                     continue
                 right = right_child[nd]
                 exq += 1
@@ -455,6 +543,8 @@ class BlockTraversalKernel:
             nv[q] += nvq
             exps[q] += exq
             THR[q] = thr
+            if budgeted:
+                VER[q] = verified
 
         # -------------------------------------------------- group leaf scans
 
@@ -475,10 +565,18 @@ class BlockTraversalKernel:
             size = e - s
             nleaves_arr[live] += 1
             qn_g = qn.take(live)
+            live_list = live.tolist()
             if all_inf:
                 cuts = np.full(g, size, dtype=np.int64)
             elif use_ball:
-                aip = AT[node].take(live)
+                if lazy_values:
+                    # same |ip| the scalar scan derives from the lazy ddot
+                    # (cached since the bound test at this node's pop)
+                    aip = np.array(
+                        [abs(iprow_cache[q][node]) for q in live_list]
+                    )
+                else:
+                    aip = AT[node].take(live)
                 ball = aip[:, None] - qn_g[:, None] * point_radius[None, s:e]
                 cuts = (ball < thr_g[:, None]).sum(axis=1)
                 np.copyto(cuts, 0, where=thr_g <= 0.0)
@@ -488,7 +586,6 @@ class BlockTraversalKernel:
             maxcut = int(cuts.max())
             if maxcut == 0:
                 return
-            live_list = live.tolist()
             cuts_list = cuts.tolist()
             D = D2[:g, :maxcut]
             for i in range(g):
@@ -503,10 +600,17 @@ class BlockTraversalKernel:
             cone_applied = None
             cone_rows = None
             valid = None
+            counted = cuts
             if use_cone and not all_inf and maxcut > 8:
                 ce = s + maxcut
+                if lazy_values:
+                    ip_g = np.array(
+                        [iprow_cache[q][node] for q in live_list]
+                    )
+                else:
+                    ip_g = IPT[node].take(live)
                 q_cos, q_sin = query_angle_terms_block(
-                    IPT[node].take(live), qn_g, center_norms[node]
+                    ip_g, qn_g, center_norms[node]
                 )
                 cone_rows = cone_prune_mask_block(
                     q_cos,
@@ -522,14 +626,12 @@ class BlockTraversalKernel:
                 cone_applied = (cuts > 8) & (num_pruned > 0)
                 if cone_applied.any():
                     pcone_arr[live[cone_applied]] += num_pruned[cone_applied]
-                    cand_arr[live] += np.where(
-                        cone_applied, cuts - num_pruned, cuts
-                    )
+                    counted = np.where(cone_applied, cuts - num_pruned, cuts)
                 else:
                     cone_applied = None
-                    cand_arr[live] += cuts
-            else:
-                cand_arr[live] += cuts
+            cand_arr[live] += counted
+            if budgeted:
+                VER[live] += counted
 
             if all_inf:
                 # cuts == size for every member: the whole leaf is offered
@@ -563,6 +665,8 @@ class BlockTraversalKernel:
             size = e - s
             nleaves_arr[live] += 1
             cand_arr[live] += size
+            if budgeted:
+                VER[live] += size
             if size == 0:
                 return
             live_list = live.tolist()
@@ -608,12 +712,27 @@ class BlockTraversalKernel:
         stack = [(0, np.arange(B, dtype=np.int64))]
         while stack:
             node, qs = stack.pop()
+            if budgeted:
+                # retire members whose verified count reached the budget:
+                # their solo loop broke before this pop, so they accrue
+                # neither the visit nor any downstream work
+                alive = VER.take(qs) < budget
+                if not alive.all():
+                    qs = qs[alive]
+                    if qs.shape[0] == 0:
+                        continue
             n = qs.shape[0]
             if n == 1:
                 scalar_descend(node, int(qs[0]))
                 continue
             nv_arr[qs] += 1
-            bound_vals = BT[node].take(qs)
+            if lazy_values:
+                qs_list = qs.tolist()
+                bound_vals = np.array(
+                    [brow_cache[q][node] for q in qs_list]
+                )
+            else:
+                bound_vals = BT[node].take(qs)
             mask = bound_vals < THR.take(qs)
             nlive = int(mask.sum())
             if nlive == 0:
@@ -625,8 +744,13 @@ class BlockTraversalKernel:
                 continue
             right = right_child[node]
             exps_arr[live] += 1
-            kl = KT[left].take(live)
-            kr = KT[right].take(live)
+            if lazy_values:
+                live_list = qs_list if nlive == n else live.tolist()
+                kl = np.array([krow_cache[q][left] for q in live_list])
+                kr = np.array([krow_cache[q][right] for q in live_list])
+            else:
+                kl = KT[left].take(live)
+                kr = KT[right].take(live)
             if nlive <= SCALAR_GROUP_CUTOFF:
                 for i, q in enumerate(live.tolist()):
                     if kl[i] < kr[i]:

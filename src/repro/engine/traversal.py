@@ -233,8 +233,9 @@ class TraversalEngine:
         Answers whole query blocks with one shared tree walk while staying
         bit-identical (results *and* work counters) to per-query
         :meth:`search` — see :mod:`repro.engine.block` for the contract and
-        its scope (exact depth-first search only; budgets, profiling,
-        best-first order, and the sequential BC leaf scan stay per-query).
+        its scope (depth-first search, exact or under a candidate budget;
+        profiling, best-first order, and the sequential BC leaf scan stay
+        per-query).
         """
         from repro.engine.block import BlockTraversalKernel
 
@@ -289,31 +290,18 @@ class TraversalEngine:
         # evaluating every node's bound up front would dominate the query;
         # switch to lazy per-node evaluation there.  The rule depends only
         # on (budget, tree), so batched and sequential execution always
-        # pick the same strategy and stay bit-identical.
+        # pick the same strategy and stay bit-identical.  The block kernel
+        # mirrors this exact rule (repro.engine.block) because the lazy
+        # ddot and the eager GEMV rows differ in the last ulp on this
+        # BLAS — changing the rule here without changing it there breaks
+        # the batch-parity contract.
         lazy = budget < self.num_nodes
         if self._centers is not None:
             stats.center_inner_products += 1  # the root (Theorem 5's "+1")
             if lazy:
-                centers = self._centers
-                radii = self._radii_list
-
-                def node_ip(node):
-                    return float(centers[node] @ query)
-
-                ips = _LazyNodeValues(self.num_nodes, node_ip)
-
-                def node_bound(node):
-                    ip = ips[node]
-                    bound = (ip if ip >= 0.0 else -ip) - query_norm * radii[node]
-                    return bound if bound > 0.0 else 0.0
-
-                bounds = _LazyNodeValues(self.num_nodes, node_bound)
-                if preference is BranchPreference.CENTER:
-                    keys = _LazyNodeValues(
-                        self.num_nodes, lambda node: abs(ips[node])
-                    )
-                else:
-                    keys = bounds
+                ips, bounds, keys = self._lazy_node_values(
+                    query, query_norm, preference
+                )
             else:
                 ips_arr = self._centers @ query
                 abs_arr = np.abs(ips_arr)
@@ -354,6 +342,39 @@ class TraversalEngine:
                 profile,
             )
         return collector.to_result(stats)
+
+    def _lazy_node_values(self, query, query_norm, preference):
+        """The ``(ips, bounds, keys)`` lazy-value triple for one query.
+
+        The tight-budget strategy (``budget < num_nodes``): one
+        ``centers[node] @ query`` ddot per touched node, python-float
+        bound/key arithmetic on top.  This is the single construction site
+        — the per-query frontier and the block kernel's budgeted prologue
+        (:mod:`repro.engine.block`) both call it, because the ddot here and
+        the eager GEMV rows differ in the last ulp on this BLAS and any
+        drift between the two paths would break the batch-parity contract.
+        """
+        centers = self._centers
+        radii = self._radii_list
+
+        def node_ip(node):
+            return float(centers[node] @ query)
+
+        ips = _LazyNodeValues(self.num_nodes, node_ip)
+
+        def node_bound(node):
+            ip = ips[node]
+            bound = (ip if ip >= 0.0 else -ip) - query_norm * radii[node]
+            return bound if bound > 0.0 else 0.0
+
+        bounds = _LazyNodeValues(self.num_nodes, node_bound)
+        if preference is BranchPreference.CENTER:
+            keys = _LazyNodeValues(
+                self.num_nodes, lambda node: abs(ips[node])
+            )
+        else:
+            keys = bounds
+        return ips, bounds, keys
 
     # ------------------------------------------------------------- frontiers
 

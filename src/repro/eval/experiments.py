@@ -527,24 +527,41 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     """Extension — batched query throughput through the execution engine.
 
     Measures queries/second of ``batch_search`` for the tree indexes
-    (answered by the block traversal kernel), the linear scan, and the
-    NH/FH hashing baselines (answered by the vectorized whole-batch
-    hashing kernel) across worker-pool sizes; the ``path`` column records
+    (answered by the block traversal kernel — exact *and* under the
+    candidate budget the paper's Figures 5-6 sweep), the linear scan, and
+    the NH/FH hashing baselines (answered by the vectorized whole-batch
+    hashing kernel) across worker-pool sizes.  The ``path`` column records
     which execution path the engine actually dispatched (``kernel`` vs
-    ``per-query``).  Recall is reported as a sanity check (batched
-    results are bit-identical to sequential search, so it always matches
-    the sequential number).
+    ``per-query``) and ``why_per_query`` names the veto that fired — a
+    silently-declined kwarg is otherwise indistinguishable from a kernel
+    run (the BC-Tree sequential-scan row demonstrates one).  Recall is a
+    sanity check (batched results are bit-identical to sequential search,
+    so it always matches the sequential number).
     """
     from repro import LinearScan
-    from repro.engine.batch import uses_kernel_dispatch
+    from repro.engine.batch import kernel_dispatch_reason
 
     n_jobs_grid = (1, 2, 4)
+    #: Budget sweep for the tree indexes: exact plus one paper-style
+    #: candidate budget, so the table shows the budgeted configurations
+    #: riding the kernel path too.
+    tree_budgets = ({}, {"candidate_fraction": 0.1})
     records = []
     for name in config.dataset_names():
         workload = _build_workload(name, config)
         dim = workload.points.shape[1] + 1
+        tree_names = set()
         methods: Dict[str, Callable[[], object]] = {}
         methods.update(_tree_methods(config))
+        tree_names.update(methods)
+        # One deliberately kernel-ineligible configuration, so the
+        # fallback-reason column is visible in the default output.
+        methods["BC-Tree-seq"] = lambda: BCTree(
+            leaf_size=config.leaf_size,
+            random_state=config.seed,
+            scan_mode="sequential",
+        )
+        tree_names.add("BC-Tree-seq")
         methods["Linear"] = lambda: LinearScan()
         methods.update(_hash_methods(config, dim))
         for method, factory in methods.items():
@@ -552,47 +569,62 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
             # Warm up (builds the traversal engine) so the n_jobs=1 baseline
             # doesn't carry one-time setup cost into the speedup column.
             index.search(workload.queries[0], k=config.k)
-            baseline_qps = None
-            for n_jobs in n_jobs_grid:
-                batch = index.batch_search(
-                    workload.queries, k=config.k, n_jobs=n_jobs
-                )
-                recalls = [
-                    average_recall([result], truth[None, :])
-                    for result, truth in zip(batch, workload.ground_truth)
-                ]
-                qps = batch.queries_per_second
-                if baseline_qps is None:
-                    baseline_qps = qps
-                records.append(
-                    {
-                        "dataset": name,
-                        "method": method,
-                        "n_jobs": n_jobs,
-                        # batch.n_jobs is the pool size actually used (the
-                        # request is capped at the machine's CPU count).
-                        "workers": batch.n_jobs,
-                        "path": (
-                            "kernel"
-                            if uses_kernel_dispatch(index)
-                            else "per-query"
-                        ),
-                        "queries_per_second": qps,
-                        "speedup_vs_1": (
-                            qps / baseline_qps if baseline_qps else 0.0
-                        ),
-                        "recall": float(np.mean(recalls)),
-                    }
-                )
+            budgets = tree_budgets if method in tree_names else ({},)
+            for search_kwargs in budgets:
+                baseline_qps = None
+                reason = kernel_dispatch_reason(index, **search_kwargs)
+                for n_jobs in n_jobs_grid:
+                    batch = index.batch_search(
+                        workload.queries,
+                        k=config.k,
+                        n_jobs=n_jobs,
+                        **search_kwargs,
+                    )
+                    recalls = [
+                        average_recall([result], truth[None, :])
+                        for result, truth in zip(
+                            batch, workload.ground_truth
+                        )
+                    ]
+                    qps = batch.queries_per_second
+                    if baseline_qps is None:
+                        baseline_qps = qps
+                    records.append(
+                        {
+                            "dataset": name,
+                            "method": method,
+                            "budget": (
+                                "cf=%g" % search_kwargs["candidate_fraction"]
+                                if search_kwargs
+                                else "exact"
+                            ),
+                            "n_jobs": n_jobs,
+                            # batch.n_jobs is the pool size actually used
+                            # (the request is capped at the machine's CPU
+                            # count).
+                            "workers": batch.n_jobs,
+                            "path": (
+                                "per-query" if reason else "kernel"
+                            ),
+                            "why_per_query": reason or "",
+                            "queries_per_second": qps,
+                            "speedup_vs_1": (
+                                qps / baseline_qps if baseline_qps else 0.0
+                            ),
+                            "recall": float(np.mean(recalls)),
+                        }
+                    )
     return ExperimentOutput(
         experiment="batch",
         title="Extension — batched search throughput (engine worker pool)",
         columns=[
             "dataset",
             "method",
+            "budget",
             "n_jobs",
             "workers",
             "path",
+            "why_per_query",
             "queries_per_second",
             "speedup_vs_1",
             "recall",

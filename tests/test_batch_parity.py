@@ -379,8 +379,8 @@ class TestTreeKernelParity:
 
     def test_unsupported_options_fall_back_to_per_query(
             self, fitted_indexes, small_queries, monkeypatch):
-        """Budgets, profiling, and the sequential scan must never reach
-        the block kernel — they are dispatched per query."""
+        """Profiling and the sequential scan must never reach the block
+        kernel — they are dispatched per query."""
         from repro.engine.block import BlockTraversalKernel
 
         def explode(self, *args, **kwargs):
@@ -388,15 +388,6 @@ class TestTreeKernelParity:
 
         monkeypatch.setattr(BlockTraversalKernel, "search_block", explode)
         index = fitted_indexes["bc"]
-        sequential = [
-            index.search(q, k=K, candidate_fraction=0.3)
-            for q in small_queries
-        ]
-        batch = index.batch_search(
-            small_queries, k=K, n_jobs=2, candidate_fraction=0.3
-        )
-        _assert_bit_identical(batch, sequential)
-        index.batch_search(small_queries, k=K, max_candidates=50)
         index.batch_search(small_queries, k=K, profile=True)
         sequential_scan = fitted_indexes["bc_sequential"]
         sequential_scan.batch_search(small_queries, k=K)
@@ -405,7 +396,7 @@ class TestTreeKernelParity:
 
     def test_supported_options_use_the_kernel(self, fitted_indexes,
                                               small_queries, monkeypatch):
-        """Default exact batches must go through the block kernel."""
+        """Default exact AND budgeted batches go through the block kernel."""
         from repro.engine.block import BlockTraversalKernel
 
         calls = []
@@ -418,7 +409,59 @@ class TestTreeKernelParity:
         monkeypatch.setattr(BlockTraversalKernel, "search_block", spy)
         for name in ("ball", "bc", "kd"):
             fitted_indexes[name].batch_search(small_queries, k=K)
-        assert len(calls) == 3
+            fitted_indexes[name].batch_search(
+                small_queries, k=K, candidate_fraction=0.2
+            )
+            fitted_indexes[name].batch_search(
+                small_queries, k=K, max_candidates=30
+            )
+        assert len(calls) == 9
+
+    @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
+    @pytest.mark.parametrize(
+        "budget_kwargs",
+        [
+            {"candidate_fraction": 0.02},  # budget < num_nodes: lazy values
+            {"candidate_fraction": 0.3},   # budget >= num_nodes: eager
+            {"max_candidates": 7},
+            {"max_candidates": 10_000},    # budget > n
+        ],
+    )
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_budgeted_kernel_parity_with_counters(
+            self, fitted_indexes, small_queries, name, budget_kwargs, n_jobs):
+        """Budgeted batches dispatch through the kernel and stay
+        bit-identical — results and every work counter — to per-query
+        budgeted ``search``, in both node-value strategies."""
+        from repro.engine.batch import uses_kernel_dispatch
+
+        index = fitted_indexes[name]
+        assert uses_kernel_dispatch(index, **budget_kwargs)
+        sequential = [
+            index.search(q, k=K, **budget_kwargs) for q in small_queries
+        ]
+        batch = index.batch_search(
+            small_queries, k=K, n_jobs=n_jobs, **budget_kwargs
+        )
+        self._assert_stats_equal(batch, sequential)
+
+    def test_kernel_dispatch_reason(self, fitted_indexes):
+        """The fallback reason names the veto that fired (None = kernel)."""
+        from repro.engine.batch import kernel_dispatch_reason
+
+        bc = fitted_indexes["bc"]
+        assert kernel_dispatch_reason(bc) is None
+        assert kernel_dispatch_reason(bc, candidate_fraction=0.1) is None
+        assert kernel_dispatch_reason(bc, max_candidates=5) is None
+        assert "profile" in kernel_dispatch_reason(bc, profile=True)
+        assert "sequential" in kernel_dispatch_reason(
+            fitted_indexes["bc_sequential"]
+        )
+        assert "bogus" in kernel_dispatch_reason(bc, bogus=1)
+        assert "no vectorized batch kernel" in kernel_dispatch_reason(
+            fitted_indexes["linear"]
+        )
+        assert kernel_dispatch_reason(fitted_indexes["nh"]) is None
 
     @pytest.mark.parametrize("name", ["ball", "bc", "kd"])
     def test_explicit_default_options_accepted(self, fitted_indexes,
@@ -512,6 +555,73 @@ class TestCompositeEngineParity:
         assert batch.stats.nodes_visited == sum(
             r.stats.nodes_visited for r in sequential
         )
+
+    def test_partitioned_block_merge_matches_collector_loop(
+            self, small_clustered_data, small_queries):
+        """Regression: the vectorized per-row merge must equal the old
+        per-query collector loop exactly — including on duplicate-heavy
+        data where tied distances cross shard boundaries, and under
+        budgets where rows come back shorter than k."""
+        from repro.core.partitioned import merge_shard_row
+        from repro.core.results import SearchStats
+
+        # Exact duplicates across shards force cross-shard distance ties
+        # at (and inside) the top-k boundary.
+        data = np.vstack([small_clustered_data[:200],
+                          small_clustered_data[:120]])
+        for kwargs in ({}, {"max_candidates": 4}, {"candidate_fraction": 0.1}):
+            index = PartitionedP2HIndex(
+                num_partitions=4, strategy="round_robin", random_state=0
+            ).fit(data)
+            shard_batches = [
+                shard.batch_search(
+                    np.vstack([q[None, :] for q in small_queries]),
+                    k=min(K, int(ids.size)),
+                    **kwargs,
+                )
+                for shard, ids in zip(index.shards, index.shard_point_ids)
+            ]
+            got = index._merge_shard_batches(
+                shard_batches, K, len(small_queries)
+            )
+            for row in range(len(small_queries)):
+                expected = merge_shard_row(
+                    [batch[row] for batch in shard_batches],
+                    index.shard_point_ids,
+                    K,
+                ).to_result(SearchStats())
+                np.testing.assert_array_equal(
+                    got[row].indices, expected.indices
+                )
+                np.testing.assert_array_equal(
+                    got[row].distances, expected.distances
+                )
+
+    def test_partitioned_effective_n_jobs(self, small_clustered_data,
+                                          small_queries):
+        """The batch reports the pool the shards actually ran with —
+        also for empty batches and heterogeneous shard pools."""
+        from repro.core.partitioned import effective_pool_size
+
+        index = PartitionedP2HIndex(num_partitions=3, random_state=0).fit(
+            small_clustered_data
+        )
+        batch = index.batch_search(small_queries, k=K, n_jobs=4)
+        assert batch.n_jobs == 4
+        empty = index.batch_search(
+            np.empty((0, small_queries.shape[1])), k=K, n_jobs=2
+        )
+        assert len(empty) == 0
+        assert empty.n_jobs == 2
+        # no shard batches at all (defensive default)
+        assert effective_pool_size([]) == 1
+
+        class _Stub:
+            def __init__(self, n_jobs):
+                self.n_jobs = n_jobs
+
+        # heterogeneous pools: report the peak parallelism of the call
+        assert effective_pool_size([_Stub(1), _Stub(3), _Stub(2)]) == 3
 
     @pytest.mark.parametrize("n_jobs", [None, 1, 2, 4])
     def test_dynamic_parity_across_pool_sizes(self, small_clustered_data,

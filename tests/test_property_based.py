@@ -44,7 +44,9 @@ from repro import (  # noqa: E402
     KDTree,
     LinearScan,
     PartitionedP2HIndex,
+    RPTree,
 )
+from repro.engine.batch import uses_kernel_dispatch  # noqa: E402
 from repro.core.distances import augment_points, normalize_query  # noqa: E402
 from repro.hashing import (  # noqa: E402
     AngularHyperplaneHash,
@@ -74,7 +76,24 @@ TREE_FAMILIES = {
         leaf_size=leaf_size, random_state=3, collaborative_ip=False
     ),
     "kd": lambda leaf_size: KDTree(leaf_size=leaf_size),
+    "rp": lambda leaf_size: RPTree(leaf_size=leaf_size, random_state=3),
 }
+
+# Candidate budgets for the budgeted-parity properties: fractions spanning
+# "one leaf" to "everything", and absolute counts from 1 (exhaustion inside
+# the very first leaf) past n (budget larger than the data set, so the
+# budgeted path must degenerate to exact search).  Small counts against
+# leaf sizes up to 24 exercise mid-leaf exhaustion — the per-query loop
+# scans the whole crossing leaf and only then stops, and the kernel must
+# overshoot identically.
+budget_options = st.one_of(
+    st.fixed_dictionaries(
+        {"candidate_fraction": st.floats(min_value=0.001, max_value=1.0)}
+    ),
+    st.fixed_dictionaries(
+        {"max_candidates": st.integers(min_value=1, max_value=150)}
+    ),
+)
 
 HASH_FAMILIES = {
     "bh": lambda: MultilinearHyperplaneHash(
@@ -169,6 +188,48 @@ class TestTreeProperties:
             block_module.BLOCK_QUERIES, block_module.SCALAR_GROUP_CUTOFF = saved
         _assert_bit_identical_with_stats(got, expected)
 
+    @given(
+        data=problems(),
+        family=st.sampled_from(sorted(TREE_FAMILIES)),
+        budget=budget_options,
+    )
+    def test_budgeted_batch_equals_sequential(self, data, family, budget):
+        """Budgeted batches dispatch through the block kernel and stay
+        bit-identical — results AND counters — to per-query budgeted
+        search, for every tree family, in both node-value strategies
+        (eager GEMV above ``budget >= num_nodes``, lazy ddots below)."""
+        points, queries, k, leaf_size = data
+        index = TREE_FAMILIES[family](leaf_size).fit(points)
+        assert uses_kernel_dispatch(index, **budget)
+        sequential = [index.search(q, k=k, **budget) for q in queries]
+        batch = index.batch_search(queries, k=k, **budget)
+        _assert_bit_identical_with_stats(batch, sequential)
+
+    @given(
+        data=problems(),
+        family=st.sampled_from(sorted(TREE_FAMILIES)),
+        budget=budget_options,
+        block_queries=st.integers(min_value=1, max_value=3),
+        cutoff=st.sampled_from([0, 2, 10_000]),
+    )
+    def test_budgeted_kernel_blocking_invariance(
+        self, data, family, budget, block_queries, cutoff
+    ):
+        """Sub-blocking and the scalar-descent cutoff stay invisible under
+        budgets too — exhausted queries retire identically whether their
+        group is vectorized or finishing on the scalar descent."""
+        points, queries, k, leaf_size = data
+        index = TREE_FAMILIES[family](leaf_size).fit(points)
+        expected = index.batch_search(queries, k=k, **budget)
+        saved = (block_module.BLOCK_QUERIES, block_module.SCALAR_GROUP_CUTOFF)
+        block_module.BLOCK_QUERIES = block_queries
+        block_module.SCALAR_GROUP_CUTOFF = cutoff
+        try:
+            got = index.batch_search(queries, k=k, **budget)
+        finally:
+            block_module.BLOCK_QUERIES, block_module.SCALAR_GROUP_CUTOFF = saved
+        _assert_bit_identical_with_stats(got, expected)
+
     @given(data=problems(), family=st.sampled_from(sorted(TREE_FAMILIES)))
     def test_tree_equals_linear_scan(self, data, family):
         """Exact tree search returns the true top-k distance multiset."""
@@ -236,6 +297,25 @@ class TestCompositeIndexProperties:
         ).fit(points)
         sequential = [index.search(q, k=k) for q in queries]
         batch = index.batch_search(queries, k=k)
+        _assert_bit_identical_with_stats(batch, sequential)
+
+    @given(data=problems(), num_partitions=st.integers(2, 4),
+           budget=budget_options)
+    def test_partitioned_budgeted_batch_equals_sequential(
+        self, data, num_partitions, budget
+    ):
+        """Per-shard budgets ride the kernel into every shard, and the
+        vectorized batch merge must still equal the per-query merge even
+        when budget-starved rows come back shorter than k."""
+        points, queries, k, leaf_size = data
+        assume(points.shape[0] >= num_partitions)
+        index = PartitionedP2HIndex(
+            num_partitions=num_partitions,
+            index_factory=lambda: BCTree(leaf_size=leaf_size, random_state=3),
+            random_state=7,
+        ).fit(points)
+        sequential = [index.search(q, k=k, **budget) for q in queries]
+        batch = index.batch_search(queries, k=k, **budget)
         _assert_bit_identical_with_stats(batch, sequential)
 
     @given(
