@@ -7,39 +7,58 @@ Run with::
 The paper motivates Ball-Tree partly because a space-partition index can be
 sharded across machines for massive data sets (Section III-A) and because
 its construction is cheap enough to rebuild as the data changes.  This
-example shows both operational modes on a large surrogate:
+example shows both operational modes on a large surrogate, driven entirely
+through the declarative :mod:`repro.api` layer:
 
-1. shard the Deep100M-like surrogate into BC-Tree partitions and compare
-   exact sharded search against a single monolithic index,
-2. stream inserts and deletes through the dynamic wrapper while keeping
+1. describe the sharded Deep100M-like index as a nested spec (the same
+   dictionary could live in a JSON config), build it through the registry,
+   and compare exact sharded search against a single monolithic index,
+2. persist the sharded index and reload it family-agnostically with
+   :func:`repro.api.load_index`,
+3. stream inserts and deletes through the dynamic wrapper while keeping
    every intermediate answer exact.
+
+Set ``REPRO_EXAMPLE_POINTS`` to scale the data down (CI smoke runs use a
+few hundred points).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro import BCTree, LinearScan
-from repro.core.dynamic import DynamicP2HIndex
-from repro.core.partitioned import PartitionedP2HIndex
+from repro.api import build_index, load_index
 from repro.datasets import load_dataset, random_hyperplane_queries
 from repro.utils.timing import Timer
 
 K = 10
+NUM_POINTS = int(os.environ.get("REPRO_EXAMPLE_POINTS", "20000"))
 
 
 def sharded_search_demo(points: np.ndarray, queries: np.ndarray) -> None:
     print("=== sharded (partitioned) search ===")
-    single = BCTree(leaf_size=200, random_state=0).fit(points)
+    single = build_index(
+        "bc_tree", leaf_size=200, random_state=0
+    ).fit(points)
     print(f"single BC-Tree: built in {single.indexing_seconds:.2f} s")
 
     for num_partitions in (2, 4, 8):
-        index = PartitionedP2HIndex(
-            num_partitions=num_partitions,
-            index_factory=lambda: BCTree(leaf_size=200, random_state=0),
-            strategy="ball",
-            random_state=0,
-        ).fit(points)
+        # A nested spec: the composite family plus the per-shard sub-index.
+        index = build_index({
+            "kind": "partitioned",
+            "params": {
+                "num_partitions": num_partitions,
+                "strategy": "ball",
+                "random_state": 0,
+                "index": {
+                    "kind": "bc_tree",
+                    "params": {"leaf_size": 200, "random_state": 0},
+                },
+            },
+        }).fit(points)
         report = index.indexing_report()
 
         agree = 0
@@ -59,10 +78,25 @@ def sharded_search_demo(points: np.ndarray, queries: np.ndarray) -> None:
             f"exact matches {agree}/{len(queries)}"
         )
 
+    # Persistence is family-agnostic: the saved payload carries the spec,
+    # so loading never names the class.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "partitioned.idx"
+        index.save(path)
+        loaded, spec = load_index(path, with_spec=True)
+        same = np.array_equal(
+            loaded.search(queries[0], k=K).indices,
+            index.search(queries[0], k=K).indices,
+        )
+        print(
+            f"  save/load round trip: kind={spec.kind!r}, "
+            f"{len(loaded.shards)} shards, identical results: {same}"
+        )
+
 
 def dynamic_updates_demo(points: np.ndarray, queries: np.ndarray) -> None:
     print("\n=== dynamic inserts and deletes ===")
-    index = DynamicP2HIndex(random_state=0, rebuild_threshold=0.25)
+    index = build_index("dynamic", random_state=0, rebuild_threshold=0.25)
 
     # Stream the points in three batches, dropping 5% of each batch again —
     # the pattern of an active-learning pool that labels and retires points.
@@ -82,7 +116,7 @@ def dynamic_updates_demo(points: np.ndarray, queries: np.ndarray) -> None:
     # Verify the final state against an exact scan over the surviving points.
     survivors_mask = np.ones(points.shape[0], dtype=bool)
     survivors_mask[np.asarray(removed, dtype=np.int64)] = False
-    scan = LinearScan().fit(points[survivors_mask])
+    scan = build_index("linear_scan").fit(points[survivors_mask])
 
     query = queries[0]
     dynamic_result = index.search(query, k=K)
@@ -94,7 +128,7 @@ def dynamic_updates_demo(points: np.ndarray, queries: np.ndarray) -> None:
 
 
 def main() -> None:
-    dataset = load_dataset("Deep100M", num_points=20_000)
+    dataset = load_dataset("Deep100M", num_points=NUM_POINTS)
     points = dataset.points
     queries = random_hyperplane_queries(points, num_queries=10, rng=3)
     print(

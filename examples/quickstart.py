@@ -4,30 +4,38 @@ Run with::
 
     python examples/quickstart.py
 
-The script walks through the core workflow of the library:
+The script walks through the core workflow of the library via its stable
+entry point, :mod:`repro.api`:
 
 1. generate (or load) a point set,
-2. build a BC-Tree index over it,
+2. describe a BC-Tree index declaratively (``IndexSpec`` / JSON) and build
+   it through the registry,
 3. answer exact and approximate top-k point-to-hyperplane queries,
-4. inspect the work counters that explain where the speed comes from,
-5. compare against the exhaustive linear scan.
+4. run a batch on a reusable :class:`~repro.api.Searcher` session,
+5. inspect the work counters that explain where the speed comes from, and
+   compare against the exhaustive linear scan.
+
+Set ``REPRO_EXAMPLE_POINTS`` to scale the data down (CI smoke runs use a
+few hundred points).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
-from repro import BallTree, BCTree, LinearScan
+from repro.api import IndexSpec, SearchOptions, Searcher, build_index
 from repro.datasets import load_dataset, random_hyperplane_queries
 from repro.eval import exact_ground_truth
 from repro.eval.metrics import recall_at_k
 
+NUM_POINTS = int(os.environ.get("REPRO_EXAMPLE_POINTS", "10000"))
+
 
 def main() -> None:
     # ------------------------------------------------------------------ data
-    # A synthetic surrogate of the paper's Sift data set: 10,000 points in
-    # 128 dimensions with SIFT-like cluster structure.
-    dataset = load_dataset("Sift", num_points=10_000)
+    # A synthetic surrogate of the paper's Sift data set: points in 128
+    # dimensions with SIFT-like cluster structure.
+    dataset = load_dataset("Sift", num_points=NUM_POINTS)
     points = dataset.points
     print(f"data set: {dataset.name}-like surrogate, "
           f"{dataset.num_points} points, {dataset.dim} dimensions")
@@ -37,7 +45,13 @@ def main() -> None:
     queries = random_hyperplane_queries(points, num_queries=5, rng=7)
 
     # ----------------------------------------------------------------- index
-    tree = BCTree(leaf_size=100, random_state=7).fit(points)
+    # The spec is plain data — it JSON round-trips, so the exact same index
+    # can be described in a config file or an experiment manifest.
+    spec = IndexSpec("bc_tree", {"leaf_size": 100, "random_state": 7})
+    print(f"index spec (JSON): {spec.to_json()}")
+    assert IndexSpec.from_json(spec.to_json()) == spec
+
+    tree = build_index(spec).fit(points)
     print(f"BC-Tree built in {tree.indexing_seconds * 1000:.1f} ms, "
           f"index size {tree.index_size_bytes() / 1024:.1f} KiB, "
           f"{tree.num_leaves} leaves")
@@ -69,11 +83,26 @@ def main() -> None:
               f"verified {approx.stats.candidates_verified} candidates, "
               f"{approx.stats.elapsed_seconds * 1000:.2f} ms")
 
+    # ------------------------------------------------- batched session search
+    # A Searcher session owns one worker pool for its whole lifetime;
+    # repeated batch calls skip pool setup and stay bit-identical to
+    # per-call batch_search.
+    print("\nbatched search on a reusable Searcher session:")
+    with Searcher(tree, SearchOptions(k=10, n_jobs=2)) as searcher:
+        for round_number in range(1, 3):
+            batch = searcher.batch_search(queries)
+            print(f"  round {round_number}: {len(batch)} queries in "
+                  f"{batch.wall_seconds * 1000:.2f} ms "
+                  f"({batch.queries_per_second:.0f} q/s, "
+                  f"pool of {batch.n_jobs})")
+
     # ------------------------------------------------------------- baselines
     print("\ncomparison on the same query (exact search):")
     for name, index in (
-        ("LinearScan", LinearScan().fit(points)),
-        ("Ball-Tree", BallTree(leaf_size=100, random_state=7).fit(points)),
+        ("LinearScan", build_index("linear_scan").fit(points)),
+        ("Ball-Tree", build_index(
+            "ball_tree", leaf_size=100, random_state=7
+        ).fit(points)),
         ("BC-Tree", tree),
     ):
         res = index.search(query, k=10)

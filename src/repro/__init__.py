@@ -6,6 +6,16 @@ A from-scratch Python reproduction of
     "Lightweight-Yet-Efficient: Revitalizing Ball-Tree for
     Point-to-Hyperplane Nearest Neighbor Search." ICDE 2023.
 
+**The stable entry point is** :mod:`repro.api`: declarative
+:class:`~repro.api.IndexSpec` configurations, the string-keyed registry
+behind :func:`~repro.api.build_index` (covering every index family below,
+including the dynamic and partitioned composites), the centrally-validated
+:class:`~repro.api.SearchOptions`, family-agnostic
+:func:`~repro.api.save_index` / :func:`~repro.api.load_index`, and the
+:class:`~repro.api.Searcher` session that reuses one worker pool across
+repeated batch calls.  The concrete classes re-exported here remain
+supported as thin constructor aliases.
+
 The package exposes:
 
 * the two tree indexes the paper proposes (:class:`BallTree`,
@@ -26,22 +36,24 @@ The package exposes:
 * the two motivating applications, active learning and maximum-margin
   clustering (:mod:`repro.apps`).
 
-Quickstart
-----------
+Quickstart (see :mod:`repro.api` for the full surface)
+------------------------------------------------------
 >>> import numpy as np
->>> from repro import BCTree
+>>> from repro.api import SearchOptions, Searcher, build_index
 >>> rng = np.random.default_rng(7)
 >>> data = rng.normal(size=(1000, 32))          # points in R^{d-1}
 >>> query = rng.normal(size=33)                 # hyperplane (normal; offset)
->>> tree = BCTree(leaf_size=64, random_state=7).fit(data)
+>>> tree = build_index("bc_tree", leaf_size=64, random_state=7).fit(data)
 >>> result = tree.search(query, k=10)
 >>> len(result)
 10
 
-Batched search with a worker pool (results identical to per-query search):
+Batched search on a reusable worker pool (results identical to per-query
+search):
 
 >>> queries = rng.normal(size=(8, 33))
->>> batch = tree.batch_search(queries, k=10, n_jobs=2)
+>>> with Searcher(tree, SearchOptions(k=10, n_jobs=2)) as searcher:
+...     batch = searcher.batch_search(queries)
 >>> len(batch)
 8
 """
@@ -68,9 +80,31 @@ from repro.engine import BatchSearchResult, TraversalEngine, execute_batch
 from repro.hashing.fh import FHIndex
 from repro.hashing.nh import NHIndex
 
-__version__ = "1.1.0"
+# The api package builds on the core/engine/hashing layers above, so it is
+# imported last (importing it first would re-enter repro.engine.batch
+# while it is still initializing).
+from repro.api import (
+    IndexSpec,
+    SearchOptions,
+    Searcher,
+    available_indexes,
+    build_index,
+    load_index,
+    register_index,
+    save_index,
+)
+
+__version__ = "1.2.0"
 
 __all__ = [
+    "IndexSpec",
+    "SearchOptions",
+    "Searcher",
+    "available_indexes",
+    "build_index",
+    "register_index",
+    "save_index",
+    "load_index",
     "BallTree",
     "BCTree",
     "KDTree",

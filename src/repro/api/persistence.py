@@ -1,0 +1,65 @@
+"""Family-agnostic save/load on top of the versioned payload format.
+
+``save_index`` / ``load_index`` work for **every** index family — static
+trees, hashing baselines, and the dynamic/partitioned composites — without
+the caller naming a class: the payload envelope
+(:mod:`repro.utils.persistence`) carries the index object plus the spec
+dictionary it was built from, and version mismatches fail with a clear
+error instead of corrupt state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.api.specs import IndexSpec
+from repro.utils.persistence import (
+    dump_index_payload,
+    load_index_payload,
+    read_index_spec,
+)
+
+
+def save_index(index: Any, path) -> None:
+    """Persist any index to ``path`` in the versioned payload format.
+
+    Indexes exposing their own ``save`` (every family in the library)
+    delegate to it, so class-specific invariants (fitted-state checks)
+    still run; other objects are wrapped directly.
+    """
+    saver = getattr(index, "save", None)
+    if callable(saver):
+        saver(path)
+        return
+    dump_index_payload(path, index, spec=getattr(index, "_api_spec", None))
+
+
+def load_index(path, *, with_spec: bool = False):
+    """Load an index saved by any family's ``save`` (or :func:`save_index`).
+
+    The class is reconstructed from the payload itself — callers never
+    name it up front.  With ``with_spec=True`` the return value is a
+    ``(index, spec)`` tuple where ``spec`` is the
+    :class:`~repro.api.IndexSpec` the index was built from (None for
+    indexes constructed directly rather than through the registry).
+
+    Raises
+    ------
+    ValueError
+        If the file was written with an incompatible format version.
+    """
+    payload = load_index_payload(path)
+    if not with_spec:
+        return payload["index"]
+    spec = payload["spec"]
+    return payload["index"], (None if spec is None else IndexSpec.from_dict(spec))
+
+
+def saved_spec(path) -> Optional[IndexSpec]:
+    """The spec stamped into a saved index file.
+
+    Reads only the payload's small header frame — inspecting how a
+    multi-gigabyte index was configured never unpickles the index itself.
+    """
+    spec = read_index_spec(path)
+    return None if spec is None else IndexSpec.from_dict(spec)

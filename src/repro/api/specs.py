@@ -1,0 +1,218 @@
+"""Declarative index specifications: frozen, hashable, JSON round-trippable.
+
+An :class:`IndexSpec` is the data that *describes* an index — its registry
+``kind`` string plus constructor ``params`` — decoupled from the class that
+implements it.  Specs serialize to plain dictionaries (and therefore JSON),
+survive pickling, and rebuild the index via the registry
+(:func:`repro.api.build_index`), which makes them the right currency for
+config files, experiment manifests, and the persistence envelope
+(:mod:`repro.utils.persistence`).
+
+Composite families (``dynamic``, ``partitioned``) nest a sub-index spec
+under the ``index`` param; :class:`SpecIndexFactory` turns that nested spec
+into the picklable zero-argument factory the composite classes expect.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+#: The one parameter key whose value is interpreted as a nested spec
+#: (used by the composite families).
+NESTED_SPEC_KEY = "index"
+
+
+def normalize_kind(kind: str) -> str:
+    """Canonical registry key: lower-case with ``-`` folded to ``_``."""
+    if not isinstance(kind, str) or not kind.strip():
+        raise ValueError(f"index kind must be a non-empty string, got {kind!r}")
+    return kind.strip().lower().replace("-", "_")
+
+
+def _coerce_param(value):
+    """Fold numpy scalars (the natural output of sweeps) to native types.
+
+    Keeps the spec's "hashable, JSON round-trippable" contract honest for
+    params like ``leaf_size=np.int64(64)``; containers are coerced
+    recursively (tuples become lists, matching what a JSON round trip
+    would produce anyway).  Other exotic values pass through untouched and
+    simply aren't JSON-serializable — same as before.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {key: _coerce_param(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce_param(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A declarative description of one index configuration.
+
+    Parameters
+    ----------
+    kind:
+        Registry key of the index family (``"bc_tree"``, ``"nh"``,
+        ``"partitioned"``, ...); hyphens and case are normalized, so the
+        CLI's ``"bc-tree"`` spelling works too.
+    params:
+        Constructor keyword arguments for the family.  For the composite
+        families the ``index`` param may be a nested :class:`IndexSpec`
+        (or its dictionary form), describing the sub-index each
+        shard/rebuild constructs.
+
+    Examples
+    --------
+    >>> spec = IndexSpec("bc_tree", {"leaf_size": 64, "random_state": 7})
+    >>> spec.to_dict()
+    {'kind': 'bc_tree', 'params': {'leaf_size': 64, 'random_state': 7}}
+    >>> IndexSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", normalize_kind(self.kind))
+        params = dict(self.params or {})
+        for name in params:
+            if not isinstance(name, str):
+                raise ValueError(
+                    f"spec params must have string keys, got {name!r}"
+                )
+        nested = params.get(NESTED_SPEC_KEY)
+        if isinstance(nested, Mapping):
+            params[NESTED_SPEC_KEY] = IndexSpec.from_dict(nested)
+        params = {
+            name: (
+                value if isinstance(value, IndexSpec)
+                else _coerce_param(value)
+            )
+            for name, value in params.items()
+        }
+        # MappingProxy keeps the frozen dataclass actually immutable while
+        # still pickling (via __reduce__ below) and comparing like a dict.
+        object.__setattr__(self, "params", MappingProxyType(params))
+
+    # Frozen dataclasses with a MappingProxy field need explicit pickle
+    # support (proxies are not picklable); rebuild from the dict form.
+    def __reduce__(self):
+        return (_spec_from_dict, (self.to_dict(),))
+
+    def __hash__(self) -> int:
+        # Derived from the same values __eq__ compares (dict equality, so
+        # 64 and 64.0 stay interchangeable); unhashable param values raise
+        # the standard TypeError, exactly like a tuple containing them.
+        return hash((self.kind, _freeze(dict(self.params))))
+
+    # ----------------------------------------------------------- round trips
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary form (nested specs become nested dicts)."""
+        params: Dict[str, Any] = {}
+        for name, value in self.params.items():
+            params[name] = (
+                value.to_dict() if isinstance(value, IndexSpec) else value
+            )
+        return {"kind": self.kind, "params": params}
+
+    @classmethod
+    def from_dict(cls, data: Union[Mapping[str, Any], "IndexSpec"]) -> "IndexSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a JSON config).
+
+        Accepts ``{"kind": ..., "params": {...}}`` as well as the compact
+        form ``{"kind": ..., <param>: ...}`` where every non-``kind`` key
+        is a parameter.
+        """
+        if isinstance(data, IndexSpec):
+            return data
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"an index spec must be a mapping, got {type(data).__name__}"
+            )
+        if "kind" not in data:
+            raise ValueError("an index spec requires a 'kind' key")
+        data = dict(data)
+        kind = data.pop("kind")
+        params = data.pop("params", None)
+        if params is None:
+            params = data
+        elif data:
+            raise ValueError(
+                "pass parameters either under 'params' or inline, not both: "
+                + ", ".join(sorted(data))
+            )
+        return cls(kind, params)
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IndexSpec":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ---------------------------------------------------------------- build
+
+    def build(self):
+        """Construct the (unfitted) index this spec describes."""
+        from repro.api.registry import build_index
+
+        return build_index(self)
+
+
+def _spec_from_dict(data):
+    """Module-level unpickling hook for :class:`IndexSpec`."""
+    return IndexSpec.from_dict(data)
+
+
+def _freeze(value):
+    """A hashable mirror of ``value`` that preserves equality semantics.
+
+    Mappings become frozensets of frozen items and sequences become
+    tuples, so two specs that compare equal (dict equality) always hash
+    equal — which ``json.dumps``-based hashing would violate for pairs
+    like ``64`` vs ``64.0``.
+    """
+    if isinstance(value, Mapping):
+        return frozenset((key, _freeze(item)) for key, item in value.items())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+class SpecIndexFactory:
+    """Picklable zero-argument factory building a fresh index from a spec.
+
+    The composite indexes (:class:`~repro.core.dynamic.DynamicP2HIndex`,
+    :class:`~repro.core.partitioned.PartitionedP2HIndex`) call their
+    ``index_factory`` at every rebuild / per shard; this class is the
+    declarative counterpart of the ad-hoc lambdas — equal specs build
+    equal indexes, and the factory survives ``save``/``load``.
+    """
+
+    def __init__(self, spec: Union[IndexSpec, Mapping[str, Any], str]) -> None:
+        if isinstance(spec, str):
+            spec = IndexSpec(spec)
+        self.spec = IndexSpec.from_dict(spec)
+
+    def __call__(self):
+        return self.spec.build()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SpecIndexFactory) and self.spec == other.spec
+
+    def __hash__(self) -> int:
+        return hash(self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SpecIndexFactory({self.spec!r})"

@@ -5,9 +5,12 @@ writing code:
 
 * ``python -m repro datasets`` — list the registered data-set surrogates.
 * ``python -m repro search``  — build an index over a data set (registry
-  surrogate or a file on disk) and answer random hyperplane queries through
-  the engine's batched path (``--n-jobs`` controls the worker pool),
-  printing recall and timing against the exact linear scan.
+  surrogate or a file on disk) through the declarative ``repro.api``
+  registry and answer random hyperplane queries through the engine's
+  batched path (``--n-jobs`` / ``--executor`` control the worker pool, and
+  every single-index registry family is available via ``--method`` — the
+  composites and the MIPS adapter need programmatic configuration and stay
+  library-only), printing recall and timing against the exact linear scan.
 * ``python -m repro run <experiment>`` — regenerate one of the paper's
   tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
   ``partitioned``, ``batch``) at a configurable scale, printing the same
@@ -26,7 +29,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro import BallTree, BCTree, FHIndex, LinearScan, NHIndex, __version__
+from repro import __version__
+from repro.api import IndexSpec, SearchOptions, build_index
+from repro.api.specs import normalize_kind
 from repro.datasets import load_dataset, random_hyperplane_queries
 from repro.datasets.io import load_points
 from repro.datasets.registry import DATASETS, available_datasets
@@ -39,15 +44,28 @@ from repro.eval.plots import records_to_csv
 from repro.eval.reporting import render_table, save_json
 from repro.eval.runner import evaluate_index
 
-METHODS = {
-    "bc-tree": lambda args: BCTree(leaf_size=args.leaf_size, random_state=args.seed),
-    "ball-tree": lambda args: BallTree(
-        leaf_size=args.leaf_size, random_state=args.seed
-    ),
-    "linear": lambda args: LinearScan(),
-    "nh": lambda args: NHIndex(num_tables=args.num_tables, random_state=args.seed),
-    "fh": lambda args: FHIndex(num_tables=args.num_tables, random_state=args.seed),
-}
+#: CLI method names (historic spellings kept) -> registry kinds; every
+#: index is built declaratively through ``repro.api.build_index``.
+LEGACY_METHOD_KINDS = {"linear": "linear_scan"}
+
+METHOD_CHOICES = (
+    "bc-tree", "ball-tree", "kd-tree", "rp-tree", "linear",
+    "nh", "fh", "bh", "mh", "ah", "eh",
+)
+
+
+def method_spec(args) -> IndexSpec:
+    """The declarative :class:`IndexSpec` for the CLI's ``--method`` flags."""
+    kind = normalize_kind(LEGACY_METHOD_KINDS.get(args.method, args.method))
+    if kind in ("ball_tree", "bc_tree", "rp_tree"):
+        params = {"leaf_size": args.leaf_size, "random_state": args.seed}
+    elif kind == "kd_tree":
+        params = {"leaf_size": args.leaf_size}
+    elif kind in ("nh", "fh", "bh", "mh", "ah", "eh"):
+        params = {"num_tables": args.num_tables, "random_state": args.seed}
+    else:  # linear_scan
+        params = {}
+    return IndexSpec(kind, params)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument(
         "--method",
         default="bc-tree",
-        choices=sorted(METHODS),
+        choices=sorted(METHOD_CHOICES),
         help="index to build (default: bc-tree)",
     )
     search_parser.add_argument("--num-points", type=int, default=4000)
@@ -104,10 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="approximate search budget for the tree indexes",
     )
     search_parser.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help="absolute candidate budget (alternative to --candidate-fraction)",
+    )
+    search_parser.add_argument(
         "--n-jobs",
         type=int,
         default=None,
         help="worker-pool size for batched query execution (default: inline)",
+    )
+    search_parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker-pool flavor for batched execution (default: thread)",
     )
     search_parser.add_argument("--seed", type=int, default=0)
 
@@ -174,10 +204,32 @@ def _cmd_search(args) -> int:
         dataset_name = dataset.name
     queries = random_hyperplane_queries(points, args.num_queries, rng=args.seed + 2023)
 
-    index = METHODS[args.method](args)
-    search_kwargs = {}
-    if args.candidate_fraction is not None and args.method in ("bc-tree", "ball-tree"):
-        search_kwargs["candidate_fraction"] = args.candidate_fraction
+    spec = method_spec(args)
+    index = build_index(spec)
+    budget_kinds = ("ball_tree", "bc_tree", "kd_tree", "rp_tree")
+    budget_given = (
+        args.candidate_fraction is not None or args.max_candidates is not None
+    )
+    if budget_given and spec.kind not in budget_kinds:
+        # Refuse rather than silently running exact search: a dropped
+        # budget flag would mislabel every number the command prints.
+        print(
+            f"invalid search options: --candidate-fraction/--max-candidates "
+            f"apply to the tree indexes only, not {args.method!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        options = SearchOptions(
+            k=args.k,
+            candidate_fraction=args.candidate_fraction,
+            max_candidates=args.max_candidates,
+            n_jobs=args.n_jobs,
+            executor=args.executor,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"invalid search options: {exc}", file=sys.stderr)
+        return 2
 
     evaluation = evaluate_index(
         index,
@@ -186,8 +238,7 @@ def _cmd_search(args) -> int:
         args.k,
         method_name=args.method,
         dataset_name=dataset_name,
-        search_kwargs=search_kwargs,
-        n_jobs=args.n_jobs,
+        options=options,
     )
     record = evaluation.as_record()
     columns = [

@@ -28,11 +28,12 @@ from typing import Callable, List, Optional, Set
 
 import numpy as np
 
-from repro.core.bc_tree import BCTree
 from repro.core.distances import augment_points, normalize_query
+from repro.core.factories import DefaultBCTreeFactory
 from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
 from repro.engine.batch import BatchSearchResult, execute_batch
+from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.validation import check_points_matrix, check_query_vector
 
 
@@ -85,7 +86,7 @@ class DynamicP2HIndex:
                 f"rebuild_threshold must be positive, got {rebuild_threshold}"
             )
         if index_factory is None:
-            index_factory = lambda: BCTree(random_state=random_state)  # noqa: E731
+            index_factory = DefaultBCTreeFactory(random_state)
         self.index_factory = index_factory
         self.rebuild_threshold = float(rebuild_threshold)
         self.auto_rebuild = bool(auto_rebuild)
@@ -99,6 +100,10 @@ class DynamicP2HIndex:
         self._tombstones: Set[int] = set()
         self._next_id: int = 0
         self.num_rebuilds: int = 0
+        # Bumped on every state change; long-lived process pools (the
+        # repro.api.Searcher session) compare it to detect that their
+        # worker-side snapshot of the index went stale and must be rebuilt.
+        self._mutation_version: int = 0
 
     # ------------------------------------------------------------ properties
 
@@ -142,6 +147,7 @@ class DynamicP2HIndex:
         for row, point_id in zip(pts, ids):
             self._buffer_ids.append(int(point_id))
             self._buffer_points.append(row.copy())
+        self._mutation_version += 1
         self._maybe_rebuild()
         return ids
 
@@ -150,7 +156,9 @@ class DynamicP2HIndex:
         requested = {int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))}
         live = self._live_ids()
         removable = requested & live
-        self._tombstones.update(removable)
+        if removable:
+            self._tombstones.update(removable)
+            self._mutation_version += 1
         self._maybe_rebuild()
         return len(removable)
 
@@ -217,6 +225,7 @@ class DynamicP2HIndex:
 
     def rebuild(self) -> None:
         """Fold the buffer and purge tombstones into a freshly built index."""
+        self._mutation_version += 1
         live_points, live_ids = self._live_points()
         self._buffer_ids = []
         self._buffer_points = []
@@ -230,6 +239,25 @@ class DynamicP2HIndex:
         self._static_ids = live_ids
         self._static_index = self.index_factory().fit(live_points)
         self.num_rebuilds += 1
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Persist the full dynamic state (static index, buffer, tombstones).
+
+        The file uses the same versioned payload format as every static
+        index (:mod:`repro.utils.persistence`), so
+        :func:`repro.api.load_index` reconstructs it without knowing the
+        class up front.  ``index_factory`` is pickled along — the default
+        factory and the API layer's spec factory are picklable; a custom
+        ``lambda`` factory is not and raises here.
+        """
+        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
+
+    @classmethod
+    def load(cls, path) -> "DynamicP2HIndex":
+        """Load a dynamic index previously stored with :meth:`save`."""
+        return load_typed_index(path, cls)
 
     def point(self, point_id: int) -> np.ndarray:
         """Return the raw coordinates of a live point by id."""

@@ -1,0 +1,34 @@
+"""Picklable sub-index factories for the composite indexes.
+
+:class:`~repro.core.dynamic.DynamicP2HIndex` and
+:class:`~repro.core.partitioned.PartitionedP2HIndex` both take a
+zero-argument ``index_factory`` callable and historically defaulted to a
+``lambda`` — which made the composites unpicklable, so they were the only
+index families without ``save``/``load``.  The default factory is now this
+module-level class; custom factories remain free-form callables, but must
+be picklable for persistence to work (the API layer's
+``repro.api.specs.SpecIndexFactory`` is the declarative, always-picklable
+option).
+"""
+
+from __future__ import annotations
+
+from repro.core.bc_tree import BCTree
+
+
+class DefaultBCTreeFactory:
+    """Zero-argument factory building the library-default sub-index.
+
+    Equivalent to ``lambda: BCTree(random_state=random_state)`` but
+    picklable, so composites using the default factory round-trip through
+    ``save``/``load``.
+    """
+
+    def __init__(self, random_state=None) -> None:
+        self.random_state = random_state
+
+    def __call__(self) -> BCTree:
+        return BCTree(random_state=self.random_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DefaultBCTreeFactory(random_state={self.random_state!r})"

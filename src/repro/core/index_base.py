@@ -25,8 +25,6 @@ indexes) ``_make_engine``.
 
 from __future__ import annotations
 
-import pickle
-from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -34,6 +32,7 @@ import numpy as np
 from repro.core.distances import augment_points, is_augmented, normalize_query
 from repro.core.results import SearchResult
 from repro.engine.batch import BatchSearchResult, execute_batch
+from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points_matrix, check_query_vector
 
@@ -65,6 +64,10 @@ class P2HIndex:
         self.dim: int = 0
         self.indexing_seconds: float = 0.0
         self._engine_cache = None
+        # Bumped by every (re)fit; long-lived process pools (the
+        # repro.api.Searcher session) compare it to detect that their
+        # pickled worker-side snapshot of the index went stale.
+        self._mutation_version: int = 0
 
     # ------------------------------------------------------------------ API
 
@@ -92,6 +95,7 @@ class P2HIndex:
         self._points = pts
         self.num_points, self.dim = pts.shape
         self._engine_cache = None
+        self._mutation_version = getattr(self, "_mutation_version", 0) + 1
         with Timer() as timer:
             self._build(pts)
         self.indexing_seconds = timer.elapsed
@@ -179,23 +183,21 @@ class P2HIndex:
     # ------------------------------------------------------------ persistence
 
     def save(self, path) -> None:
-        """Serialize the fitted index (including data) to ``path``."""
+        """Serialize the fitted index (including data) to ``path``.
+
+        The file is a versioned payload (see
+        :mod:`repro.utils.persistence`) stamped with the declarative spec
+        dictionary when the index was built through
+        :func:`repro.api.build_index`, so :func:`repro.api.load_index` can
+        reconstruct any family without knowing the class up front.
+        """
         self._check_fitted()
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
 
     @classmethod
     def load(cls, path) -> "P2HIndex":
         """Load an index previously stored with :meth:`save`."""
-        with Path(path).open("rb") as handle:
-            obj = pickle.load(handle)
-        if not isinstance(obj, cls):
-            raise TypeError(
-                f"{path} does not contain a {cls.__name__} (got {type(obj).__name__})"
-            )
-        return obj
+        return load_typed_index(path, cls)
 
     # --------------------------------------------------------------- helpers
 

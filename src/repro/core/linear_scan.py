@@ -57,6 +57,10 @@ class LinearScan(P2HIndex):
             stats=stats,
         )
 
+    #: Thread-executor Searcher sessions route through this override so the
+    #: batch-level-only ``vectorized`` flag keeps working under a session.
+    _session_native_batch = True
+
     def batch_search(
         self,
         queries: np.ndarray,

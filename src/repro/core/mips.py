@@ -147,6 +147,8 @@ class BallTreeMIPS:
         self.num_points: int = 0
         self.dim: int = 0
         self.indexing_seconds: float = 0.0
+        # Bumped by every (re)fit; see P2HIndex for the session contract.
+        self._mutation_version: int = 0
 
     # ------------------------------------------------------------------ API
 
@@ -155,6 +157,7 @@ class BallTreeMIPS:
         pts = check_points_matrix(points, name="points")
         self._points = pts
         self.num_points, self.dim = pts.shape
+        self._mutation_version += 1
         with Timer() as timer:
             self.tree = build_tree(pts, self.leaf_size, rng=self.random_state)
         self.indexing_seconds = timer.elapsed
@@ -168,23 +171,31 @@ class BallTreeMIPS:
         """Top-``k`` points maximizing ``|<x, q>|`` (P2H furthest neighbors)."""
         return self._search(query, k, absolute=True)
 
+    #: Thread-executor Searcher sessions route through this override so the
+    #: batch-level-only ``absolute`` flag keeps working under a session.
+    _session_native_batch = True
+
     def batch_search(
         self,
         queries: np.ndarray,
         k: int = 1,
         *,
         n_jobs: Optional[int] = None,
+        executor: str = "thread",
         absolute: bool = False,
     ) -> BatchSearchResult:
         """Run :meth:`search` (or :meth:`search_absolute`) for every query.
 
         Dispatched through :func:`repro.engine.batch.execute_batch`, so
         results are bit-identical to sequential per-query calls for every
-        ``n_jobs``.
+        ``n_jobs``.  Only the thread executor is supported (the MIPS modes
+        dispatch through a ``search_fn`` closure, which the process
+        executor rejects).
         """
         search = self.search_absolute if absolute else self.search
         return execute_batch(
-            self, queries, k, n_jobs=n_jobs, search_fn=lambda q: search(q, k=k)
+            self, queries, k, n_jobs=n_jobs, executor=executor,
+            search_fn=lambda q: search(q, k=k),
         )
 
     def index_size_bytes(self) -> int:

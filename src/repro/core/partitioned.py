@@ -33,11 +33,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.bc_tree import BCTree
+from repro.core.factories import DefaultBCTreeFactory
 from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
 from repro.core.splits import seed_grow_split
 from repro.engine.batch import BatchSearchResult, pool_results
+from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points_matrix, check_positive_int
@@ -162,6 +163,14 @@ class PartitionedP2HIndex:
     10
     """
 
+    #: Tells thread-executor Searcher sessions to route through this
+    #: class's own ``batch_search`` (per-shard engine batches + the
+    #: vectorized block merge) instead of generic per-query dispatch —
+    #: the generic path would re-serialize the merge loop this class
+    #: vectorized.  Process sessions keep the session pool: per-call
+    #: per-shard process pools are exactly the spawn cost they amortize.
+    _session_native_batch = True
+
     def __init__(
         self,
         num_partitions: int = 4,
@@ -176,7 +185,7 @@ class PartitionedP2HIndex:
                 f"unknown strategy {strategy!r}; expected one of {PARTITION_STRATEGIES}"
             )
         if index_factory is None:
-            index_factory = lambda: BCTree(random_state=random_state)  # noqa: E731
+            index_factory = DefaultBCTreeFactory(random_state)
         self.index_factory = index_factory
         self.strategy = strategy
         self.random_state = random_state
@@ -186,6 +195,8 @@ class PartitionedP2HIndex:
         self.num_points: int = 0
         self.dim: int = 0
         self.indexing_seconds: float = 0.0
+        # Bumped by every (re)fit; see P2HIndex for the session contract.
+        self._mutation_version: int = 0
 
     # ------------------------------------------------------------------ API
 
@@ -194,6 +205,7 @@ class PartitionedP2HIndex:
         pts = check_points_matrix(points, name="points")
         self.num_points = pts.shape[0]
         self.dim = pts.shape[1] + 1
+        self._mutation_version += 1
         with Timer() as timer:
             shard_ids = partition_indices(
                 pts, self.num_partitions, self.strategy, rng=self.random_state
@@ -377,6 +389,24 @@ class PartitionedP2HIndex:
                 )
             )
         return results
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path) -> None:
+        """Persist the fitted sharded index (all shards plus id maps).
+
+        Uses the same versioned payload format as every static index
+        (:mod:`repro.utils.persistence`); ``index_factory`` is pickled
+        along, so custom ``lambda`` factories raise here — use the default
+        factory or :class:`repro.api.specs.SpecIndexFactory` instead.
+        """
+        self._check_fitted()
+        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
+
+    @classmethod
+    def load(cls, path) -> "PartitionedP2HIndex":
+        """Load a partitioned index previously stored with :meth:`save`."""
+        return load_typed_index(path, cls)
 
     def index_size_bytes(self) -> int:
         """Total payload size across all shards (plus the id maps)."""

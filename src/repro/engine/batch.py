@@ -226,6 +226,8 @@ def execute_batch(
     n_jobs: Optional[int] = None,
     executor: str = "thread",
     search_fn: Optional[Callable[[np.ndarray], SearchResult]] = None,
+    block: bool = True,
+    pool=None,
     **search_kwargs,
 ) -> BatchSearchResult:
     """Run ``index.search`` for every row of ``queries``.
@@ -254,6 +256,21 @@ def execute_batch(
         searcher or MIPS mode); called as ``search_fn(query)`` and expected
         to honor ``k``/``search_kwargs`` itself via closure.  Supplying it
         disables the vectorized-kernel dispatch.
+    block:
+        If False, vectorized-kernel dispatch is skipped and the batch runs
+        the scheduled per-query path even for kernel-capable indexes
+        (results are identical either way; the flag exists for
+        benchmarking and for callers that need per-query ``search``
+        semantics such as ``TypeError`` on unknown options).
+    pool:
+        Optional already-running executor to dispatch on instead of
+        spawning (and tearing down) a fresh one per call — the mechanism
+        behind :class:`repro.api.Searcher`.  A thread pool is used as-is;
+        a process pool must have been created with
+        ``initializer=_process_worker_init`` and
+        ``initargs=(index, None, None)`` so every worker holds the fitted
+        index once, and per-call ``k``/options ride along with each task.
+        Results and stats are bit-identical to the per-call pool path.
     search_kwargs:
         Extra options forwarded to every ``index.search`` call (or to every
         kernel call when the index exposes ``_batch_kernel``).
@@ -270,7 +287,7 @@ def execute_batch(
     # kernel dispatch via _batch_kernel_veto and keep the scheduled
     # per-query path, which still benefits from difficulty scheduling.
     kernel = None
-    if search_fn is None and uses_kernel_dispatch(index, **search_kwargs):
+    if search_fn is None and block and uses_kernel_dispatch(index, **search_kwargs):
         kernel = index._batch_kernel
     # The finiteness scan runs once here for the kernel path (kernels trust
     # the engine's validation); per-query dispatch re-validates every row
@@ -279,7 +296,8 @@ def execute_batch(
     num_queries = matrix.shape[0]
     if kernel is not None:
         return _execute_kernel_batch(
-            index, kernel, matrix, k, workers, executor, search_kwargs
+            index, kernel, matrix, k, workers, executor, search_kwargs,
+            pool=pool,
         )
     if search_fn is None:
         def search_fn(query):
@@ -305,22 +323,38 @@ def execute_batch(
             def run_chunk(chunk):
                 return [(int(pos), search_fn(matrix[pos])) for pos in chunk]
 
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                for pairs in pool.map(run_chunk, chunks):
-                    for pos, result in pairs:
-                        results[pos] = result
+            if pool is not None:
+                pair_lists = list(pool.map(run_chunk, chunks))
+            else:
+                with ThreadPoolExecutor(max_workers=len(chunks)) as owned:
+                    pair_lists = list(owned.map(run_chunk, chunks))
+            for pairs in pair_lists:
+                for pos, result in pairs:
+                    results[pos] = result
         else:
-            with ProcessPoolExecutor(
-                max_workers=len(chunks),
-                initializer=_process_worker_init,
-                initargs=(index, k, search_kwargs),
-            ) as pool:
-                for pairs in pool.map(
-                    _process_worker_run,
-                    [(matrix[chunk], chunk.tolist()) for chunk in chunks],
-                ):
-                    for pos, result in pairs:
-                        results[pos] = result
+            if pool is not None:
+                # Persistent pool: workers were initialized with the index
+                # only, so k and the search options travel with each task.
+                pair_lists = list(pool.map(
+                    _process_worker_run_opts,
+                    [
+                        (matrix[chunk], chunk.tolist(), k, search_kwargs)
+                        for chunk in chunks
+                    ],
+                ))
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=len(chunks),
+                    initializer=_process_worker_init,
+                    initargs=(index, k, search_kwargs),
+                ) as owned:
+                    pair_lists = list(owned.map(
+                        _process_worker_run,
+                        [(matrix[chunk], chunk.tolist()) for chunk in chunks],
+                    ))
+            for pairs in pair_lists:
+                for pos, result in pairs:
+                    results[pos] = result
     wall = time.perf_counter() - wall_tic
     cpu = time.process_time() - cpu_tic
     return pool_results(
@@ -336,13 +370,17 @@ def _execute_kernel_batch(
     workers: int,
     executor: str,
     search_kwargs: dict,
+    *,
+    pool=None,
 ) -> BatchSearchResult:
     """Dispatch a vectorized ``_batch_kernel`` over contiguous query chunks.
 
     Each worker answers one contiguous slice of the query matrix with a
     single kernel call; the kernel's per-row independence guarantees the
     reassembled results equal a single whole-batch call (and sequential
-    ``search``, which runs the same kernel on blocks of one).
+    ``search``, which runs the same kernel on blocks of one).  When
+    ``pool`` is given, the chunks are dispatched on that long-lived
+    executor instead of a per-call one (see :func:`execute_batch`).
     """
     num_queries = matrix.shape[0]
     wall_tic = time.perf_counter()
@@ -362,15 +400,23 @@ def _execute_kernel_batch(
             def run_chunk(chunk):
                 return kernel(chunk, k, **search_kwargs)
 
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            if pool is not None:
                 parts = list(pool.map(run_chunk, chunks))
+            else:
+                with ThreadPoolExecutor(max_workers=len(chunks)) as owned:
+                    parts = list(owned.map(run_chunk, chunks))
+        elif pool is not None:
+            parts = list(pool.map(
+                _process_worker_run_kernel_opts,
+                [(chunk, k, search_kwargs) for chunk in chunks],
+            ))
         else:
             with ProcessPoolExecutor(
                 max_workers=len(chunks),
                 initializer=_process_worker_init,
                 initargs=(index, k, search_kwargs),
-            ) as pool:
-                parts = list(pool.map(_process_worker_run_kernel, chunks))
+            ) as owned:
+                parts = list(owned.map(_process_worker_run_kernel, chunks))
         results = [result for part in parts for result in part]
     wall = time.perf_counter() - wall_tic
     cpu = time.process_time() - cpu_tic
@@ -463,11 +509,29 @@ def _process_worker_init(index, k, search_kwargs) -> None:
 
 def _process_worker_run(payload):
     rows, positions = payload
+    return _process_worker_run_opts((rows, positions, _WORKER_K, _WORKER_KWARGS))
+
+
+def _process_worker_run_kernel(rows):
+    return _process_worker_run_kernel_opts((rows, _WORKER_K, _WORKER_KWARGS))
+
+
+def _process_worker_run_opts(payload):
+    """Per-query chunk runner for persistent pools (k/options per task).
+
+    A long-lived pool (:class:`repro.api.Searcher`) initializes its workers
+    once with the index only, so every task carries its own ``k`` and
+    search options instead of reading the init-time globals.  The search
+    call itself is identical to :func:`_process_worker_run`.
+    """
+    rows, positions, k, search_kwargs = payload
     return [
-        (pos, _WORKER_INDEX.search(row, k=_WORKER_K, **_WORKER_KWARGS))
+        (pos, _WORKER_INDEX.search(row, k=k, **search_kwargs))
         for row, pos in zip(rows, positions)
     ]
 
 
-def _process_worker_run_kernel(rows):
-    return _WORKER_INDEX._batch_kernel(rows, _WORKER_K, **_WORKER_KWARGS)
+def _process_worker_run_kernel_opts(payload):
+    """Kernel chunk runner for persistent pools (k/options per task)."""
+    rows, k, search_kwargs = payload
+    return _WORKER_INDEX._batch_kernel(rows, k, **search_kwargs)

@@ -24,9 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import BallTree, BCTree, FHIndex, NHIndex
-from repro.core.best_first import BestFirstSearcher
-from repro.core.partitioned import PartitionedP2HIndex
+from repro.api import SearchOptions, Searcher, build_index
+from repro.core.ball_tree import BallTree
 from repro.core.policies import BranchPreference
 from repro.datasets import load_dataset, random_hyperplane_queries
 from repro.datasets.registry import DATASETS, available_datasets
@@ -108,23 +107,27 @@ def _build_workload(name: str, config: ExperimentConfig) -> _Workload:
     )
 
 
-def _tree_methods(config: ExperimentConfig) -> Dict[str, Callable[[], BallTree]]:
+def _tree_methods(config: ExperimentConfig) -> Dict[str, Callable[[], object]]:
     return {
-        "BC-Tree": lambda: BCTree(
-            leaf_size=config.leaf_size, random_state=config.seed
+        "BC-Tree": lambda: build_index(
+            "bc_tree", leaf_size=config.leaf_size, random_state=config.seed
         ),
-        "Ball-Tree": lambda: BallTree(
-            leaf_size=config.leaf_size, random_state=config.seed
+        "Ball-Tree": lambda: build_index(
+            "ball_tree", leaf_size=config.leaf_size, random_state=config.seed
         ),
     }
 
 
 def _hash_methods(config: ExperimentConfig, dim: int) -> Dict[str, Callable[[], object]]:
     return {
-        "NH": lambda: NHIndex(
-            num_tables=config.num_tables, sample_dim=4 * dim, random_state=config.seed
+        "NH": lambda: build_index(
+            "nh",
+            num_tables=config.num_tables,
+            sample_dim=4 * dim,
+            random_state=config.seed,
         ),
-        "FH": lambda: FHIndex(
+        "FH": lambda: build_index(
+            "fh",
             num_tables=config.num_tables,
             num_partitions=4,
             sample_dim=4 * dim,
@@ -335,8 +338,11 @@ def run_fig8(config: ExperimentConfig) -> ExperimentOutput:
     for name in config.dataset_names():
         workload = _build_workload(name, config)
         for variant, flags in variants.items():
-            index = BCTree(
-                leaf_size=config.leaf_size, random_state=config.seed, **flags
+            index = build_index(
+                "bc_tree",
+                leaf_size=config.leaf_size,
+                random_state=config.seed,
+                **flags,
             )
             evaluation = evaluate_index(
                 index,
@@ -450,7 +456,9 @@ def run_fig11(config: ExperimentConfig) -> ExperimentOutput:
         for leaf_size in leaf_sizes:
             if leaf_size > workload.points.shape[0]:
                 continue
-            index = BCTree(leaf_size=leaf_size, random_state=config.seed)
+            index = build_index(
+                "bc_tree", leaf_size=leaf_size, random_state=config.seed
+            )
             frontier = pareto_frontier(
                 sweep_index(
                     index,
@@ -489,8 +497,10 @@ def run_partitioned(config: ExperimentConfig) -> ExperimentOutput:
         for num_partitions in partition_counts:
             if num_partitions > workload.points.shape[0]:
                 continue
-            index = PartitionedP2HIndex(
-                num_partitions=num_partitions, random_state=config.seed
+            index = build_index(
+                "partitioned",
+                num_partitions=num_partitions,
+                random_state=config.seed,
             )
             index.fit(workload.points)
             recalls = []
@@ -538,7 +548,6 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     sanity check (batched results are bit-identical to sequential search,
     so it always matches the sequential number).
     """
-    from repro import LinearScan
     from repro.engine.batch import kernel_dispatch_reason
 
     n_jobs_grid = (1, 2, 4)
@@ -556,13 +565,14 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
         tree_names.update(methods)
         # One deliberately kernel-ineligible configuration, so the
         # fallback-reason column is visible in the default output.
-        methods["BC-Tree-seq"] = lambda: BCTree(
+        methods["BC-Tree-seq"] = lambda: build_index(
+            "bc_tree",
             leaf_size=config.leaf_size,
             random_state=config.seed,
             scan_mode="sequential",
         )
         tree_names.add("BC-Tree-seq")
-        methods["Linear"] = lambda: LinearScan()
+        methods["Linear"] = lambda: build_index("linear_scan")
         methods.update(_hash_methods(config, dim))
         for method, factory in methods.items():
             index = factory().fit(workload.points)
@@ -570,50 +580,61 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
             # doesn't carry one-time setup cost into the speedup column.
             index.search(workload.queries[0], k=config.k)
             budgets = tree_budgets if method in tree_names else ({},)
-            for search_kwargs in budgets:
-                baseline_qps = None
-                reason = kernel_dispatch_reason(index, **search_kwargs)
-                for n_jobs in n_jobs_grid:
-                    batch = index.batch_search(
-                        workload.queries,
-                        k=config.k,
-                        n_jobs=n_jobs,
-                        **search_kwargs,
-                    )
-                    recalls = [
-                        average_recall([result], truth[None, :])
-                        for result, truth in zip(
-                            batch, workload.ground_truth
+            # One warm Searcher session per pool size; the budget sweep
+            # below reuses each session's pool instead of respawning it
+            # per configuration (results are bit-identical either way).
+            sessions = {
+                n_jobs: Searcher(
+                    index, SearchOptions(k=config.k, n_jobs=n_jobs)
+                )
+                for n_jobs in n_jobs_grid
+            }
+            try:
+                for search_kwargs in budgets:
+                    baseline_qps = None
+                    reason = kernel_dispatch_reason(index, **search_kwargs)
+                    for n_jobs in n_jobs_grid:
+                        batch = sessions[n_jobs].batch_search(
+                            workload.queries,
+                            **search_kwargs,
                         )
-                    ]
-                    qps = batch.queries_per_second
-                    if baseline_qps is None:
-                        baseline_qps = qps
-                    records.append(
-                        {
-                            "dataset": name,
-                            "method": method,
-                            "budget": (
-                                "cf=%g" % search_kwargs["candidate_fraction"]
-                                if search_kwargs
-                                else "exact"
-                            ),
-                            "n_jobs": n_jobs,
-                            # batch.n_jobs is the pool size actually used
-                            # (the request is capped at the machine's CPU
-                            # count).
-                            "workers": batch.n_jobs,
-                            "path": (
-                                "per-query" if reason else "kernel"
-                            ),
-                            "why_per_query": reason or "",
-                            "queries_per_second": qps,
-                            "speedup_vs_1": (
-                                qps / baseline_qps if baseline_qps else 0.0
-                            ),
-                            "recall": float(np.mean(recalls)),
-                        }
-                    )
+                        recalls = [
+                            average_recall([result], truth[None, :])
+                            for result, truth in zip(
+                                batch, workload.ground_truth
+                            )
+                        ]
+                        qps = batch.queries_per_second
+                        if baseline_qps is None:
+                            baseline_qps = qps
+                        records.append(
+                            {
+                                "dataset": name,
+                                "method": method,
+                                "budget": (
+                                    "cf=%g" % search_kwargs["candidate_fraction"]
+                                    if search_kwargs
+                                    else "exact"
+                                ),
+                                "n_jobs": n_jobs,
+                                # batch.n_jobs is the pool size actually used
+                                # (the request is capped at the machine's CPU
+                                # count).
+                                "workers": batch.n_jobs,
+                                "path": (
+                                    "per-query" if reason else "kernel"
+                                ),
+                                "why_per_query": reason or "",
+                                "queries_per_second": qps,
+                                "speedup_vs_1": (
+                                    qps / baseline_qps if baseline_qps else 0.0
+                                ),
+                                "recall": float(np.mean(recalls)),
+                            }
+                        )
+            finally:
+                for session in sessions.values():
+                    session.close()
     return ExperimentOutput(
         experiment="batch",
         title="Extension — batched search throughput (engine worker pool)",

@@ -6,9 +6,12 @@ generators produce) and owns ground-truth computation, so a benchmark is a
 few lines: load data, generate queries, call :func:`evaluate_index` for each
 method/parameter combination, and feed the results to the reporting module.
 
-Query execution goes through the engine's batched path
-(``index.batch_search``); per-query wall times come from the engine's
-per-query timers, and an ``n_jobs`` knob exposes the worker pool.  Tree
+Query execution goes through the public API layer: the legacy
+``n_jobs``/``executor``/``search_kwargs`` arguments are folded into one
+centrally-validated :class:`repro.api.SearchOptions` and the batch runs
+inside a :class:`repro.api.Searcher` session (callers sweeping many search
+settings can pass their own open session to reuse its warm worker pool).
+Per-query wall times come from the engine's per-query timers.  Tree
 indexes dispatch per-query traversals over the pool; the hashing
 baselines are answered by their vectorized whole-batch kernel
 (:mod:`repro.hashing.base`), so NH/FH sweeps measure algorithm cost, not
@@ -24,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import SearchOptions, Searcher
 from repro.core.index_base import P2HIndex
 from repro.core.results import SearchResult
 from repro.eval.ground_truth import exact_ground_truth
@@ -104,6 +108,8 @@ def evaluate_index(
     fit: bool = True,
     n_jobs: Optional[int] = None,
     executor: str = "thread",
+    options: Optional[SearchOptions] = None,
+    searcher: Optional[Searcher] = None,
 ) -> EvaluationResult:
     """Fit (optionally) and evaluate ``index`` on a query workload.
 
@@ -131,27 +137,78 @@ def evaluate_index(
     n_jobs, executor:
         Worker-pool configuration for the engine's batched execution; the
         results (and therefore recall) are identical for every setting.
+    options:
+        A pre-built :class:`repro.api.SearchOptions`; overrides ``k``,
+        ``search_kwargs``, ``n_jobs`` and ``executor`` when given.  All
+        option validation is centralized there either way (the legacy
+        kwargs are folded into one via ``SearchOptions.from_kwargs``).
+    searcher:
+        An open :class:`repro.api.Searcher` session over ``index``; when
+        given, the batch runs on its warm pool (sweeps over many search
+        settings then pay pool setup once).  ``fit`` must be False and
+        ``n_jobs``/``executor`` come from the session.
     """
-    search_kwargs = dict(search_kwargs or {})
+    if options is not None and (
+        search_kwargs or n_jobs is not None or executor != "thread"
+    ):
+        raise ValueError(
+            "pass either options or the legacy "
+            "search_kwargs/n_jobs/executor arguments, not both"
+        )
+    if options is None:
+        if searcher is not None:
+            # Inherit the session's configuration so the evaluation runs
+            # (and is *recorded*) with what the session will actually do;
+            # explicit search_kwargs overlay the session's per-search knobs.
+            session_options = searcher.options
+            merged = session_options.search_kwargs()
+            merged.update(search_kwargs or {})
+            options = SearchOptions.from_kwargs(
+                k=k,
+                n_jobs=session_options.n_jobs,
+                executor=session_options.executor,
+                block=session_options.block,
+                **merged,
+            )
+        else:
+            options = SearchOptions.from_kwargs(
+                k=k, n_jobs=n_jobs, executor=executor,
+                **dict(search_kwargs or {}),
+            )
+    search_kwargs = options.search_kwargs()
+    if searcher is not None:
+        if searcher.index is not index:
+            raise ValueError(
+                "the provided searcher session wraps a different index"
+            )
+        if fit:
+            raise ValueError(
+                "fit=True would rebuild the index under an open Searcher "
+                "session; fit before opening the session"
+            )
     if fit:
         index.fit(points)
     if ground_truth is None:
-        ground_truth, _ = exact_ground_truth(points, queries, k)
+        ground_truth, _ = exact_ground_truth(points, queries, options.k)
 
     report = indexing_report(index)
     evaluation = EvaluationResult(
         method=method_name or type(index).__name__,
         dataset=dataset_name,
-        k=k,
+        k=options.k,
         search_kwargs=search_kwargs,
         indexing_seconds=report["indexing_seconds"],
         index_size_bytes=int(report["index_size_bytes"]),
     )
 
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    batch = index.batch_search(
-        queries, k=k, n_jobs=n_jobs, executor=executor, **search_kwargs
-    )
+    if searcher is not None:
+        batch = searcher.batch_search(
+            queries, k=options.k, block=options.block, **search_kwargs
+        )
+    else:
+        with Searcher(index, options) as session:
+            batch = session.batch_search(queries)
     for result, truth in zip(batch, ground_truth):
         recall = average_recall([result], truth[None, :])
         evaluation.per_query.append(

@@ -1,0 +1,124 @@
+"""Versioned on-disk payload format shared by every index's ``save``/``load``.
+
+Every persisted index — the static :class:`~repro.core.index_base.P2HIndex`
+subclasses as well as the :class:`~repro.core.dynamic.DynamicP2HIndex` and
+:class:`~repro.core.partitioned.PartitionedP2HIndex` composites — is written
+as **two pickle frames** in one file:
+
+1. a small *header* dictionary::
+
+       {"format": "repro-index", "format_version": 1,
+        "spec": {"kind": "bc_tree", "params": {...}} | None}
+
+2. the index object itself.
+
+The envelope buys three things:
+
+* ``repro.api.load_index(path)`` can reconstruct **any** index family
+  without knowing the class up front, and can report the declarative
+  :class:`~repro.api.IndexSpec` the index was built from (stamped by
+  :func:`repro.api.build_index` as a plain ``spec`` dictionary, so loading
+  never imports :mod:`repro.api`);
+* files written by an incompatible library version fail with a clear
+  :class:`ValueError` instead of an attribute error deep inside a search;
+* the spec of a saved index (:func:`read_index_spec`) is readable without
+  unpickling the index frame — inspecting how a multi-GB index was
+  configured costs a few hundred bytes, not the index.
+
+This module is deliberately a leaf (stdlib-only) so both the core layer and
+the public API layer can share the format without an import cycle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+FORMAT_NAME = "repro-index"
+FORMAT_VERSION = 1
+
+
+def dump_index_payload(path, index: Any, *, spec: Optional[Dict] = None) -> None:
+    """Write ``index`` (plus its optional spec dict) as a versioned payload."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "spec": spec,
+    }
+    with path.open("wb") as handle:
+        pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _check_header(path, header: Dict[str, Any]) -> None:
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} was saved with index format version {version}, "
+            f"but this build reads version {FORMAT_VERSION}; "
+            "re-save the index with the matching library version"
+        )
+
+
+def load_index_payload(path) -> Dict[str, Any]:
+    """Read a payload written by :func:`dump_index_payload`.
+
+    Returns ``{"index": obj, "spec": dict | None}``.  Legacy files holding
+    a raw index pickle (written before the envelope existed) are accepted
+    and wrapped with ``spec=None`` so old artifacts keep loading.
+
+    Raises
+    ------
+    ValueError
+        If the file is a payload written with a different
+        ``format_version`` than this build understands, or the payload is
+        truncated (header frame without an index frame).
+    """
+    with Path(path).open("rb") as handle:
+        obj = pickle.load(handle)
+        if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
+            _check_header(path, obj)
+            try:
+                index = pickle.load(handle)
+            except EOFError:
+                raise ValueError(
+                    f"{path} is a {FORMAT_NAME} payload with no index"
+                ) from None
+            return {"index": index, "spec": obj.get("spec")}
+    # Legacy raw pickle (pre-envelope): the object *is* the index.
+    return {"index": obj, "spec": None}
+
+
+def read_index_spec(path) -> Optional[Dict[str, Any]]:
+    """The spec dict from a payload's header, without unpickling the index.
+
+    Returns None for payloads saved without a spec and for legacy raw
+    pickles (whose single frame *is* the index, so the header-only saving
+    does not apply to them — they are fully unpickled and discarded);
+    raises the same version-mismatch :class:`ValueError` as
+    :func:`load_index_payload`.
+    """
+    with Path(path).open("rb") as handle:
+        obj = pickle.load(handle)
+    if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
+        _check_header(path, obj)
+        return obj.get("spec")
+    return None
+
+
+def load_typed_index(path, cls):
+    """Load a payload and check the index is a ``cls`` instance.
+
+    The shared body of every family's ``load`` classmethod; raises
+    :class:`TypeError` naming both the expected and the stored class.
+    """
+    obj = load_index_payload(path)["index"]
+    if not isinstance(obj, cls):
+        raise TypeError(
+            f"{path} does not contain a {cls.__name__} "
+            f"(got {type(obj).__name__})"
+        )
+    return obj
