@@ -12,6 +12,8 @@ from repro import BCTree
 from repro.eval.reporting import print_and_save
 from repro.eval.runner import evaluate_index
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 
 
@@ -65,6 +67,18 @@ def test_ablation_collaborative_inner_products(benchmark, workloads, results_dir
          "avg_nodes_visited", "recall"],
         title="Ablation: collaborative inner product computing (Theorem 5)",
         json_path=results_dir / "ablation_collaborative_ip.json",
+    )
+    ratios = [
+        r["avg_center_inner_products"]
+        for r in records
+        if r["method"] == "ratio (with / without)"
+    ]
+    emit_bench_json(
+        "ablation_collaborative_ip",
+        test="test_ablation_collaborative_inner_products",
+        config=bench_scale_config(k=K),
+        metrics={"mean_center_ip_ratio": sum(ratios) / len(ratios)},
+        records=records,
     )
 
     first = next(iter(workloads.values()))

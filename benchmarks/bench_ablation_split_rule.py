@@ -16,6 +16,8 @@ from repro.core.rp_tree import RPTree
 from repro.eval.reporting import print_and_save
 from repro.eval.runner import evaluate_index
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 
 
@@ -62,6 +64,18 @@ def test_ablation_split_rule(benchmark, workloads, results_dir):
          "avg_nodes_visited", "indexing_seconds"],
         title="Ablation: seed-grow vs random-projection splits (exact top-10)",
         json_path=results_dir / "ablation_split_rule.json",
+    )
+    emit_bench_json(
+        "ablation_split_rule",
+        test="test_ablation_split_rule",
+        config=bench_scale_config(k=K),
+        metrics={
+            "mean_query_ms": float(
+                np.mean([r["avg_query_ms"] for r in records])
+            ),
+            "min_recall": min(r["recall"] for r in records),
+        },
+        records=records,
     )
     assert records
 

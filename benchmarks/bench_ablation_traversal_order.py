@@ -17,6 +17,8 @@ from repro.core.best_first import BestFirstSearcher
 from repro.eval.reporting import print_and_save
 from repro.utils.timing import Timer
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 
 
@@ -77,6 +79,20 @@ def test_ablation_traversal_order(benchmark, workloads, results_dir):
          "avg_candidates"],
         title="Ablation: DFS vs best-first traversal (exact top-10)",
         json_path=results_dir / "ablation_traversal_order.json",
+    )
+    ratio_rows = [
+        r for r in records if r["traversal"] == "best-first / DFS ratio"
+    ]
+    emit_bench_json(
+        "ablation_traversal_order",
+        test="test_ablation_traversal_order",
+        config=bench_scale_config(k=K),
+        metrics={
+            "mean_nodes_ratio": float(
+                np.mean([r["avg_nodes_visited"] for r in ratio_rows])
+            ),
+        },
+        records=records,
     )
 
     first = next(iter(workloads.values()))

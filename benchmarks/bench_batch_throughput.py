@@ -21,7 +21,12 @@ import numpy as np
 from repro import BallTree, BCTree, LinearScan
 from repro.eval.reporting import print_and_save
 
-from conftest import measure_batch_throughput, measure_loop_throughput
+from conftest import (
+    bench_scale_config,
+    emit_bench_json,
+    measure_batch_throughput,
+    measure_loop_throughput,
+)
 
 K = 10
 N_JOBS_GRID = (1, 2, 4)
@@ -88,6 +93,17 @@ def test_batch_throughput(benchmark, workloads, results_dir):
         ],
         title="Extension: batched search throughput (queries/second)",
         json_path=results_dir / "batch_throughput.json",
+    )
+    emit_bench_json(
+        "batch_throughput",
+        test="test_batch_throughput",
+        config=bench_scale_config(k=K),
+        metrics={
+            "max_speedup_vs_loop": max(
+                r["speedup_vs_loop"] for r in records
+            ),
+        },
+        records=records,
     )
 
     first = next(iter(workloads.values()))

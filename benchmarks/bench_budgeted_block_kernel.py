@@ -37,6 +37,7 @@ from repro.eval.reporting import print_and_save
 from conftest import (
     assert_block_matches_sequential as _assert_block_matches_sequential,
     bench_num_points,
+    emit_bench_json,
     measure_batch_throughput,
     measure_loop_throughput,
 )
@@ -116,6 +117,22 @@ def test_budgeted_kernel_sweep(results_dir):
         title="Extension: budgeted block kernel throughput (BC-Tree, n_jobs=1)",
         json_path=results_dir / "budgeted_block_kernel.json",
     )
+    emit_bench_json(
+        "budgeted_block_kernel",
+        test="test_budgeted_kernel_sweep",
+        config={
+            "num_points": num_points,
+            "num_queries": FLOOR_QUERIES,
+            "leaf_size": FLOOR_LEAF_SIZE,
+            "k": K,
+        },
+        metrics={
+            "max_speedup_vs_loop": max(
+                r["speedup_vs_loop"] for r in records
+            ),
+        },
+        records=records,
+    )
 
 
 def test_budgeted_kernel_speedup_floor(results_dir):
@@ -175,6 +192,23 @@ def test_budgeted_kernel_speedup_floor(results_dir):
         ],
         title="Extension: budgeted block kernel single-process floor",
         json_path=results_dir / "budgeted_block_kernel_floor.json",
+    )
+    emit_bench_json(
+        "budgeted_block_kernel",
+        test="test_budgeted_kernel_speedup_floor",
+        config={
+            "num_points": num_points,
+            "num_queries": FLOOR_QUERIES,
+            "leaf_size": FLOOR_LEAF_SIZE,
+            "k": K,
+            "budget": "candidate_fraction=0.1",
+        },
+        metrics={
+            "batch_qps": qps,
+            "loop_qps": loop_qps,
+            "speedup_vs_loop": speedup,
+            "floor": floor,
+        },
     )
     assert speedup >= floor, (
         f"budgeted block kernel ({qps:.0f} qps) is only {speedup:.2f}x the "

@@ -16,6 +16,8 @@ from repro.eval.ground_truth import exact_ground_truth
 from repro.eval.reporting import print_and_save
 from repro.utils.timing import Timer
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 BATCHES = 5
 DELETE_FRACTION = 0.1
@@ -77,6 +79,20 @@ def test_dynamic_updates(benchmark, workloads, results_dir):
          "insert_seconds_total", "delete_seconds_total", "avg_query_ms"],
         title="Extension: dynamic inserts/deletes on the BC-Tree wrapper",
         json_path=results_dir / "dynamic_updates.json",
+    )
+    emit_bench_json(
+        "dynamic_updates",
+        test="test_dynamic_updates",
+        config=bench_scale_config(
+            k=K, batches=BATCHES, delete_fraction=DELETE_FRACTION
+        ),
+        metrics={
+            "mean_query_ms": float(
+                np.mean([r["avg_query_ms"] for r in records])
+            ),
+            "total_rebuilds": sum(r["num_rebuilds"] for r in records),
+        },
+        records=records,
     )
 
     first = next(iter(workloads.values()))

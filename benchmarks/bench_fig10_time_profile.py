@@ -10,7 +10,7 @@ reported alongside.
 
 from __future__ import annotations
 
-from conftest import build_workload
+from conftest import bench_scale_config, build_workload, emit_bench_json
 from repro import BallTree, BCTree, FHIndex, NHIndex
 from repro.eval.profiling import profile_from_stats
 from repro.eval.reporting import print_and_save
@@ -92,5 +92,17 @@ def test_fig10_time_profile(benchmark, results_dir):
         json_path=results_dir / "fig10_time_profile.json",
     )
     assert records
+    emit_bench_json(
+        "fig10_time_profile",
+        test="test_fig10_time_profile",
+        config=bench_scale_config(
+            k=K, target_recall=TARGET_RECALL, datasets=list(PROFILE_DATASETS)
+        ),
+        metrics={
+            "min_recall": min(r["recall"] for r in records),
+            "max_total_ms": max(r["total_ms"] for r in records),
+        },
+        records=records,
+    )
 
     benchmark(lambda: first_tree.search(first_query, k=K, profile=True))

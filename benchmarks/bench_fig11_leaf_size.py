@@ -13,6 +13,8 @@ from repro import BCTree
 from repro.eval.reporting import print_and_save
 from repro.eval.sweeps import default_tree_settings, pareto_frontier, sweep_index
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 LEAF_SIZES = (20, 50, 100, 200, 500, 1000, 2000)
 
@@ -60,6 +62,16 @@ def test_fig11_leaf_size(benchmark, workloads, results_dir):
         json_path=results_dir / "fig11_leaf_size.json",
     )
     assert records
+    emit_bench_json(
+        "fig11_leaf_size",
+        test="test_fig11_leaf_size",
+        config=bench_scale_config(k=K, leaf_sizes=list(LEAF_SIZES)),
+        metrics={
+            "best_recall": max(r["recall"] for r in records),
+            "min_query_ms": min(r["avg_query_ms"] for r in records),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     benchmark(lambda: BCTree(leaf_size=500, random_state=0).fit(first.points))

@@ -20,6 +20,8 @@ from repro.eval.sweeps import (
     sweep_index,
 )
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 NUM_TABLES = 32
 RECALL_TARGETS = (0.4, 0.6, 0.8)
@@ -116,6 +118,23 @@ def test_fig5_query_time_vs_recall(benchmark, workloads, results_dir):
         json_path=results_dir / "fig5_speedups.json",
     )
     assert curve_records
+    tree_speedups = [
+        r["speedup_vs_best_hash"]
+        for r in speedup_records
+        if r["speedup_vs_best_hash"] is not None
+    ]
+    emit_bench_json(
+        "fig5_time_recall",
+        test="test_fig5_query_time_vs_recall",
+        config=bench_scale_config(k=K, recall_targets=list(RECALL_TARGETS)),
+        metrics={
+            "num_frontier_points": len(curve_records),
+            "max_tree_speedup_vs_best_hash": (
+                max(tree_speedups) if tree_speedups else None
+            ),
+        },
+        records=curve_records,
+    )
 
     # Benchmark a representative exact BC-Tree query on the first data set.
     first = next(iter(workloads.values()))

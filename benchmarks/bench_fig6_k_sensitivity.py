@@ -17,6 +17,8 @@ from repro.eval.sweeps import (
     sweep_index,
 )
 
+from conftest import bench_scale_config, emit_bench_json
+
 K_VALUES = (1, 10, 20, 40)
 TARGET_RECALL = 0.8
 NUM_TABLES = 32
@@ -79,6 +81,19 @@ def test_fig6_query_time_vs_k(benchmark, workloads, results_dir):
         json_path=results_dir / "fig6_k_sensitivity.json",
     )
     assert records
+    emit_bench_json(
+        "fig6_k_sensitivity",
+        test="test_fig6_query_time_vs_k",
+        config=bench_scale_config(
+            k_values=list(K_VALUES), target_recall=TARGET_RECALL
+        ),
+        metrics={
+            "max_query_ms": max(
+                r["query_ms_at_80pct_recall"] for r in records
+            ),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     tree = BCTree(leaf_size=100, random_state=0).fit(first.points)

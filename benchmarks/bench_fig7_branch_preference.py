@@ -12,6 +12,8 @@ from repro import BallTree, BCTree
 from repro.eval.reporting import print_and_save
 from repro.eval.sweeps import default_tree_settings, pareto_frontier, sweep_index
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 
 
@@ -58,6 +60,16 @@ def test_fig7_branch_preference(benchmark, workloads, results_dir):
         json_path=results_dir / "fig7_branch_preference.json",
     )
     assert records
+    emit_bench_json(
+        "fig7_branch_preference",
+        test="test_fig7_branch_preference",
+        config=bench_scale_config(k=K),
+        metrics={
+            "num_frontier_points": len(records),
+            "best_recall": max(r["recall"] for r in records),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     tree = BCTree(leaf_size=100, branch_preference="lower_bound",

@@ -18,6 +18,8 @@ from repro import BCTree
 from repro.eval.runner import evaluate_index
 from repro.eval.reporting import print_and_save
 
+from conftest import bench_scale_config, emit_bench_json
+
 K_VALUES = (1, 10, 20, 40)
 
 VARIANTS = {
@@ -78,6 +80,15 @@ def test_fig8_point_level_bounds(benchmark, workloads, results_dir):
             full = by_key[(name, "BC-Tree", k)]["avg_candidates"]
             none = by_key[(name, "BC-Tree-wo-BC", k)]["avg_candidates"]
             assert full <= none + 1e-9
+    emit_bench_json(
+        "fig8_lower_bounds",
+        test="test_fig8_point_level_bounds",
+        config=bench_scale_config(k_values=list(K_VALUES)),
+        metrics={
+            "max_avg_candidates": max(r["avg_candidates"] for r in records),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     tree = BCTree(leaf_size=100, random_state=0,

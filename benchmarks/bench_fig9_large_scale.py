@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 
-from conftest import bench_num_queries, build_workload
+from conftest import bench_num_queries, build_workload, emit_bench_json
 from repro import BallTree, BCTree, FHIndex, NHIndex
 from repro.eval.metrics import indexing_report
 from repro.eval.reporting import print_and_save
@@ -105,6 +105,23 @@ def test_fig9_large_scale(benchmark, results_dir):
         json_path=results_dir / "fig9_indexing.json",
     )
     assert curve_records
+    emit_bench_json(
+        "fig9_large_scale",
+        test="test_fig9_large_scale",
+        config={
+            "num_points": _large_scale_points(),
+            "num_queries": min(bench_num_queries(), 10),
+            "k": K,
+            "datasets": list(LARGE_DATASETS),
+        },
+        metrics={
+            "num_frontier_points": len(curve_records),
+            "max_indexing_seconds": max(
+                r["indexing_seconds"] for r in indexing_records
+            ),
+        },
+        records=curve_records,
+    )
 
     tree = BCTree(leaf_size=200, random_state=0).fit(first_workload.points)
     query = first_workload.queries[0]

@@ -45,6 +45,8 @@ from repro.utils.validation import check_query_vector
 
 from conftest import (
     bench_num_points,
+    bench_scale_config,
+    emit_bench_json,
     measure_batch_throughput,
     measure_loop_throughput,
 )
@@ -250,6 +252,19 @@ def test_hashing_throughput(benchmark, workloads, results_dir):
         title="Extension: batched hashing throughput (queries/second)",
         json_path=results_dir / "hashing_throughput.json",
     )
+    emit_bench_json(
+        "hashing_throughput",
+        test="test_hashing_throughput",
+        config=bench_scale_config(
+            k=K, num_tables=NUM_TABLES, probes=PROBES
+        ),
+        metrics={
+            "max_speedup_vs_seed_loop": max(
+                r["speedup_vs_seed_loop"] for r in records
+            ),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     index = _methods(first.dim)["NH"]().fit(first.points)
@@ -313,4 +328,16 @@ def test_hashing_speedup_floor(results_dir):
         ],
         title="Extension: hashing batch speedup floor (vs seed loop)",
         json_path=results_dir / "hashing_speedup_floor.json",
+    )
+    emit_bench_json(
+        "hashing_throughput",
+        test="test_hashing_speedup_floor",
+        config={"num_points": num_points, "num_queries": 20, "k": K},
+        metrics={
+            "min_speedup_vs_seed_loop": min(
+                r["speedup_vs_seed_loop"] for r in records
+            ),
+            "floor": floor,
+        },
+        records=records,
     )

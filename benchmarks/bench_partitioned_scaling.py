@@ -18,6 +18,8 @@ from repro.eval.metrics import average_recall
 from repro.eval.reporting import print_and_save
 from repro.utils.timing import Timer
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 PARTITION_COUNTS = (1, 2, 4, 8)
 
@@ -62,6 +64,18 @@ def test_partitioned_scaling(benchmark, workloads, results_dir):
          "indexing_seconds", "index_size_mb"],
         title="Extension: partitioned (sharded) exact search scaling",
         json_path=results_dir / "partitioned_scaling.json",
+    )
+    emit_bench_json(
+        "partitioned_scaling",
+        test="test_partitioned_scaling",
+        config=bench_scale_config(
+            k=K, partition_counts=list(PARTITION_COUNTS)
+        ),
+        metrics={
+            "min_recall": min(r["recall"] for r in records),
+            "max_query_ms": max(r["avg_query_ms"] for r in records),
+        },
+        records=records,
     )
 
     first = next(iter(workloads.values()))

@@ -26,6 +26,8 @@ import numpy as np
 from repro.api import SearchOptions, Searcher, build_index
 from repro.eval.reporting import print_and_save
 
+from conftest import bench_scale_config, emit_bench_json
+
 K = 10
 N_JOBS = 2
 ROUNDS = 6
@@ -118,4 +120,16 @@ def test_searcher_session_speedup(workloads, results_dir):
             "batch_search (repeated small batches)"
         ),
         json_path=results_dir / "bench_searcher_session.json",
+    )
+    emit_bench_json(
+        "searcher_session",
+        test="test_searcher_session_speedup",
+        config=bench_scale_config(
+            k=K, rounds=ROUNDS, batch_queries=BATCH_QUERIES, n_jobs=N_JOBS
+        ),
+        metrics={
+            "min_speedup": min(r["speedup"] for r in records),
+            "required_floor": MIN_SPEEDUP,
+        },
+        records=records,
     )

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import bench_dataset_names, bench_num_points
+from conftest import (
+    bench_dataset_names,
+    bench_num_points,
+    bench_scale_config,
+    emit_bench_json,
+)
 from repro.datasets import load_dataset
 from repro.datasets.registry import DATASETS
 from repro.eval.reporting import print_and_save
@@ -54,6 +59,13 @@ def test_table2_dataset_statistics(benchmark, results_dir):
         json_path=results_dir / "table2_datasets.json",
     )
     assert len(records) == 16
+    emit_bench_json(
+        "table2_datasets",
+        test="test_table2_dataset_statistics",
+        config=bench_scale_config(),
+        metrics={"num_datasets": len(records)},
+        records=records,
+    )
 
     # Benchmark the cost of materializing one benchmark workload.
     name = bench_dataset_names()[0]

@@ -14,6 +14,8 @@ from repro import BallTree, BCTree, FHIndex, NHIndex
 from repro.eval.metrics import indexing_report
 from repro.eval.reporting import print_and_save
 
+from conftest import bench_scale_config, emit_bench_json
+
 NUM_TABLES = 128
 LEAF_SIZE = 100
 
@@ -82,6 +84,19 @@ def test_table3_indexing_overhead(benchmark, workloads, results_dir):
         ["dataset", "method", "indexing_seconds", "index_size_mb"],
         title="Table III: indexing time (s) and index size (MB)",
         json_path=results_dir / "table3_indexing.json",
+    )
+    emit_bench_json(
+        "table3_indexing",
+        test="test_table3_indexing_overhead",
+        config=bench_scale_config(),
+        metrics={
+            "max_indexing_seconds": max(
+                r["indexing_seconds"]
+                for r in records
+                if not r["method"].startswith("ratio")
+            ),
+        },
+        records=records,
     )
 
     # Sanity of the reproduced shape: BC-Tree indexes are much smaller than

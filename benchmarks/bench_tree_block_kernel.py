@@ -35,6 +35,8 @@ from repro.eval.reporting import print_and_save
 from conftest import (
     assert_block_matches_sequential as _assert_block_matches_sequential,
     bench_num_points,
+    bench_scale_config,
+    emit_bench_json,
     measure_batch_throughput,
     measure_loop_throughput,
 )
@@ -106,6 +108,17 @@ def test_tree_block_kernel_throughput(benchmark, workloads, results_dir):
         title="Extension: block traversal kernel throughput (queries/second)",
         json_path=results_dir / "tree_block_kernel.json",
     )
+    emit_bench_json(
+        "tree_block_kernel",
+        test="test_tree_block_kernel_throughput",
+        config=bench_scale_config(k=K),
+        metrics={
+            "max_speedup_vs_loop": max(
+                r["speedup_vs_loop"] for r in records
+            ),
+        },
+        records=records,
+    )
 
     first = next(iter(workloads.values()))
     index = BCTree(leaf_size=100, random_state=0).fit(first.points)
@@ -176,6 +189,22 @@ def test_block_kernel_speedup_floor(results_dir):
         ],
         title="Extension: block traversal kernel single-process floor",
         json_path=results_dir / "tree_block_kernel_floor.json",
+    )
+    emit_bench_json(
+        "tree_block_kernel",
+        test="test_block_kernel_speedup_floor",
+        config={
+            "num_points": num_points,
+            "num_queries": FLOOR_QUERIES,
+            "leaf_size": FLOOR_LEAF_SIZE,
+            "k": K,
+        },
+        metrics={
+            "batch_qps": qps,
+            "loop_qps": loop_qps,
+            "speedup_vs_loop": speedup,
+            "floor": floor,
+        },
     )
     assert speedup >= floor, (
         f"block kernel ({qps:.0f} qps) is only {speedup:.2f}x the per-query "

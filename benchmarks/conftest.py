@@ -18,10 +18,11 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 import pytest
@@ -95,6 +96,70 @@ def build_workload(name: str, *, num_points=None, num_queries=None, k=10) -> Wor
     )
     workload.truth(k)
     return workload
+
+
+def bench_scale_config(**extra) -> Dict:
+    """The scale knobs this run measured at, for ``emit_bench_json`` configs."""
+    config: Dict = {
+        "num_points": bench_num_points(),
+        "num_queries": bench_num_queries(),
+        "datasets": bench_dataset_names(),
+    }
+    config.update(extra)
+    return config
+
+
+def _jsonable(obj):
+    """JSON encoder default for NumPy scalars/arrays in benchmark records."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def emit_bench_json(
+    name: str,
+    *,
+    test: str,
+    config: Dict,
+    metrics: Dict,
+    records: Optional[List[Dict]] = None,
+) -> Path:
+    """Write one test's machine-readable summary to ``BENCH_<name>.json``.
+
+    Every benchmark module emits one ``benchmarks/results/BENCH_<name>.json``
+    file in a uniform shape, so CI and tracking tools can diff headline
+    numbers across runs without parsing each benchmark's bespoke table
+    JSON.  The file maps ``test`` -> ``{"config", "metrics"[, "records"]}``;
+    a module with several tests merges into one file (each call rewrites
+    only its own ``test`` key), and re-runs overwrite in place.
+
+    * ``config`` — the scale knobs the numbers were measured at
+      (num_points, num_queries, k, ...), so a smoke-scale CI artifact is
+      never mistaken for a full-scale one.
+    * ``metrics`` — the few headline scalars (throughput, speedup,
+      recall) the benchmark exists to report.
+    * ``records`` — optionally, the full row list behind the table.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    try:
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    entry: Dict = {"config": dict(config), "metrics": dict(metrics)}
+    if records is not None:
+        entry["records"] = list(records)
+    payload[test] = entry
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n"
+    )
+    return path
 
 
 @pytest.fixture(scope="session")

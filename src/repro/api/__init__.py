@@ -39,7 +39,12 @@ Quickstart
 """
 
 from repro.api.options import SearchOptions
-from repro.api.persistence import load_index, save_index, saved_spec
+from repro.api.persistence import (
+    load_index,
+    save_index,
+    saved_spec,
+    saved_storage_dtype,
+)
 from repro.api.registry import (
     IndexFamily,
     available_indexes,
@@ -63,4 +68,5 @@ __all__ = [
     "save_index",
     "load_index",
     "saved_spec",
+    "saved_storage_dtype",
 ]

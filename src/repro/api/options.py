@@ -25,7 +25,11 @@ from repro.engine.batch import EXECUTORS
 from repro.utils.validation import check_fraction, check_positive_int
 
 #: Option names with a dedicated typed field (everything else is ``extra``).
-_FIELD_KWARGS = ("candidate_fraction", "max_candidates", "profile")
+_FIELD_KWARGS = ("candidate_fraction", "max_candidates", "profile", "exact",
+                 "dtype")
+
+#: Storage dtypes the fast execution mode accepts.
+_FAST_DTYPES = ("float32", "float64")
 
 
 @dataclass(frozen=True)
@@ -54,7 +58,19 @@ class SearchOptions:
         useful for benchmarking the two paths against each other).
     profile:
         Collect per-stage wall timers (forces per-query dispatch for the
-        tree indexes, whose kernels keep no stage timers).
+        tree indexes, whose kernels keep no stage timers).  Incompatible
+        with ``exact=False`` — the profiling counters are defined by the
+        exact traversal.
+    exact:
+        True (default) runs the bit-exact engine.  False opts into the
+        approximate fast mode on the tree families: reduced-precision
+        storage, cross-query GEMM bounds/verification, and compiled
+        top-k/leaf kernels, holding recall@k >= 0.999 against the exact
+        oracle (see :mod:`repro.engine.fast`).
+    dtype:
+        Storage dtype for the fast mode (``"float32"``, the default when
+        ``exact=False``, or ``"float64"``).  Only meaningful with
+        ``exact=False``; setting it alongside ``exact=True`` is an error.
     extra:
         Index-family-specific search kwargs forwarded verbatim (e.g.
         ``branch_preference`` for the trees).  Keys must not shadow the
@@ -78,6 +94,8 @@ class SearchOptions:
     executor: str = "thread"
     block: bool = True
     profile: bool = False
+    exact: bool = True
+    dtype: Optional[str] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -111,6 +129,25 @@ class SearchOptions:
             raise TypeError(f"block must be a bool, got {type(self.block)!r}")
         if not isinstance(self.profile, bool):
             raise TypeError(f"profile must be a bool, got {type(self.profile)!r}")
+        if not isinstance(self.exact, bool):
+            raise TypeError(f"exact must be a bool, got {type(self.exact)!r}")
+        if self.dtype is not None:
+            if self.exact:
+                raise ValueError(
+                    "dtype selects the fast mode's storage precision and "
+                    "requires exact=False; the exact path always computes "
+                    "in float64"
+                )
+            if self.dtype not in _FAST_DTYPES:
+                raise ValueError(
+                    f"dtype must be one of {_FAST_DTYPES}, got {self.dtype!r}"
+                )
+        if not self.exact and self.profile:
+            raise ValueError(
+                "profile=True requires the exact path (exact=True): the "
+                "per-stage profiling counters are defined by the exact "
+                "traversal, which the fast mode does not run"
+            )
         extra = dict(self.extra or {})
         reserved = set(_FIELD_KWARGS) | {"k", "n_jobs", "executor", "block"}
         shadowed = sorted(reserved & set(extra))
@@ -165,6 +202,10 @@ class SearchOptions:
             kwargs["max_candidates"] = self.max_candidates
         if self.profile:
             kwargs["profile"] = True
+        if not self.exact:
+            kwargs["exact"] = False
+            if self.dtype is not None:
+                kwargs["dtype"] = self.dtype
         return kwargs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -174,7 +215,10 @@ class SearchOptions:
             "executor": self.executor,
             "block": self.block,
             "profile": self.profile,
+            "exact": self.exact,
         }
+        if self.dtype is not None:
+            out["dtype"] = self.dtype
         if self.candidate_fraction is not None:
             out["candidate_fraction"] = self.candidate_fraction
         if self.max_candidates is not None:

@@ -17,6 +17,7 @@ from repro.utils.persistence import (
     dump_index_payload,
     load_index_payload,
     read_index_spec,
+    read_storage_dtype,
 )
 
 
@@ -63,3 +64,16 @@ def saved_spec(path) -> Optional[IndexSpec]:
     """
     spec = read_index_spec(path)
     return None if spec is None else IndexSpec.from_dict(spec)
+
+
+def saved_storage_dtype(path) -> Optional[str]:
+    """The storage dtype stamped into a saved index file.
+
+    The dtype the persisted point/geometry arrays are stored in (e.g.
+    ``"float64"``), read from the payload's small header frame without
+    unpickling the index.  Returns None for files saved before the header
+    key existed.  The fast mode's reduced-precision arrays are derived
+    runtime caches and are never what this reports — a loaded index
+    rebuilds them on the first ``exact=False`` search.
+    """
+    return read_storage_dtype(path)

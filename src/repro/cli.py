@@ -11,6 +11,8 @@ writing code:
   every single-index registry family is available via ``--method`` — the
   composites and the MIPS adapter need programmatic configuration and stay
   library-only), printing recall and timing against the exact linear scan.
+  ``--fast`` opts the tree indexes into the approximate fast mode
+  (``exact=False``: float32 storage plus cross-query GEMM kernels).
 * ``python -m repro run <experiment>`` — regenerate one of the paper's
   tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
   ``partitioned``, ``batch``) at a configurable scale, printing the same
@@ -128,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute candidate budget (alternative to --candidate-fraction)",
     )
     search_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help=(
+            "run the approximate fast mode (exact=False): float32 storage "
+            "with cross-query GEMM kernels; tree indexes only"
+        ),
+    )
+    search_parser.add_argument(
         "--n-jobs",
         type=int,
         default=None,
@@ -219,6 +229,16 @@ def _cmd_search(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.fast and spec.kind not in budget_kinds:
+        # Same refusal contract as the budget flags: only the tree
+        # families have a fast kernel, and a silently-dropped --fast would
+        # mislabel every timing the command prints as a fast-mode number.
+        print(
+            f"invalid search options: --fast applies to the tree indexes "
+            f"only, not {args.method!r}",
+            file=sys.stderr,
+        )
+        return 2
     try:
         options = SearchOptions(
             k=args.k,
@@ -226,6 +246,7 @@ def _cmd_search(args) -> int:
             max_candidates=args.max_candidates,
             n_jobs=args.n_jobs,
             executor=args.executor,
+            exact=not args.fast,
         )
     except (TypeError, ValueError) as exc:
         print(f"invalid search options: {exc}", file=sys.stderr)

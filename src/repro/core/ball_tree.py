@@ -135,14 +135,34 @@ class BallTree(P2HIndex):
         max_candidates: Optional[int] = None,
         branch_preference=None,
         profile: bool = False,
+        exact: bool = True,
+        dtype: Optional[str] = None,
     ) -> SearchResult:
-        """Branch-and-bound traversal (Algorithm 3) generalized to top-k."""
+        """Branch-and-bound traversal (Algorithm 3) generalized to top-k.
+
+        ``exact=False`` routes the query through the approximate fast-mode
+        kernel (:mod:`repro.engine.fast`) in the requested storage
+        ``dtype`` (float32 by default) instead of the bit-exact engine.
+        """
         budget = self._resolve_budget(candidate_fraction, max_candidates)
         preference = (
             self.branch_preference
             if branch_preference is None
             else BranchPreference.coerce(branch_preference)
         )
+        if not exact:
+            if profile:
+                raise ValueError(
+                    "profile=True requires the exact path (exact=True)"
+                )
+            return self._engine().fast_kernel(dtype or "float32").search_block(
+                query[None, :], k, preference=preference, budget=budget
+            )[0]
+        if dtype is not None:
+            raise ValueError(
+                "dtype selects the fast mode's storage precision and "
+                "requires exact=False"
+            )
         return self._engine().search(
             query,
             k,
@@ -160,17 +180,20 @@ class BallTree(P2HIndex):
         max_candidates=None,
         branch_preference=None,
         profile: bool = False,
+        exact: bool = True,
+        dtype=None,
         **unknown,
     ) -> Optional[str]:
         """Why the block traversal kernel cannot cover these search options.
 
         Returns a human-readable reason (surfaced by
         :func:`repro.engine.batch.kernel_dispatch_reason` and the ``run
-        batch`` experiment) or None when the kernel applies.  Candidate
+        batch`` experiment) or None when a kernel applies.  Candidate
         budgets are covered — the kernel carries a per-query verified count
         and retires exhausted queries exactly where the per-query loop
-        breaks.  ``profile=True`` needs per-stage wall timers the kernel
-        does not keep, and unknown options decline the kernel so the
+        breaks.  ``exact=False`` dispatches the fast GEMM kernel (which
+        also covers budgets).  ``profile=True`` needs per-stage wall timers
+        no kernel keeps, and unknown options decline the kernels so the
         per-query ``search`` raises its usual ``TypeError``.
         """
         if unknown:
@@ -190,6 +213,8 @@ class BallTree(P2HIndex):
         max_candidates=None,
         branch_preference=None,
         profile: bool = False,
+        exact: bool = True,
+        dtype=None,
     ) -> List[SearchResult]:
         """Answer a whole query block with the block traversal kernel.
 
@@ -197,9 +222,12 @@ class BallTree(P2HIndex):
         :meth:`_batch_kernel_veto` accepts — the signature still names
         every supported option so explicitly passing its default (e.g.
         ``candidate_fraction=None``) works exactly like per-query
-        ``search``.  Results and work counters are bit-identical to
-        per-query :meth:`search` (see :mod:`repro.engine.block`), including
-        under ``candidate_fraction`` / ``max_candidates`` budgets.
+        ``search``.  With ``exact=True`` (the default) results and work
+        counters are bit-identical to per-query :meth:`search` (see
+        :mod:`repro.engine.block`), including under
+        ``candidate_fraction`` / ``max_candidates`` budgets; with
+        ``exact=False`` the block runs on the approximate fast GEMM kernel
+        (:mod:`repro.engine.fast`) in the requested storage ``dtype``.
         """
         wall_tic = time.perf_counter()
         matrix = self._prepare_query_matrix(queries)
@@ -207,7 +235,16 @@ class BallTree(P2HIndex):
             raise ValueError(f"k must be >= 1, got {k}")
         k = min(int(k), self.num_points)
         budget = self._resolve_budget(candidate_fraction, max_candidates)
-        results = self._engine().block_kernel().search_block(
+        if exact:
+            if dtype is not None:
+                raise ValueError(
+                    "dtype selects the fast mode's storage precision and "
+                    "requires exact=False"
+                )
+            kernel = self._engine().block_kernel()
+        else:
+            kernel = self._engine().fast_kernel(dtype or "float32")
+        results = kernel.search_block(
             matrix, k, preference=branch_preference, budget=budget
         )
         attach_block_timing(results, time.perf_counter() - wall_tic)

@@ -194,14 +194,16 @@ class BCTree(BallTree):
         """Block-kernel coverage for BC-Tree search options.
 
         In addition to Ball-Tree's exclusions (profiling, unknown options),
-        the sequential scan mode stays per-query: Algorithm 5's
-        point-by-point leaf scan tightens the threshold *inside* a leaf,
-        which the block kernel's whole-leaf events cannot reproduce.  The
-        vectorized scan mode — with or without the ball/cone bounds, the
-        collaborative inner-product accounting, or a candidate budget — is
-        fully covered.
+        the sequential scan mode stays per-query on the exact path:
+        Algorithm 5's point-by-point leaf scan tightens the threshold
+        *inside* a leaf, which the block kernel's whole-leaf events cannot
+        reproduce.  The vectorized scan mode — with or without the
+        ball/cone bounds, the collaborative inner-product accounting, or a
+        candidate budget — is fully covered.  The fast mode
+        (``exact=False``) never evaluates point-level bounds, so the scan
+        mode is irrelevant there and the fast kernel covers both modes.
         """
-        if self.scan_mode == "sequential":
+        if search_kwargs.get("exact", True) and self.scan_mode == "sequential":
             return (
                 "scan_mode='sequential' tightens the threshold inside each "
                 "leaf and must run per-query"

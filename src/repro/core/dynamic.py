@@ -252,7 +252,12 @@ class DynamicP2HIndex:
         factory and the API layer's spec factory are picklable; a custom
         ``lambda`` factory is not and raises here.
         """
-        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
+        dump_index_payload(
+            path,
+            self,
+            spec=getattr(self, "_api_spec", None),
+            storage_dtype="float64",
+        )
 
     @classmethod
     def load(cls, path) -> "DynamicP2HIndex":

@@ -189,10 +189,18 @@ class P2HIndex:
         :mod:`repro.utils.persistence`) stamped with the declarative spec
         dictionary when the index was built through
         :func:`repro.api.build_index`, so :func:`repro.api.load_index` can
-        reconstruct any family without knowing the class up front.
+        reconstruct any family without knowing the class up front.  The
+        header also records the storage dtype of the persisted data matrix
+        (readable via :func:`repro.api.saved_storage_dtype` without
+        unpickling the index).
         """
         self._check_fitted()
-        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
+        dump_index_payload(
+            path,
+            self,
+            spec=getattr(self, "_api_spec", None),
+            storage_dtype=str(self._points.dtype),
+        )
 
     @classmethod
     def load(cls, path) -> "P2HIndex":

@@ -159,12 +159,23 @@ class KDTree(P2HIndex):
         *,
         candidate_fraction: Optional[float] = None,
         max_candidates: Optional[int] = None,
+        exact: bool = True,
+        dtype: Optional[str] = None,
         **kwargs,
     ) -> SearchResult:
         if kwargs:
             unexpected = ", ".join(sorted(kwargs))
             raise TypeError(f"KDTree.search got unexpected options: {unexpected}")
         budget = resolve_budget(candidate_fraction, max_candidates, self.num_points)
+        if not exact:
+            return self._engine().fast_kernel(dtype or "float32").search_block(
+                query[None, :], k, budget=budget
+            )[0]
+        if dtype is not None:
+            raise ValueError(
+                "dtype selects the fast mode's storage precision and "
+                "requires exact=False"
+            )
         return self._engine().search(query, k, budget=budget, order="depth_first")
 
     # ---------------------------------------------------------- batch kernel
@@ -173,6 +184,8 @@ class KDTree(P2HIndex):
         self,
         candidate_fraction=None,
         max_candidates=None,
+        exact: bool = True,
+        dtype=None,
         **unknown,
     ) -> Optional[str]:
         """Why the block traversal kernel cannot cover these search options.
@@ -194,15 +207,20 @@ class KDTree(P2HIndex):
         *,
         candidate_fraction=None,
         max_candidates=None,
+        exact: bool = True,
+        dtype=None,
     ) -> List[SearchResult]:
         """Answer a whole query block with the block traversal kernel.
 
         Dispatched only for options :meth:`_batch_kernel_veto` accepts;
         the signature still names every supported option so explicitly
         passing its default works exactly like per-query ``search``.
-        Results and work counters are bit-identical to per-query
-        :meth:`search` (see :mod:`repro.engine.block`), including under
-        ``candidate_fraction`` / ``max_candidates`` budgets.
+        With ``exact=True`` (default) results and work counters are
+        bit-identical to per-query :meth:`search` (see
+        :mod:`repro.engine.block`), including under
+        ``candidate_fraction`` / ``max_candidates`` budgets; with
+        ``exact=False`` the block runs on the approximate fast GEMM
+        kernel (:mod:`repro.engine.fast`).
         """
         wall_tic = time.perf_counter()
         matrix = self._prepare_query_matrix(queries)
@@ -212,8 +230,15 @@ class KDTree(P2HIndex):
         budget = resolve_budget(
             candidate_fraction, max_candidates, self.num_points
         )
-        results = self._engine().block_kernel().search_block(
-            matrix, k, budget=budget
-        )
+        if exact:
+            if dtype is not None:
+                raise ValueError(
+                    "dtype selects the fast mode's storage precision and "
+                    "requires exact=False"
+                )
+            kernel = self._engine().block_kernel()
+        else:
+            kernel = self._engine().fast_kernel(dtype or "float32")
+        results = kernel.search_block(matrix, k, budget=budget)
         attach_block_timing(results, time.perf_counter() - wall_tic)
         return results

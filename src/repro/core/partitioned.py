@@ -401,7 +401,12 @@ class PartitionedP2HIndex:
         factory or :class:`repro.api.specs.SpecIndexFactory` instead.
         """
         self._check_fitted()
-        dump_index_payload(path, self, spec=getattr(self, "_api_spec", None))
+        dump_index_payload(
+            path,
+            self,
+            spec=getattr(self, "_api_spec", None),
+            storage_dtype="float64",
+        )
 
     @classmethod
     def load(cls, path) -> "PartitionedP2HIndex":

@@ -218,6 +218,27 @@ def kernel_dispatch_reason(index, **search_kwargs) -> Optional[str]:
     return "index vetoed kernel dispatch for these search options"
 
 
+def kernel_dispatch_path(index, **search_kwargs) -> str:
+    """Which execution path :func:`execute_batch` will take.
+
+    Returns ``"per-query"`` when the batch falls back to scheduled
+    per-query dispatch (:func:`kernel_dispatch_reason` says why),
+    ``"fast-gemm"`` when the options select the approximate fast-mode
+    kernel (``exact=False`` on a tree index — float32 storage plus
+    cross-query GEMM, :mod:`repro.engine.fast`), and ``"kernel"`` for
+    every other vectorized batch kernel (the exact block traversal kernel
+    and the hashing baselines' block kernels).
+    """
+    if kernel_dispatch_reason(index, **search_kwargs) is not None:
+        return "per-query"
+    if (
+        not search_kwargs.get("exact", True)
+        and getattr(index, "_batch_kernel_veto", None) is not None
+    ):
+        return "fast-gemm"
+    return "kernel"
+
+
 def execute_batch(
     index,
     queries: np.ndarray,

@@ -83,6 +83,27 @@ class _LazyNodeValues:
 
 
 @dataclass
+class FastArrays:
+    """Reduced-precision copies of the tree geometry for the fast mode.
+
+    Built lazily (and cached per dtype) by
+    :meth:`TraversalEngine.fast_arrays`; consumed by
+    :class:`repro.engine.fast.FastTreeKernel`.  Center trees populate
+    ``centers``/``radii``; KD trees populate ``lower``/``upper``.  Like the
+    engine's leaf-ordered float64 copy, these are derived runtime caches:
+    excluded from ``index_size_bytes`` and rebuilt on demand after
+    unpickling.
+    """
+
+    dtype: np.dtype
+    points_leaf: np.ndarray
+    centers: Optional[np.ndarray] = None
+    radii: Optional[np.ndarray] = None
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
+
+
+@dataclass
 class LeafPruningData:
     """Per-point leaf structures used by BC-Tree's point-level bounds."""
 
@@ -164,6 +185,8 @@ class TraversalEngine:
             self._use_cone_bound = leaf_data.use_cone_bound
         self.num_nodes = len(self._start)
         self._block_kernel = None
+        self._fast_arrays = {}
+        self._fast_kernels = {}
 
     # ------------------------------------------------------------- factories
 
@@ -242,6 +265,60 @@ class TraversalEngine:
         kernel = self._block_kernel
         if kernel is None:
             kernel = self._block_kernel = BlockTraversalKernel(self)
+        return kernel
+
+    def fast_arrays(self, dtype="float32") -> FastArrays:
+        """Reduced-precision tree geometry, built once per storage dtype.
+
+        The fast mode's working set: a leaf-ordered point copy plus the
+        center/radius (or KD box) arrays, all cast to ``dtype``.  Cached on
+        the engine so a warm worker process (or a long-lived
+        :class:`~repro.api.Searcher`) pays the cast once per fitted index.
+        """
+        dtype = np.dtype(dtype)
+        arrays = self._fast_arrays.get(dtype.str)
+        if arrays is None:
+            arrays = FastArrays(
+                dtype=dtype,
+                points_leaf=np.ascontiguousarray(self._points_leaf, dtype=dtype),
+                centers=(
+                    None
+                    if self._centers is None
+                    else np.ascontiguousarray(self._centers, dtype=dtype)
+                ),
+                radii=(
+                    None
+                    if self._radii is None
+                    else np.ascontiguousarray(self._radii, dtype=dtype)
+                ),
+                lower=(
+                    None
+                    if self._lower is None
+                    else np.ascontiguousarray(self._lower, dtype=dtype)
+                ),
+                upper=(
+                    None
+                    if self._upper is None
+                    else np.ascontiguousarray(self._upper, dtype=dtype)
+                ),
+            )
+            self._fast_arrays[dtype.str] = arrays
+        return arrays
+
+    def fast_kernel(self, dtype="float32"):
+        """The cached approximate fast-mode kernel over this engine.
+
+        Unlike :meth:`block_kernel`, the fast kernel is **not** bound by
+        the bit-identity contract: it computes in the reduced-precision
+        storage dtype with cross-query GEMMs — see
+        :mod:`repro.engine.fast` for the approximation contract.
+        """
+        from repro.engine.fast import FastTreeKernel
+
+        key = np.dtype(dtype).str
+        kernel = self._fast_kernels.get(key)
+        if kernel is None:
+            kernel = self._fast_kernels[key] = FastTreeKernel(self, dtype)
         return kernel
 
     def search(

@@ -14,6 +14,7 @@ from repro.eval.experiments import (
 from repro.eval.ground_truth import exact_ground_truth
 from repro.eval.metrics import (
     average_recall,
+    epsilon_recall,
     indexing_report,
     recall_at_k,
     summarize_query_stats,
@@ -54,6 +55,7 @@ __all__ = [
     "exact_ground_truth",
     "recall_at_k",
     "average_recall",
+    "epsilon_recall",
     "summarize_query_stats",
     "indexing_report",
     "evaluate_index",

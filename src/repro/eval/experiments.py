@@ -541,20 +541,22 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
     candidate budget the paper's Figures 5-6 sweep), the linear scan, and
     the NH/FH hashing baselines (answered by the vectorized whole-batch
     hashing kernel) across worker-pool sizes.  The ``path`` column records
-    which execution path the engine actually dispatched (``kernel`` vs
-    ``per-query``) and ``why_per_query`` names the veto that fired — a
+    which execution path the engine actually dispatched (``kernel``,
+    ``fast-gemm`` or ``per-query``) and ``why_per_query`` names the veto
+    that fired — a
     silently-declined kwarg is otherwise indistinguishable from a kernel
     run (the BC-Tree sequential-scan row demonstrates one).  Recall is a
     sanity check (batched results are bit-identical to sequential search,
     so it always matches the sequential number).
     """
-    from repro.engine.batch import kernel_dispatch_reason
+    from repro.engine.batch import kernel_dispatch_path, kernel_dispatch_reason
 
     n_jobs_grid = (1, 2, 4)
-    #: Budget sweep for the tree indexes: exact plus one paper-style
-    #: candidate budget, so the table shows the budgeted configurations
-    #: riding the kernel path too.
-    tree_budgets = ({}, {"candidate_fraction": 0.1})
+    #: Sweep for the tree indexes: exact, one paper-style candidate
+    #: budget, and the approximate fast mode — so the table shows the
+    #: budgeted configurations riding the kernel path and the fast-gemm
+    #: dispatch row side by side.
+    tree_budgets = ({}, {"candidate_fraction": 0.1}, {"exact": False})
     records = []
     for name in config.dataset_names():
         workload = _build_workload(name, config)
@@ -593,6 +595,15 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
                 for search_kwargs in budgets:
                     baseline_qps = None
                     reason = kernel_dispatch_reason(index, **search_kwargs)
+                    path = kernel_dispatch_path(index, **search_kwargs)
+                    if "candidate_fraction" in search_kwargs:
+                        budget_label = (
+                            "cf=%g" % search_kwargs["candidate_fraction"]
+                        )
+                    elif not search_kwargs.get("exact", True):
+                        budget_label = "fast"
+                    else:
+                        budget_label = "exact"
                     for n_jobs in n_jobs_grid:
                         batch = sessions[n_jobs].batch_search(
                             workload.queries,
@@ -611,19 +622,13 @@ def run_batch(config: ExperimentConfig) -> ExperimentOutput:
                             {
                                 "dataset": name,
                                 "method": method,
-                                "budget": (
-                                    "cf=%g" % search_kwargs["candidate_fraction"]
-                                    if search_kwargs
-                                    else "exact"
-                                ),
+                                "budget": budget_label,
                                 "n_jobs": n_jobs,
                                 # batch.n_jobs is the pool size actually used
                                 # (the request is capped at the machine's CPU
                                 # count).
                                 "workers": batch.n_jobs,
-                                "path": (
-                                    "per-query" if reason else "kernel"
-                                ),
+                                "path": path,
                                 "why_per_query": reason or "",
                                 "queries_per_second": qps,
                                 "speedup_vs_1": (

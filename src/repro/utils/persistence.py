@@ -8,7 +8,8 @@ as **two pickle frames** in one file:
 1. a small *header* dictionary::
 
        {"format": "repro-index", "format_version": 1,
-        "spec": {"kind": "bc_tree", "params": {...}} | None}
+        "spec": {"kind": "bc_tree", "params": {...}} | None,
+        "storage_dtype": "float64" | None}
 
 2. the index object itself.
 
@@ -39,14 +40,29 @@ FORMAT_NAME = "repro-index"
 FORMAT_VERSION = 1
 
 
-def dump_index_payload(path, index: Any, *, spec: Optional[Dict] = None) -> None:
-    """Write ``index`` (plus its optional spec dict) as a versioned payload."""
+def dump_index_payload(
+    path,
+    index: Any,
+    *,
+    spec: Optional[Dict] = None,
+    storage_dtype: Optional[str] = None,
+) -> None:
+    """Write ``index`` (plus its optional spec dict) as a versioned payload.
+
+    ``storage_dtype`` records the dtype the index's point/geometry arrays
+    are stored in (``"float64"`` for every current index; the fast mode's
+    reduced-precision arrays are derived runtime caches and are never
+    persisted).  The key is additive — payloads written without it (older
+    files) read back with ``storage_dtype=None`` — so the format version
+    stays at 1.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     header = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
         "spec": spec,
+        "storage_dtype": storage_dtype,
     }
     with path.open("wb") as handle:
         pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
@@ -66,9 +82,11 @@ def _check_header(path, header: Dict[str, Any]) -> None:
 def load_index_payload(path) -> Dict[str, Any]:
     """Read a payload written by :func:`dump_index_payload`.
 
-    Returns ``{"index": obj, "spec": dict | None}``.  Legacy files holding
-    a raw index pickle (written before the envelope existed) are accepted
-    and wrapped with ``spec=None`` so old artifacts keep loading.
+    Returns ``{"index": obj, "spec": dict | None,
+    "storage_dtype": str | None}``.  Legacy files holding a raw index
+    pickle (written before the envelope existed) are accepted and wrapped
+    with ``spec=None``; payloads from before the ``storage_dtype`` header
+    key read back with ``storage_dtype=None``.
 
     Raises
     ------
@@ -87,9 +105,13 @@ def load_index_payload(path) -> Dict[str, Any]:
                 raise ValueError(
                     f"{path} is a {FORMAT_NAME} payload with no index"
                 ) from None
-            return {"index": index, "spec": obj.get("spec")}
+            return {
+                "index": index,
+                "spec": obj.get("spec"),
+                "storage_dtype": obj.get("storage_dtype"),
+            }
     # Legacy raw pickle (pre-envelope): the object *is* the index.
-    return {"index": obj, "spec": None}
+    return {"index": obj, "spec": None, "storage_dtype": None}
 
 
 def read_index_spec(path) -> Optional[Dict[str, Any]]:
@@ -106,6 +128,21 @@ def read_index_spec(path) -> Optional[Dict[str, Any]]:
     if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
         _check_header(path, obj)
         return obj.get("spec")
+    return None
+
+
+def read_storage_dtype(path) -> Optional[str]:
+    """The ``storage_dtype`` header key, without unpickling the index.
+
+    Returns None for payloads written before the key existed and for
+    legacy raw pickles; raises the same version-mismatch
+    :class:`ValueError` as :func:`load_index_payload`.
+    """
+    with Path(path).open("rb") as handle:
+        obj = pickle.load(handle)
+    if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
+        _check_header(path, obj)
+        return obj.get("storage_dtype")
     return None
 
 
