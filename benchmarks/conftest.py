@@ -109,6 +109,24 @@ def bench_scale_config(**extra) -> Dict:
     return config
 
 
+def peak_rss_mb() -> float:
+    """Peak resident-set size of this process so far, in MiB.
+
+    Reads ``ru_maxrss`` (kilobytes on Linux, bytes on macOS) — a
+    high-water mark maintained by the kernel, so there is nothing to
+    start or sample; call it at any point to learn the worst memory
+    footprint reached.  Every ``emit_bench_json`` call stamps it into the
+    metrics so BENCH artifacts record what the run actually cost in RAM,
+    and the out-of-core benchmark asserts against it.
+    """
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = (1 << 20) if sys.platform == "darwin" else 1024
+    return float(peak) / divisor
+
+
 def _jsonable(obj):
     """JSON encoder default for NumPy scalars/arrays in benchmark records."""
     if isinstance(obj, np.integer):
@@ -152,7 +170,9 @@ def emit_bench_json(
             payload = {}
     except (FileNotFoundError, ValueError):
         payload = {}
-    entry: Dict = {"config": dict(config), "metrics": dict(metrics)}
+    metrics = dict(metrics)
+    metrics.setdefault("peak_rss_mb", round(peak_rss_mb(), 2))
+    entry: Dict = {"config": dict(config), "metrics": metrics}
     if records is not None:
         entry["records"] = list(records)
     payload[test] = entry

@@ -40,11 +40,14 @@ Quickstart
 
 from repro.api.options import SearchOptions
 from repro.api.persistence import (
+    IndexDescription,
+    describe_index,
     load_index,
     save_index,
     saved_spec,
     saved_storage_dtype,
 )
+from repro.storage import StorageSpec
 from repro.api.registry import (
     IndexFamily,
     available_indexes,
@@ -57,12 +60,15 @@ from repro.api.specs import IndexSpec, SpecIndexFactory
 
 __all__ = [
     "IndexSpec",
+    "IndexDescription",
     "IndexFamily",
     "SpecIndexFactory",
     "SearchOptions",
     "Searcher",
+    "StorageSpec",
     "available_indexes",
     "build_index",
+    "describe_index",
     "index_family",
     "register_index",
     "save_index",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.engine.batch import EXECUTORS
+from repro.storage import StorageSpec
 from repro.utils.validation import check_fraction, check_positive_int
 
 #: Option names with a dedicated typed field (everything else is ``extra``).
@@ -71,6 +72,14 @@ class SearchOptions:
         Storage dtype for the fast mode (``"float32"``, the default when
         ``exact=False``, or ``"float64"``).  Only meaningful with
         ``exact=False``; setting it alongside ``exact=True`` is an error.
+    storage:
+        Session-level storage override — anything
+        :meth:`repro.storage.StorageSpec.coerce` accepts (``"mmap"``, a
+        ``{"backend", "dtype"}`` dict, a spec).  **Not** a per-search
+        kwarg: it is consumed by :class:`~repro.api.Searcher`, which
+        migrates the index's point arrays once at session start (so a
+        process-executor session ships mmap paths to its workers instead
+        of pickled array bytes).  Plain ``index.search`` calls ignore it.
     extra:
         Index-family-specific search kwargs forwarded verbatim (e.g.
         ``branch_preference`` for the trees).  Keys must not shadow the
@@ -96,6 +105,7 @@ class SearchOptions:
     profile: bool = False
     exact: bool = True
     dtype: Optional[str] = None
+    storage: Optional[StorageSpec] = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -148,8 +158,14 @@ class SearchOptions:
                 "per-stage profiling counters are defined by the exact "
                 "traversal, which the fast mode does not run"
             )
+        if self.storage is not None:
+            object.__setattr__(
+                self, "storage", StorageSpec.coerce(self.storage)
+            )
         extra = dict(self.extra or {})
-        reserved = set(_FIELD_KWARGS) | {"k", "n_jobs", "executor", "block"}
+        reserved = set(_FIELD_KWARGS) | {
+            "k", "n_jobs", "executor", "block", "storage",
+        }
         shadowed = sorted(reserved & set(extra))
         if shadowed:
             raise ValueError(
@@ -225,6 +241,8 @@ class SearchOptions:
             out["max_candidates"] = self.max_candidates
         if self.n_jobs is not None:
             out["n_jobs"] = self.n_jobs
+        if self.storage is not None:
+            out["storage"] = self.storage.to_header()
         if self.extra:
             out["extra"] = dict(self.extra)
         return out

@@ -10,12 +10,16 @@ error instead of corrupt state.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
 
 from repro.api.specs import IndexSpec
+from repro.storage import sidecar_path
 from repro.utils.persistence import (
     dump_index_payload,
     load_index_payload,
+    read_index_header,
     read_index_spec,
     read_storage_dtype,
 )
@@ -77,3 +81,71 @@ def saved_storage_dtype(path) -> Optional[str]:
     rebuilds them on the first ``exact=False`` search.
     """
     return read_storage_dtype(path)
+
+
+@dataclass(frozen=True)
+class IndexDescription:
+    """Header-only description of a saved index (see :func:`describe_index`)."""
+
+    path: str
+    format_version: Optional[int]
+    spec: Optional[IndexSpec]
+    storage: Optional[Dict[str, str]]
+    storage_dtype: Optional[str]
+    payload_bytes: int
+    sidecar_bytes: int
+
+    @property
+    def kind(self) -> Optional[str]:
+        """The registry kind the index was built as, when spec-stamped."""
+        return None if self.spec is None else self.spec.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (for the ``repro info`` CLI output)."""
+        return {
+            "path": self.path,
+            "format_version": self.format_version,
+            "kind": self.kind,
+            "spec": None if self.spec is None else self.spec.to_dict(),
+            "storage": self.storage,
+            "storage_dtype": self.storage_dtype,
+            "payload_bytes": self.payload_bytes,
+            "sidecar_bytes": self.sidecar_bytes,
+        }
+
+
+def describe_index(path) -> IndexDescription:
+    """Describe a saved index from its header frame alone.
+
+    Reads a few hundred bytes — the versioned header plus filesystem
+    sizes — and **never unpickles the index or opens its arrays**, so
+    inspecting a multi-gigabyte mmap-backed payload is effectively free.
+    Legacy raw pickles (pre-envelope files) report
+    ``format_version=None`` and all header fields as None.
+
+    Raises
+    ------
+    ValueError
+        If the payload was written with an incompatible format version.
+    FileNotFoundError
+        If ``path`` does not exist.
+    """
+    path = Path(path)
+    header = read_index_header(path)
+    header = {} if header is None else header
+    spec = header.get("spec")
+    sidecar = sidecar_path(path)
+    sidecar_bytes = 0
+    if sidecar.is_dir():
+        sidecar_bytes = sum(
+            item.stat().st_size for item in sidecar.rglob("*") if item.is_file()
+        )
+    return IndexDescription(
+        path=str(path),
+        format_version=header.get("format_version"),
+        spec=None if spec is None else IndexSpec.from_dict(spec),
+        storage=header.get("storage"),
+        storage_dtype=header.get("storage_dtype"),
+        payload_bytes=path.stat().st_size,
+        sidecar_bytes=sidecar_bytes,
+    )

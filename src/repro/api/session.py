@@ -36,10 +36,10 @@ from repro.engine.batch import (
 )
 
 #: SearchOptions fields a call may override (everything typed except the
-#: session-fixed pool knobs and the extra mapping itself).
+#: session-fixed pool/storage knobs and the extra mapping itself).
 _PER_CALL_FIELDS = frozenset(
     field.name for field in dataclasses.fields(SearchOptions)
-) - {"n_jobs", "executor", "extra"}
+) - {"n_jobs", "executor", "storage", "extra"}
 
 
 class Searcher:
@@ -103,6 +103,19 @@ class Searcher:
             options = options.replace(**option_overrides)
         self.index = index
         self.options = options
+        if options.storage is not None:
+            # Migrate once, up front, before any pool exists.  With the
+            # mmap backend, process workers then unpickle file *paths* and
+            # re-open the maps per worker — the index transfer no longer
+            # scales with the data size.  Refuse (rather than silently
+            # drop the knob) for indexes without storage support.
+            migrate = getattr(index, "to_storage", None)
+            if not callable(migrate):
+                raise TypeError(
+                    f"options.storage is set but {type(index).__name__} "
+                    "does not support storage migration (no to_storage)"
+                )
+            migrate(options.storage)
         requested = 1 if options.n_jobs is None else options.n_jobs
         #: Effective pool size (the request capped at the CPU count), the
         #: same cap ``execute_batch`` applies per call.
@@ -193,7 +206,7 @@ class Searcher:
         changes = dict(overrides)
         if k is not None:
             changes["k"] = k
-        for fixed in ("n_jobs", "executor"):
+        for fixed in ("n_jobs", "executor", "storage"):
             if fixed in changes:
                 raise ValueError(
                     f"{fixed} is fixed for the lifetime of a Searcher "

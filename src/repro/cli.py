@@ -32,7 +32,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro import __version__
-from repro.api import IndexSpec, SearchOptions, build_index
+from repro.api import IndexSpec, SearchOptions, build_index, describe_index
 from repro.api.specs import normalize_kind
 from repro.datasets import load_dataset, random_hyperplane_queries
 from repro.datasets.io import load_points
@@ -67,6 +67,11 @@ def method_spec(args) -> IndexSpec:
         params = {"num_tables": args.num_tables, "random_state": args.seed}
     else:  # linear_scan
         params = {}
+    storage = getattr(args, "storage", None)
+    if storage is not None and kind in (
+        "ball_tree", "bc_tree", "rp_tree", "kd_tree",
+    ):
+        params["storage"] = storage
     return IndexSpec(kind, params)
 
 
@@ -138,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--storage",
+        default=None,
+        choices=("ram", "float32", "mmap", "mmap32"),
+        help=(
+            "point-array storage backend for the tree indexes "
+            "(default: resident float64; 'mmap' serves the leaf-ordered "
+            "copy from memory-mapped .npy files)"
+        ),
+    )
+    search_parser.add_argument(
         "--n-jobs",
         type=int,
         default=None,
@@ -150,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool flavor for batched execution (default: thread)",
     )
     search_parser.add_argument("--seed", type=int, default=0)
+
+    info_parser = subparsers.add_parser(
+        "info",
+        help="describe a saved index from its header (no arrays loaded)",
+    )
+    info_parser.add_argument("path", help="path to a saved index payload")
 
     run_parser = subparsers.add_parser(
         "run", help="regenerate one of the paper's tables or figures"
@@ -229,6 +250,16 @@ def _cmd_search(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.storage is not None and spec.kind not in budget_kinds:
+        # Same refusal contract as --fast: only the tree families take the
+        # storage knob through the CLI, and silently dropping it would
+        # mislabel the memory behavior of everything the command prints.
+        print(
+            f"invalid search options: --storage applies to the tree "
+            f"indexes only, not {args.method!r}",
+            file=sys.stderr,
+        )
+        return 2
     if args.fast and spec.kind not in budget_kinds:
         # Same refusal contract as the budget flags: only the tree
         # families have a fast kernel, and a silently-dropped --fast would
@@ -275,6 +306,38 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_info(args) -> int:
+    try:
+        description = describe_index(args.path)
+    except FileNotFoundError:
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot describe index: {exc}", file=sys.stderr)
+        return 2
+    record = description.to_dict()
+    spec = record.pop("spec", None)
+    storage = record.pop("storage", None) or {}
+    record["storage_backend"] = storage.get("backend")
+    record["params"] = (
+        None if spec is None else ", ".join(
+            f"{key}={value}" for key, value in sorted(spec["params"].items())
+        ) or "-"
+    )
+    columns = [
+        "path",
+        "format_version",
+        "kind",
+        "params",
+        "storage_backend",
+        "storage_dtype",
+        "payload_bytes",
+        "sidecar_bytes",
+    ]
+    print(render_table([record], columns, title="Saved index"))
+    return 0
+
+
 def _cmd_run(args) -> int:
     datasets: Optional[Sequence[str]] = None
     if args.datasets:
@@ -312,6 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_datasets(args)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "info":
+        return _cmd_info(args)
     if args.command == "run":
         return _cmd_run(args)
     parser.error(f"unknown command {args.command!r}")

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
+from repro.core.index_base import LeafStoredPointsMixin, P2HIndex
 from repro.core.policies import BranchPreference
 from repro.core.results import SearchResult
 from repro.core.tree_base import NodeView, TreeArrays, build_tree
@@ -38,7 +38,7 @@ from repro.engine.traversal import TraversalEngine
 from repro.utils.validation import check_positive_int
 
 
-class BallTree(P2HIndex):
+class BallTree(LeafStoredPointsMixin, P2HIndex):
     """Ball-Tree index for point-to-hyperplane nearest neighbor search.
 
     Parameters
@@ -50,7 +50,7 @@ class BallTree(P2HIndex):
         ``"lower_bound"``.
     random_state:
         Seed or generator for the seed-grow split.
-    augment, normalize_queries:
+    augment, normalize_queries, storage:
         See :class:`~repro.core.index_base.P2HIndex`.
 
     Examples
@@ -74,8 +74,13 @@ class BallTree(P2HIndex):
         random_state=None,
         augment: bool = True,
         normalize_queries: bool = True,
+        storage=None,
     ) -> None:
-        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        super().__init__(
+            augment=augment,
+            normalize_queries=normalize_queries,
+            storage=storage,
+        )
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         self.branch_preference = BranchPreference.coerce(branch_preference)
         self.random_state = random_state
@@ -93,9 +98,14 @@ class BallTree(P2HIndex):
 
     @property
     def root(self) -> NodeView:
-        """Read-only view of the root node (for inspection and tests)."""
+        """Read-only view of the root node (for inspection and tests).
+
+        Materializes the un-permuted point matrix (see
+        :attr:`~repro.core.index_base.P2HIndex.points`); an inspection
+        path, not a query path.
+        """
         self._check_fitted()
-        return NodeView(self.tree, 0, self._points)
+        return NodeView(self.tree, 0, self.points)
 
     @property
     def num_nodes(self) -> int:

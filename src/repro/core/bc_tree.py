@@ -104,6 +104,7 @@ class BCTree(BallTree):
         random_state=None,
         augment: bool = True,
         normalize_queries: bool = True,
+        storage=None,
     ) -> None:
         super().__init__(
             leaf_size,
@@ -111,6 +112,7 @@ class BCTree(BallTree):
             random_state=random_state,
             augment=augment,
             normalize_queries=normalize_queries,
+            storage=storage,
         )
         if scan_mode not in ("vectorized", "sequential"):
             raise ValueError(

@@ -33,6 +33,7 @@ from repro.core.factories import DefaultBCTreeFactory
 from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
 from repro.engine.batch import BatchSearchResult, execute_batch
+from repro.storage import combined_storage_header
 from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.validation import check_points_matrix, check_query_vector
 
@@ -252,12 +253,32 @@ class DynamicP2HIndex:
         factory and the API layer's spec factory are picklable; a custom
         ``lambda`` factory is not and raises here.
         """
+        stores = self._array_stores()
+        header = combined_storage_header(stores)
         dump_index_payload(
             path,
             self,
             spec=getattr(self, "_api_spec", None),
-            storage_dtype="float64",
+            storage_dtype=header["dtype"] if header else "float64",
+            storage=header,
+            stores=stores,
         )
+
+    def _array_stores(self):
+        """The static sub-index's stores (buffer rows stay resident)."""
+        if self._static_index is None:
+            return []
+        return list(self._static_index._array_stores())
+
+    def to_storage(self, storage) -> "DynamicP2HIndex":
+        """Migrate the static sub-index's point arrays (buffer stays RAM).
+
+        Note the next :meth:`rebuild` refits through ``index_factory``,
+        whose own ``storage`` configuration then applies.
+        """
+        if self._static_index is not None:
+            self._static_index.to_storage(storage)
+        return self
 
     @classmethod
     def load(cls, path) -> "DynamicP2HIndex":

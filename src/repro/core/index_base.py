@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.distances import augment_points, is_augmented, normalize_query
 from repro.core.results import SearchResult
 from repro.engine.batch import BatchSearchResult, execute_batch
+from repro.storage import StorageSpec
 from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.timing import Timer
 from repro.utils.validation import check_points_matrix, check_query_vector
@@ -54,11 +55,26 @@ class P2HIndex:
         If True (default), queries are rescaled so the hyperplane normal has
         unit norm before searching; the returned distances are then true
         geometric P2H distances.
+    storage:
+        Where the large point arrays live — anything
+        :meth:`repro.storage.StorageSpec.coerce` accepts (``None``/"ram"
+        for the default resident float64, ``"float32"`` for a
+        reduced-precision resident copy, ``"mmap"`` for memory-mapped
+        ``.npy`` files).  Tree geometry always stays resident.
     """
 
-    def __init__(self, *, augment: bool = True, normalize_queries: bool = True):
+    def __init__(
+        self,
+        *,
+        augment: bool = True,
+        normalize_queries: bool = True,
+        storage=None,
+    ):
         self.augment = bool(augment)
         self.normalize_queries = bool(normalize_queries)
+        self.storage = StorageSpec.coerce(storage)
+        self._store = None
+        self._fitted = False
         self._points: Optional[np.ndarray] = None
         self.num_points: int = 0
         self.dim: int = 0
@@ -93,11 +109,13 @@ class P2HIndex:
                 "augment=False requires points whose last column is all ones"
             )
         self._points = pts
+        self._fitted = True
         self.num_points, self.dim = pts.shape
         self._engine_cache = None
         self._mutation_version = getattr(self, "_mutation_version", 0) + 1
         with Timer() as timer:
             self._build(pts)
+            self._store_points(pts)
         self.indexing_seconds = timer.elapsed
         return self
 
@@ -195,11 +213,14 @@ class P2HIndex:
         unpickling the index).
         """
         self._check_fitted()
+        store = self._ensure_store()
         dump_index_payload(
             path,
             self,
             spec=getattr(self, "_api_spec", None),
-            storage_dtype=str(self._points.dtype),
+            storage_dtype=store.dtype,
+            storage=store.to_header(),
+            stores=self._array_stores(),
         )
 
     @classmethod
@@ -233,15 +254,83 @@ class P2HIndex:
 
     @property
     def points(self) -> np.ndarray:
-        """The augmented data matrix the index was fitted on."""
+        """The augmented data matrix the index was fitted on.
+
+        Tree families keep only the leaf-ordered copy resident, so this
+        property *reconstructs* the un-permuted matrix on demand (and does
+        not cache it — callers on the hot path go through the engine's
+        leaf-ordered arrays instead).  The dtype is the storage dtype.
+        """
         self._check_fitted()
-        return self._points
+        if self._points is not None:
+            return self._points
+        return self._rebuild_points()
 
     def _check_fitted(self) -> None:
-        if self._points is None:
+        if not self._fitted:
             raise NotFittedError(
                 f"{type(self).__name__} must be fitted before it can be used"
             )
+
+    # --------------------------------------------------------------- storage
+
+    def _store_points(self, pts: np.ndarray) -> None:
+        """Hand the fitted point matrix to the index's array store.
+
+        The default keeps the (possibly dtype-cast) matrix addressable as
+        ``self._points`` — an identity operation for the default resident
+        float64 spec.  Tree families override this to keep only the
+        leaf-ordered copy (see :class:`LeafStoredPointsMixin`).
+        """
+        self._store = self.storage.create_store()
+        self._points = self._store.put("points", pts)
+
+    def _rebuild_points(self) -> np.ndarray:
+        """Reconstruct the un-permuted matrix when it is not resident."""
+        raise NotFittedError(
+            f"{type(self).__name__} must be fitted before it can be used"
+        )
+
+    def _ensure_store(self):
+        """The index's array store, creating one for legacy pickles."""
+        if self._store is None:
+            self._store = self.storage.create_store()
+            self._adopt_legacy_arrays(self._store)
+        return self._store
+
+    def _adopt_legacy_arrays(self, store) -> None:
+        """Move pre-storage-layer resident arrays into a fresh store."""
+        if self._points is not None:
+            self._points = store.put("points", self._points)
+
+    def _array_stores(self):
+        """Every store backing this index (composites override to recurse)."""
+        store = self._store
+        return [store] if store is not None else []
+
+    def to_storage(self, storage) -> "P2HIndex":
+        """Migrate the fitted point arrays to a different storage backend.
+
+        Used by :class:`repro.api.Searcher` to convert a resident index to
+        mmap before spawning process workers (workers then re-open the map
+        instead of receiving pickled array bytes).  Returns ``self``.
+        Note a float32 store cannot recover float64 precision — migrating
+        back up-casts the already-rounded values.
+        """
+        self._check_fitted()
+        spec = StorageSpec.coerce(storage)
+        old = self._ensure_store()
+        if spec == old.spec:
+            return self
+        new = spec.create_store()
+        new.copy_from(old, old.names())
+        self._store = new
+        self.storage = spec
+        if self._points is not None and "points" in new:
+            self._points = new.get("points")
+        # The engine holds references into the old store's arrays.
+        self._engine_cache = None
+        return self
 
     def _engine(self):
         """The cached :class:`TraversalEngine`, built lazily after ``fit``.
@@ -270,6 +359,17 @@ class P2HIndex:
         state["_engine_cache"] = None
         return state
 
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Pre-storage-layer pickles: fittedness was "has a point matrix",
+        # storage was implicitly resident float64, and no store existed.
+        if "_fitted" not in state:
+            self._fitted = state.get("_points") is not None
+        if "storage" not in state:
+            self.storage = StorageSpec()
+        if "_store" not in state:
+            self._store = None
+
     # ------------------------------------------------------------- overrides
 
     def _build(self, points: np.ndarray) -> None:
@@ -289,3 +389,56 @@ class P2HIndex:
     def _payload_arrays(self) -> Sequence[np.ndarray]:
         """Arrays that constitute the index payload (for size accounting)."""
         return ()
+
+
+class LeafStoredPointsMixin:
+    """Point storage for tree indexes: one leaf-ordered resident copy.
+
+    Tree traversal only ever reads leaf-contiguous slices, so the
+    leaf-ordered copy (``points[tree.perm]``) is the *only* copy these
+    indexes keep — stored under ``"points_leaf"`` in the index's array
+    store.  The un-permuted matrix is reconstructed lazily by the
+    :attr:`~P2HIndex.points` property (used by the sequential-scan fidelity
+    paths, ``NodeView`` inspection, and composite rebuilds), never cached,
+    so a fitted tree index holds one ``(n, d)`` array resident instead of
+    the historical two.
+
+    Mix in *before* :class:`P2HIndex` so the ``_store_points`` override
+    wins.
+    """
+
+    def _store_points(self, pts: np.ndarray) -> None:
+        self._store = self.storage.create_store()
+        self._store.put("points_leaf", pts[self.tree.perm])
+        self._points = None
+
+    def fit_chunked(self, points, *, memory_budget_mb: float = 256.0):
+        """Build this index under a row-memory budget (out-of-core path).
+
+        ``points`` may be a path to a ``.npy`` file (recommended — rows
+        are then read with plain file I/O and never become resident), a
+        2-D array, or any row source
+        :func:`repro.storage.as_row_source` accepts.  With a budget of at
+        least ``n`` rows this is bit-identical to :meth:`~P2HIndex.fit`;
+        see :func:`repro.core.chunked.chunked_fit`.
+        """
+        from repro.core.chunked import chunked_fit
+
+        return chunked_fit(self, points, memory_budget_mb=memory_budget_mb)
+
+    def _adopt_legacy_arrays(self, store) -> None:
+        if self._points is not None:
+            store.put("points_leaf", self._points[self.tree.perm])
+            self._points = None
+
+    def _leaf_points(self) -> np.ndarray:
+        """The leaf-ordered point matrix the traversal engine reads."""
+        self._check_fitted()
+        return self._ensure_store().get("points_leaf")
+
+    def _rebuild_points(self) -> np.ndarray:
+        leaf = self._leaf_points()
+        perm = self.tree.perm
+        inverse = np.empty(perm.shape[0], dtype=np.int64)
+        inverse[perm] = np.arange(perm.shape[0], dtype=np.int64)
+        return np.asarray(leaf)[inverse]

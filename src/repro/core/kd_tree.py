@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.index_base import P2HIndex
+from repro.core.index_base import LeafStoredPointsMixin, P2HIndex
 from repro.core.results import SearchResult
 from repro.engine.block import attach_block_timing
 from repro.engine.budget import resolve_budget
@@ -57,14 +57,78 @@ class _KDArrays:
         )
 
 
-class KDTree(P2HIndex):
+def build_kd_tree(points: np.ndarray, leaf_size: int) -> _KDArrays:
+    """Build the KD-Tree structure over augmented ``points``.
+
+    Median split on the widest dimension; a node whose points are all
+    identical stays a leaf regardless of size.  Exposed as a function so
+    the chunked build path (:mod:`repro.core.chunked`) can graft
+    in-budget subtrees.
+    """
+    n, d = points.shape
+    perm = np.arange(n, dtype=np.int64)
+    lowers: List[np.ndarray] = []
+    uppers: List[np.ndarray] = []
+    starts: List[int] = []
+    ends: List[int] = []
+    lefts: List[int] = []
+    rights: List[int] = []
+
+    def allocate(start: int, end: int) -> int:
+        node_id = len(starts)
+        lowers.append(np.zeros(d))
+        uppers.append(np.zeros(d))
+        starts.append(start)
+        ends.append(end)
+        lefts.append(NO_CHILD)
+        rights.append(NO_CHILD)
+        return node_id
+
+    root = allocate(0, n)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        start, end = starts[node], ends[node]
+        node_points = points[perm[start:end]]
+        lowers[node] = node_points.min(axis=0)
+        uppers[node] = node_points.max(axis=0)
+        size = end - start
+        if size <= leaf_size:
+            continue
+        spreads = uppers[node] - lowers[node]
+        axis = int(np.argmax(spreads))
+        if spreads[axis] <= 0.0:
+            continue  # all points identical: keep as a leaf
+        values = node_points[:, axis]
+        order = np.argsort(values, kind="stable")
+        perm[start:end] = perm[start:end][order]
+        mid = start + size // 2
+        left = allocate(start, mid)
+        right = allocate(mid, end)
+        lefts[node] = left
+        rights[node] = right
+        stack.append(right)
+        stack.append(left)
+
+    return _KDArrays(
+        lower=np.asarray(lowers),
+        upper=np.asarray(uppers),
+        start=np.asarray(starts, dtype=np.int64),
+        end=np.asarray(ends, dtype=np.int64),
+        left_child=np.asarray(lefts, dtype=np.int64),
+        right_child=np.asarray(rights, dtype=np.int64),
+        perm=perm,
+    )
+
+
+class KDTree(LeafStoredPointsMixin, P2HIndex):
     """KD-Tree with a box interval bound on ``|<x, q>|``.
 
     Parameters
     ----------
     leaf_size:
         Maximum number of points per leaf.
-    augment, normalize_queries:
+    augment, normalize_queries, storage:
         See :class:`~repro.core.index_base.P2HIndex`.
     """
 
@@ -74,68 +138,20 @@ class KDTree(P2HIndex):
         *,
         augment: bool = True,
         normalize_queries: bool = True,
+        storage=None,
     ) -> None:
-        super().__init__(augment=augment, normalize_queries=normalize_queries)
+        super().__init__(
+            augment=augment,
+            normalize_queries=normalize_queries,
+            storage=storage,
+        )
         self.leaf_size = check_positive_int(leaf_size, name="leaf_size")
         self.tree: Optional[_KDArrays] = None
 
     # ----------------------------------------------------------------- build
 
     def _build(self, points: np.ndarray) -> None:
-        n, d = points.shape
-        perm = np.arange(n, dtype=np.int64)
-        lowers: List[np.ndarray] = []
-        uppers: List[np.ndarray] = []
-        starts: List[int] = []
-        ends: List[int] = []
-        lefts: List[int] = []
-        rights: List[int] = []
-
-        def allocate(start: int, end: int) -> int:
-            node_id = len(starts)
-            lowers.append(np.zeros(d))
-            uppers.append(np.zeros(d))
-            starts.append(start)
-            ends.append(end)
-            lefts.append(NO_CHILD)
-            rights.append(NO_CHILD)
-            return node_id
-
-        root = allocate(0, n)
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            start, end = starts[node], ends[node]
-            node_points = points[perm[start:end]]
-            lowers[node] = node_points.min(axis=0)
-            uppers[node] = node_points.max(axis=0)
-            size = end - start
-            if size <= self.leaf_size:
-                continue
-            spreads = uppers[node] - lowers[node]
-            axis = int(np.argmax(spreads))
-            if spreads[axis] <= 0.0:
-                continue  # all points identical: keep as a leaf
-            values = node_points[:, axis]
-            order = np.argsort(values, kind="stable")
-            perm[start:end] = perm[start:end][order]
-            mid = start + size // 2
-            left = allocate(start, mid)
-            right = allocate(mid, end)
-            lefts[node] = left
-            rights[node] = right
-            stack.append(right)
-            stack.append(left)
-
-        self.tree = _KDArrays(
-            lower=np.asarray(lowers),
-            upper=np.asarray(uppers),
-            start=np.asarray(starts, dtype=np.int64),
-            end=np.asarray(ends, dtype=np.int64),
-            left_child=np.asarray(lefts, dtype=np.int64),
-            right_child=np.asarray(rights, dtype=np.int64),
-            perm=perm,
-        )
+        self.tree = build_kd_tree(points, self.leaf_size)
 
     def _payload_arrays(self) -> Sequence[np.ndarray]:
         if self.tree is None:

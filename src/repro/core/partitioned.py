@@ -38,6 +38,7 @@ from repro.core.index_base import NotFittedError, P2HIndex
 from repro.core.results import SearchResult, SearchStats, TopKCollector
 from repro.core.splits import seed_grow_split
 from repro.engine.batch import BatchSearchResult, pool_results
+from repro.storage import combined_storage_header
 from repro.utils.persistence import dump_index_payload, load_typed_index
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Timer
@@ -401,12 +402,29 @@ class PartitionedP2HIndex:
         factory or :class:`repro.api.specs.SpecIndexFactory` instead.
         """
         self._check_fitted()
+        stores = self._array_stores()
+        header = combined_storage_header(stores)
         dump_index_payload(
             path,
             self,
             spec=getattr(self, "_api_spec", None),
-            storage_dtype="float64",
+            storage_dtype=header["dtype"] if header else "float64",
+            storage=header,
+            stores=stores,
         )
+
+    def _array_stores(self):
+        """Every shard's stores, in shard order (one sidecar slot each)."""
+        stores = []
+        for shard in self.shards:
+            stores.extend(shard._array_stores())
+        return stores
+
+    def to_storage(self, storage) -> "PartitionedP2HIndex":
+        """Migrate every shard's point arrays to the given storage spec."""
+        for shard in self.shards:
+            shard.to_storage(storage)
+        return self
 
     @classmethod
     def load(cls, path) -> "PartitionedP2HIndex":

@@ -120,6 +120,7 @@ class RPTree(BallTree):
         random_state=None,
         augment: bool = True,
         normalize_queries: bool = True,
+        storage=None,
     ) -> None:
         super().__init__(
             leaf_size,
@@ -127,6 +128,7 @@ class RPTree(BallTree):
             random_state=random_state,
             augment=augment,
             normalize_queries=normalize_queries,
+            storage=storage,
         )
 
     def _build(self, points: np.ndarray) -> None:

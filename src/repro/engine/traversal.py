@@ -124,12 +124,13 @@ class TraversalEngine:
     the vector payloads (centers, points, leaf structures) as arrays for
     the vectorized per-query preparation and leaf kernels.
 
-    Memory: the engine keeps a leaf-ordered contiguous copy of the data
-    matrix (an extra ``n * d * 8`` bytes per fitted tree index) so leaf
-    verification is a GEMV on a slice instead of a gather.  This is a
-    derived runtime cache — it is excluded from ``index_size_bytes`` (which
-    mirrors the paper's index-size accounting, excluding the data itself)
-    and from pickles.
+    Memory: the engine reads the index's *leaf-ordered* point copy (every
+    leaf's points occupy one contiguous block) so leaf verification is a
+    GEMV on a slice instead of a gather.  The copy is owned by the index's
+    :class:`~repro.storage.base.ArrayStore` — since the storage layer it is
+    the only resident point array a fitted tree index holds (the
+    un-permuted matrix is rebuilt lazily by ``index.points``), and under
+    the mmap backend it is not resident at all.
 
     Use the ``for_ball_tree`` / ``for_bc_tree`` / ``for_kd_tree`` factories
     rather than the constructor.
@@ -138,7 +139,7 @@ class TraversalEngine:
     def __init__(
         self,
         *,
-        points: np.ndarray,
+        points_leaf: np.ndarray,
         start: np.ndarray,
         end: np.ndarray,
         left_child: np.ndarray,
@@ -152,14 +153,17 @@ class TraversalEngine:
         sequential_leaf_scan: bool = False,
         collaborative_ip: bool = False,
         default_preference: BranchPreference = BranchPreference.CENTER,
+        store=None,
     ) -> None:
-        self._points = points
         self._perm = perm
-        # Leaf-ordered copy of the data: every leaf's points occupy one
-        # contiguous block, so leaf verification is a GEMV on a slice with
-        # no gather copy (the layout scikit-learn's neighbor trees use).
-        # Costs one extra (n, d) array per engine; rebuilt lazily per fit.
-        self._points_leaf = np.ascontiguousarray(points[perm])
+        # Leaf-ordered data: every leaf's points occupy one contiguous
+        # block, so leaf verification is a GEMV on a slice with no gather
+        # copy (the layout scikit-learn's neighbor trees use).  Since the
+        # storage layer this is the index's *only* point copy — owned by
+        # the index's ArrayStore (possibly a read-only memmap), not by the
+        # engine.
+        self._points_leaf = points_leaf
+        self._store = store
         self._start = start.tolist()
         self._end = end.tolist()
         self._left = left_child.tolist()
@@ -195,7 +199,7 @@ class TraversalEngine:
         """Engine over a fitted :class:`~repro.core.ball_tree.BallTree`."""
         tree = index.tree
         return cls(
-            points=index.points,
+            points_leaf=index._leaf_points(),
             start=tree.start,
             end=tree.end,
             left_child=tree.left_child,
@@ -205,6 +209,7 @@ class TraversalEngine:
             radii=tree.radii,
             collaborative_ip=False,
             default_preference=index.branch_preference,
+            store=index._store,
         )
 
     @classmethod
@@ -212,7 +217,7 @@ class TraversalEngine:
         """Engine over a fitted :class:`~repro.core.bc_tree.BCTree`."""
         tree = index.tree
         return cls(
-            points=index.points,
+            points_leaf=index._leaf_points(),
             start=tree.start,
             end=tree.end,
             left_child=tree.left_child,
@@ -220,6 +225,7 @@ class TraversalEngine:
             perm=tree.perm,
             centers=tree.centers,
             radii=tree.radii,
+            store=index._store,
             leaf_data=LeafPruningData(
                 point_radius=index.point_radius,
                 point_cos=index.point_cos,
@@ -238,7 +244,7 @@ class TraversalEngine:
         """Engine over a fitted :class:`~repro.core.kd_tree.KDTree`."""
         tree = index.tree
         return cls(
-            points=index.points,
+            points_leaf=index._leaf_points(),
             start=tree.start,
             end=tree.end,
             left_child=tree.left_child,
@@ -246,6 +252,7 @@ class TraversalEngine:
             perm=tree.perm,
             lower=tree.lower,
             upper=tree.upper,
+            store=index._store,
         )
 
     # ------------------------------------------------------------------- API
@@ -278,9 +285,18 @@ class TraversalEngine:
         dtype = np.dtype(dtype)
         arrays = self._fast_arrays.get(dtype.str)
         if arrays is None:
+            if self._store is not None and "points_leaf" in self._store:
+                # Route the cast through the index's store, so an mmap
+                # backend keeps the reduced-precision copy on disk rather
+                # than in the process heap.
+                points_leaf = self._store.derive("points_leaf", dtype)
+            else:
+                points_leaf = np.ascontiguousarray(
+                    self._points_leaf, dtype=dtype
+                )
             arrays = FastArrays(
                 dtype=dtype,
-                points_leaf=np.ascontiguousarray(self._points_leaf, dtype=dtype),
+                points_leaf=points_leaf,
                 centers=(
                     None
                     if self._centers is None
@@ -678,7 +694,11 @@ class TraversalEngine:
         q_cos, q_sin = query_angle_terms(
             ip_node, query_norm, self._center_norms[node]
         )
-        points = self._points
+        # Reading row ``pos`` of the leaf-ordered copy is byte-identical to
+        # gathering ``points[perm[pos]]`` from the un-permuted matrix the
+        # engine historically kept, so dropping that duplicate changes no
+        # distance and no counter.
+        points_leaf = self._points_leaf
         perm = self._perm
 
         for pos in range(start, end):
@@ -699,7 +719,7 @@ class TraversalEngine:
                     stats.points_pruned_cone += 1
                     continue
             index = int(perm[pos])
-            distance = float(abs(points[index] @ query))
+            distance = float(abs(points_leaf[pos] @ query))
             stats.candidates_verified += 1
             collector.offer(index, distance)
 

@@ -1,0 +1,45 @@
+"""Pluggable point-array storage: in-RAM (float64/float32) and mmap backends.
+
+See :mod:`repro.storage.base` for the :class:`ArrayStore` protocol and the
+declarative :class:`StorageSpec` every index accepts via its ``storage=``
+knob, :mod:`repro.storage.mmap` for the out-of-core backend, and
+:mod:`repro.storage.chunking` for the cost-balanced chunk helpers the
+memory-bounded build path uses.
+"""
+
+from repro.storage.base import (
+    ArrayStore,
+    BACKENDS,
+    DTYPES,
+    RowWriter,
+    StorageSpec,
+    combined_storage_header,
+)
+from repro.storage.chunking import balanced_chunks, rows_in_budget
+from repro.storage.mmap import (
+    SIDECAR_DIRECTORY,
+    SIDECAR_SUFFIX,
+    MmapStore,
+    sidecar_path,
+)
+from repro.storage.npyio import ArrayRowSource, NpyRowReader, as_row_source
+from repro.storage.ram import RamStore
+
+__all__ = [
+    "ArrayRowSource",
+    "ArrayStore",
+    "BACKENDS",
+    "DTYPES",
+    "MmapStore",
+    "NpyRowReader",
+    "RamStore",
+    "RowWriter",
+    "SIDECAR_DIRECTORY",
+    "SIDECAR_SUFFIX",
+    "StorageSpec",
+    "as_row_source",
+    "balanced_chunks",
+    "combined_storage_header",
+    "rows_in_budget",
+    "sidecar_path",
+]

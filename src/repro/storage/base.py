@@ -1,0 +1,286 @@
+"""The :class:`ArrayStore` protocol and its declarative :class:`StorageSpec`.
+
+Every index owns exactly one store, holding its large ``O(n * d)`` point
+arrays (the leaf-ordered data copy for the tree families, the raw augmented
+matrix for everything else).  The small per-node geometry (centers, radii,
+KD boxes) stays resident — it is ``O(n / leaf_size * d)`` and the traversal
+loop touches it on every expansion.
+
+Three backends implement the protocol:
+
+* ``ram`` / ``float64`` (:class:`~repro.storage.ram.RamStore`) — the
+  default; storing a float64 array is an identity operation, so results,
+  work counters, and even array bytes match the pre-storage-layer library
+  exactly.
+* ``ram`` / ``float32`` — halves the resident point bytes; the exact
+  traversal stays exact *over the stored values* but distances are computed
+  from reduced-precision coordinates.
+* ``mmap`` (:class:`~repro.storage.mmap.MmapStore`) — arrays live in
+  ``.npy`` files and are memory-mapped read-only, so the OS page cache
+  (not the process heap) holds the working set, indexes larger than RAM
+  can be served, and process workers re-open the map instead of receiving
+  pickled array bytes.
+
+A store is addressed by short names (``"points"``, ``"points_leaf"``,
+``"points_leaf.<f4"`` for the fast mode's derived cast).  ``create`` +
+``finalize`` expose a chunk-writable destination for the out-of-core build
+path (:mod:`repro.core.chunked`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+#: Backends understood by :class:`StorageSpec`.
+BACKENDS = ("ram", "mmap")
+
+#: Point-array dtypes a store may hold.
+DTYPES = ("float64", "float32")
+
+#: String shorthands accepted by :meth:`StorageSpec.coerce`.
+_ALIASES = {
+    "ram": ("ram", "float64"),
+    "float64": ("ram", "float64"),
+    "float32": ("ram", "float32"),
+    "ram32": ("ram", "float32"),
+    "mmap": ("mmap", "float64"),
+    "mmap32": ("mmap", "float32"),
+}
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Declarative description of an index's point-array storage.
+
+    Parameters
+    ----------
+    backend:
+        ``"ram"`` (resident ndarrays, the default) or ``"mmap"``
+        (memory-mapped ``.npy`` files).
+    dtype:
+        ``"float64"`` (default; byte-for-byte the library's historical
+        behavior) or ``"float32"``.
+    directory:
+        For the mmap backend only: the directory holding the ``.npy``
+        files.  ``None`` (default) uses a fresh temporary directory, which
+        is re-homed next to the payload file on ``save``.
+    """
+
+    backend: str = "ram"
+    dtype: str = "float64"
+    directory: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"storage backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.dtype not in DTYPES:
+            raise ValueError(
+                f"storage dtype must be one of {DTYPES}, got {self.dtype!r}"
+            )
+        if self.directory is not None and self.backend != "mmap":
+            raise ValueError(
+                "storage directory applies to the 'mmap' backend only"
+            )
+
+    @classmethod
+    def coerce(cls, value) -> "StorageSpec":
+        """Coerce a user-facing storage knob to a validated spec.
+
+        Accepts ``None`` (the default spec), an existing spec, a string
+        shorthand (``"ram"``, ``"float32"``, ``"mmap"``, ``"mmap32"``), or
+        a dict of constructor fields — the shapes that survive a round
+        trip through JSON-able :class:`~repro.api.IndexSpec` params.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                backend, dtype = _ALIASES[value]
+            except KeyError:
+                raise ValueError(
+                    f"unknown storage shorthand {value!r}; expected one of "
+                    f"{sorted(_ALIASES)} or a {{'backend', 'dtype'}} dict"
+                ) from None
+            return cls(backend=backend, dtype=dtype)
+        if isinstance(value, dict):
+            unknown = set(value) - {"backend", "dtype", "directory"}
+            if unknown:
+                raise ValueError(
+                    f"unknown storage keys {sorted(unknown)}; expected "
+                    "'backend', 'dtype', 'directory'"
+                )
+            return cls(**value)
+        raise TypeError(
+            f"storage must be None, a StorageSpec, a string, or a dict, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_header(self) -> Dict[str, str]:
+        """The JSON-able ``{"backend", "dtype"}`` dict persisted in payload
+        headers (the ``directory`` is a runtime location, not identity)."""
+        return {"backend": self.backend, "dtype": self.dtype}
+
+    def create_store(self) -> "ArrayStore":
+        """Instantiate an empty store implementing this spec."""
+        if self.backend == "mmap":
+            from repro.storage.mmap import MmapStore
+
+            return MmapStore(dtype=self.dtype, directory=self.directory)
+        from repro.storage.ram import RamStore
+
+        return RamStore(dtype=self.dtype)
+
+
+def combined_storage_header(stores) -> Optional[Dict[str, str]]:
+    """One ``{"backend", "dtype"}`` header describing several stores.
+
+    Composite indexes (dynamic, partitioned) hold one store per sub-index;
+    when all agree the shared header is reported, otherwise (mixed
+    backends, or no fitted sub-index yet) the header is ``None``.
+    """
+    headers = [store.to_header() for store in stores]
+    if headers and all(header == headers[0] for header in headers[1:]):
+        return headers[0]
+    return None
+
+
+class RowWriter:
+    """Chunk-at-a-time writer for a store entry built out of order.
+
+    The chunked build path (:mod:`repro.core.chunked`) finalizes leaf
+    blocks as subtrees complete — in tree order, not row order — so the
+    destination must accept ``write(lo, rows)`` at arbitrary offsets and
+    ``read(lo, hi)`` back for post-passes (the BC-Tree leaf re-sort),
+    all without holding more than one chunk resident.  :meth:`close`
+    seals the entry via the store's :meth:`ArrayStore.finalize`.
+
+    This base implementation wraps the array handed out by
+    :meth:`ArrayStore.create`; the mmap backend substitutes a plain
+    file-I/O writer so spilled pages never enter the build process's
+    resident set.
+    """
+
+    def __init__(self, store: "ArrayStore", name: str, array: np.ndarray) -> None:
+        self._store = store
+        self._name = name
+        self._array = array
+
+    def write(self, lo: int, rows: np.ndarray) -> None:
+        lo = int(lo)
+        self._array[lo: lo + rows.shape[0]] = rows
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        return np.asarray(self._array[int(lo): int(hi)])
+
+    def close(self) -> np.ndarray:
+        return self._store.finalize(self._name)
+
+
+class ArrayStore:
+    """Abstract named-array store backing an index's point matrices.
+
+    Float arrays pass through :meth:`put` cast to the store dtype
+    (an identity for matching input, keeping the default backend
+    byte-for-byte); integer arrays are stored as given.  ``get`` returns
+    an ndarray-compatible object (a plain array or a read-only memmap)
+    suitable for BLAS slicing.
+    """
+
+    #: Set by subclasses; mirrored into payload headers.
+    backend: str = ""
+
+    def __init__(self, dtype: str = "float64") -> None:
+        if dtype not in DTYPES:
+            raise ValueError(
+                f"storage dtype must be one of {DTYPES}, got {dtype!r}"
+            )
+        self.dtype = dtype
+
+    # ------------------------------------------------------------- protocol
+
+    def put(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Store ``array`` under ``name``; return the stored array."""
+        raise NotImplementedError
+
+    def get(self, name: str) -> np.ndarray:
+        """The array stored under ``name`` (KeyError if absent)."""
+        raise NotImplementedError
+
+    def __contains__(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def names(self) -> Tuple[str, ...]:
+        """The stored array names, in insertion order."""
+        raise NotImplementedError
+
+    def create(
+        self, name: str, shape: Tuple[int, ...], dtype=None
+    ) -> np.ndarray:
+        """Allocate a writable destination array (for chunked spills).
+
+        The returned array is writable until :meth:`finalize` seals it;
+        mmap stores hand out a ``w+`` memmap so chunk writes go straight
+        to disk.
+        """
+        raise NotImplementedError
+
+    def finalize(self, name: str) -> np.ndarray:
+        """Seal a :meth:`create` destination; return the readable array."""
+        raise NotImplementedError
+
+    def writer(self, name: str, shape: Tuple[int, ...]) -> RowWriter:
+        """A :class:`RowWriter` spilling into a new entry named ``name``.
+
+        The out-of-core build path writes leaf blocks through this as
+        they finalize; backends may override to keep the spill out of the
+        process's resident set (the mmap store writes the ``.npy`` file
+        with plain file I/O instead of through a mapping).
+        """
+        return RowWriter(self, name, self.create(name, shape))
+
+    # --------------------------------------------------------------- shared
+
+    @property
+    def spec(self) -> StorageSpec:
+        return StorageSpec(backend=self.backend, dtype=self.dtype)
+
+    def to_header(self) -> Dict[str, str]:
+        return self.spec.to_header()
+
+    def derive(self, name: str, dtype) -> np.ndarray:
+        """A cached cast of ``name`` to ``dtype`` (the fast mode's copies).
+
+        Stored under ``"<name>.<dtype.str>"`` so mmap backends keep the
+        reduced-precision copy on disk rather than in the process heap.
+        """
+        dtype = np.dtype(dtype)
+        source = self.get(name)
+        if dtype == source.dtype:
+            return source
+        derived_name = f"{name}.{dtype.str}"
+        if derived_name in self:
+            return self.get(derived_name)
+        return self._put_cast(derived_name, source, dtype)
+
+    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+        """Store a cast copy of ``source`` under ``name`` (backend hook)."""
+        raise NotImplementedError
+
+    def _coerce(self, array: np.ndarray) -> np.ndarray:
+        """Cast float input to the store dtype; identity when it matches."""
+        array = np.asarray(array)
+        if array.dtype.kind == "f" and array.dtype != np.dtype(self.dtype):
+            return np.ascontiguousarray(array, dtype=self.dtype)
+        return np.ascontiguousarray(array)
+
+    def copy_from(self, other: "ArrayStore", names: Iterable[str]) -> None:
+        """Copy the given arrays out of ``other`` (storage migration)."""
+        for name in names:
+            self.put(name, np.asarray(other.get(name)))

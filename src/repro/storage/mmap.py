@@ -1,0 +1,257 @@
+"""Memory-mapped :class:`ArrayStore` backend.
+
+Arrays live as standard ``.npy`` files in a directory and are opened with
+``mmap_mode="r"`` — the OS page cache, not the process heap, holds whatever
+slice of the data the queries touch, so a multi-GB index can be served
+from a small resident set and dropped pages cost a re-read, not a rebuild.
+
+Lifecycle:
+
+* A fresh store writes into a private temporary directory (removed when
+  the store is garbage collected, unless it has been persisted).
+* ``persist(sidecar_dir, name)`` re-homes the files into the
+  ``<payload>.arrays/<name>/`` sidecar next to a saved index, making the
+  payload + sidecar pair the durable artifact.
+* Pickling carries only the directory path and file names — **not** the
+  array bytes.  This is what lets :class:`repro.api.Searcher` process
+  workers re-open the map per worker instead of receiving a pickled copy
+  of the data, and lets ``load_index`` serve straight from the sidecar.
+  Unpickling inside :func:`repro.utils.persistence.load_index_payload`
+  resolves the sidecar relative to the payload being read (via
+  :data:`SIDECAR_DIRECTORY`), so a payload directory can be moved or
+  renamed wholesale.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import tempfile
+import weakref
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.storage.base import ArrayStore, RowWriter
+
+#: Set by ``load_index_payload`` to ``<payload>.arrays`` while unpickling,
+#: so persisted stores rebind to the sidecar actually being read instead
+#: of the absolute path recorded at save time.
+SIDECAR_DIRECTORY: ContextVar[Optional[str]] = ContextVar(
+    "repro_sidecar_directory", default=None
+)
+
+#: Suffix of the sidecar directory written next to a payload file.
+SIDECAR_SUFFIX = ".arrays"
+
+
+def sidecar_path(payload_path) -> Path:
+    """The sidecar directory belonging to a payload file."""
+    payload_path = Path(payload_path)
+    return payload_path.with_name(payload_path.name + SIDECAR_SUFFIX)
+
+
+def _filename(name: str) -> str:
+    """A filesystem-safe ``.npy`` file name for a store array name."""
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name) + ".npy"
+
+
+class _FileRowWriter(RowWriter):
+    """Spill rows to a ``.npy`` file with plain ``seek``/``write`` calls.
+
+    Writing through a ``w+`` memmap would leave every touched page in the
+    build process's resident set until the kernel reclaims it — exactly
+    the footprint the chunked build exists to avoid.  Ordinary file I/O
+    lands the bytes in the (process-unaccounted) kernel page cache
+    instead, so spilling an ``(n, d)`` matrix costs one chunk of RSS.
+    """
+
+    def __init__(self, store: "MmapStore", name: str, path, shape, dtype) -> None:
+        # open_memmap writes the header and sizes the file; drop the
+        # mapping immediately (only the header page was ever touched).
+        seed = np.lib.format.open_memmap(
+            path, mode="w+", dtype=dtype, shape=tuple(shape)
+        )
+        offset = int(seed.offset)
+        del seed
+        self._store = store
+        self._name = name
+        self._dtype = np.dtype(dtype)
+        self._columns = int(shape[1]) if len(shape) > 1 else 1
+        self._offset = offset
+        self._row_nbytes = self._dtype.itemsize * self._columns
+        self._handle = open(path, "r+b")
+
+    def write(self, lo: int, rows: np.ndarray) -> None:
+        rows = np.ascontiguousarray(rows, dtype=self._dtype)
+        self._handle.seek(self._offset + int(lo) * self._row_nbytes)
+        self._handle.write(rows.tobytes())
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        lo, hi = int(lo), int(hi)
+        self._handle.flush()
+        self._handle.seek(self._offset + lo * self._row_nbytes)
+        data = self._handle.read((hi - lo) * self._row_nbytes)
+        block = np.frombuffer(data, dtype=self._dtype)
+        return block.reshape(hi - lo, self._columns).copy()
+
+    def close(self) -> np.ndarray:
+        self._handle.close()
+        return self._store._open_map(self._name)
+
+
+class MmapStore(ArrayStore):
+    """Named arrays as memory-mapped ``.npy`` files."""
+
+    backend = "mmap"
+
+    def __init__(
+        self, dtype: str = "float64", directory: Optional[str] = None
+    ) -> None:
+        super().__init__(dtype)
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-mmap-")
+            # Private scratch directory: reclaim it with the store unless
+            # persist() re-homed the files into a durable sidecar.
+            self._cleanup = weakref.finalize(
+                self, shutil.rmtree, directory, ignore_errors=True
+            )
+        else:
+            Path(directory).mkdir(parents=True, exist_ok=True)
+            self._cleanup = None
+        self._directory = str(directory)
+        self._names: Dict[str, str] = {}  # name -> .npy file name
+        self._open: Dict[str, np.ndarray] = {}
+        #: Sidecar sub-directory name once persisted (see __setstate__).
+        self._sidecar_name: Optional[str] = None
+
+    # ------------------------------------------------------------- protocol
+
+    def put(self, name: str, array: np.ndarray) -> np.ndarray:
+        stored = self._coerce(array)
+        path = self._path_for(name, register=True)
+        np.save(path, stored)
+        return self._open_map(name)
+
+    def get(self, name: str) -> np.ndarray:
+        cached = self._open.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._names:
+            raise KeyError(name)
+        return self._open_map(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def create(self, name: str, shape, dtype=None) -> np.ndarray:
+        path = self._path_for(name, register=True)
+        writable = np.lib.format.open_memmap(
+            path,
+            mode="w+",
+            dtype=np.dtype(self.dtype if dtype is None else dtype),
+            shape=tuple(shape),
+        )
+        self._open[name] = writable
+        return writable
+
+    def finalize(self, name: str) -> np.ndarray:
+        writable = self._open.pop(name, None)
+        if writable is not None and isinstance(writable, np.memmap):
+            writable.flush()
+        return self._open_map(name)
+
+    def writer(self, name: str, shape) -> _FileRowWriter:
+        path = self._path_for(name, register=True)
+        return _FileRowWriter(self, name, path, shape, np.dtype(self.dtype))
+
+    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+        # Stream the cast in row blocks so deriving a float32 copy of an
+        # out-of-core matrix never materializes either dtype in full.
+        dtype = np.dtype(dtype)
+        source = source if source.ndim else source.reshape(1)
+        dest = self.create(name, source.shape, dtype=dtype)
+        if source.ndim == 1:
+            dest[...] = source
+        else:
+            step = max(1, (16 << 20) // max(1, source[0].nbytes))
+            for lo in range(0, source.shape[0], step):
+                dest[lo: lo + step] = source[lo: lo + step]
+        return self.finalize(name)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def persist(self, sidecar_dir, name: str) -> None:
+        """Re-home the files into ``<sidecar_dir>/<name>`` (at ``save``).
+
+        The store keeps serving from the new location; the original
+        temporary directory (if any) is released.
+        """
+        target = Path(sidecar_dir) / name
+        target.mkdir(parents=True, exist_ok=True)
+        for file_name in self._names.values():
+            source = Path(self._directory) / file_name
+            destination = target / file_name
+            if source.resolve() == destination.resolve():
+                continue
+            shutil.copy2(source, destination)
+        if self._cleanup is not None:
+            self._cleanup()
+            self._cleanup = None
+        self._directory = str(target)
+        self._sidecar_name = name
+        self._open.clear()
+
+    # -------------------------------------------------------------- pickling
+
+    def __getstate__(self):
+        # Paths and names only — never array bytes.  Process-pool workers
+        # and load_index re-open the maps on first access.
+        return {
+            "dtype": self.dtype,
+            "directory": self._directory,
+            "names": dict(self._names),
+            "sidecar_name": self._sidecar_name,
+        }
+
+    def __setstate__(self, state):
+        self.dtype = state["dtype"]
+        self._names = dict(state["names"])
+        self._open = {}
+        self._cleanup = None
+        self._sidecar_name = state.get("sidecar_name")
+        directory = state["directory"]
+        sidecar_root = SIDECAR_DIRECTORY.get()
+        if sidecar_root is not None and self._sidecar_name is not None:
+            # Loading from a payload file: serve from *its* sidecar, so a
+            # moved/renamed payload+sidecar pair keeps working.
+            directory = str(Path(sidecar_root) / self._sidecar_name)
+        self._directory = directory
+
+    # ------------------------------------------------------------- internals
+
+    def _path_for(self, name: str, *, register: bool = False) -> Path:
+        file_name = self._names.get(name)
+        if file_name is None:
+            if not register:
+                raise KeyError(name)
+            file_name = _filename(name)
+            collisions = set(self._names.values())
+            if file_name in collisions:
+                stem, dot, ext = file_name.partition(".npy")
+                counter = 1
+                while f"{stem}-{counter}.npy" in collisions:
+                    counter += 1
+                file_name = f"{stem}-{counter}.npy"
+            self._names[name] = file_name
+        return Path(self._directory) / file_name
+
+    def _open_map(self, name: str) -> np.ndarray:
+        array = np.load(self._path_for(name), mmap_mode="r")
+        self._open[name] = array
+        return array

@@ -1,0 +1,57 @@
+"""In-RAM :class:`ArrayStore` backend (the default).
+
+Storing a contiguous float64 array under the default spec is an identity
+operation — the store keeps a reference to the caller's array, so the
+default backend is byte-for-byte (and object-identical) with the
+pre-storage-layer library.  A ``float32`` store casts on :meth:`put`,
+halving the resident point bytes.
+
+Pickling a :class:`RamStore` pickles the arrays inline, which keeps the
+single-file ``save``/``load`` payload self-contained (pickle's memo
+deduplicates arrays also referenced directly by the index object).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.storage.base import ArrayStore
+
+
+class RamStore(ArrayStore):
+    """Named resident ndarrays; the library's historical storage."""
+
+    backend = "ram"
+
+    def __init__(self, dtype: str = "float64") -> None:
+        super().__init__(dtype)
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def put(self, name: str, array: np.ndarray) -> np.ndarray:
+        stored = self._coerce(array)
+        self._arrays[name] = stored
+        return stored
+
+    def get(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._arrays)
+
+    def create(self, name: str, shape, dtype=None) -> np.ndarray:
+        array = np.empty(shape, dtype=self.dtype if dtype is None else dtype)
+        self._arrays[name] = array
+        return array
+
+    def finalize(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+        cast = np.ascontiguousarray(source, dtype=dtype)
+        self._arrays[name] = cast
+        return cast

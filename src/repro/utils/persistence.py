@@ -9,9 +9,17 @@ as **two pickle frames** in one file:
 
        {"format": "repro-index", "format_version": 1,
         "spec": {"kind": "bc_tree", "params": {...}} | None,
-        "storage_dtype": "float64" | None}
+        "storage_dtype": "float64" | None,
+        "storage": {"backend": "ram" | "mmap", "dtype": ...} | None}
 
 2. the index object itself.
+
+Indexes whose point arrays live in an mmap store additionally write the
+``.npy`` files into a ``<path>.arrays/`` *sidecar* directory next to the
+payload; the pickle frame then carries only file names, and ``load_index``
+re-opens the arrays memory-mapped instead of unpickling them into RAM.
+The payload file plus its sidecar directory are one artifact — move or
+copy them together.
 
 The envelope buys three things:
 
@@ -26,15 +34,18 @@ The envelope buys three things:
   unpickling the index frame — inspecting how a multi-GB index was
   configured costs a few hundred bytes, not the index.
 
-This module is deliberately a leaf (stdlib-only) so both the core layer and
-the public API layer can share the format without an import cycle.
+This module is deliberately a leaf (stdlib-only apart from the
+numpy-backed :mod:`repro.storage` sidecar hooks, imported lazily) so both
+the core layer and the public API layer can share the format without an
+import cycle.
 """
 
 from __future__ import annotations
 
 import pickle
+import shutil
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 FORMAT_NAME = "repro-index"
 FORMAT_VERSION = 1
@@ -46,27 +57,55 @@ def dump_index_payload(
     *,
     spec: Optional[Dict] = None,
     storage_dtype: Optional[str] = None,
+    storage: Optional[Dict] = None,
+    stores: Sequence[Any] = (),
 ) -> None:
     """Write ``index`` (plus its optional spec dict) as a versioned payload.
 
-    ``storage_dtype`` records the dtype the index's point/geometry arrays
-    are stored in (``"float64"`` for every current index; the fast mode's
-    reduced-precision arrays are derived runtime caches and are never
-    persisted).  The key is additive — payloads written without it (older
-    files) read back with ``storage_dtype=None`` — so the format version
-    stays at 1.
+    ``storage_dtype`` records the dtype the index's point arrays are
+    stored in; ``storage`` records the full ``{"backend", "dtype"}``
+    header of the index's :class:`~repro.storage.StorageSpec` (the fast
+    mode's reduced-precision arrays are derived runtime caches and are
+    never part of the contract).  Both keys are additive — payloads
+    written without them (older files) read back with ``None`` — so the
+    format version stays at 1.
+
+    ``stores`` lists every :class:`~repro.storage.base.ArrayStore` backing
+    the index (composites pass one per sub-index).  Mmap stores are
+    persisted into the ``<path>.arrays/`` sidecar *before* the index is
+    pickled, so the pickle frame records the sidecar location.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    mapped = [
+        store for store in stores if getattr(store, "backend", None) == "mmap"
+    ]
+    sidecar = _sidecar_for(path)
+    if sidecar.exists():
+        # Stale sidecar from a previous save at this path: the new payload
+        # fully replaces it (matching plain-file overwrite semantics).
+        shutil.rmtree(sidecar)
+    for number, store in enumerate(mapped):
+        store.persist(sidecar, f"store{number}")
     header = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
         "spec": spec,
         "storage_dtype": storage_dtype,
+        "storage": storage,
     }
     with path.open("wb") as handle:
         pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
         pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _sidecar_for(path: Path) -> Path:
+    """``<path>.arrays`` — the mmap sidecar directory for a payload file.
+
+    Kept in sync with :func:`repro.storage.mmap.sidecar_path` (duplicated
+    so reading a ram-backed payload never imports numpy-dependent code).
+    """
+    return path.with_name(path.name + ".arrays")
 
 
 def _check_header(path, header: Dict[str, Any]) -> None:
@@ -83,10 +122,16 @@ def load_index_payload(path) -> Dict[str, Any]:
     """Read a payload written by :func:`dump_index_payload`.
 
     Returns ``{"index": obj, "spec": dict | None,
-    "storage_dtype": str | None}``.  Legacy files holding a raw index
-    pickle (written before the envelope existed) are accepted and wrapped
-    with ``spec=None``; payloads from before the ``storage_dtype`` header
-    key read back with ``storage_dtype=None``.
+    "storage_dtype": str | None, "storage": dict | None}``.  Legacy files
+    holding a raw index pickle (written before the envelope existed) are
+    accepted and wrapped with ``spec=None``; payloads from before the
+    ``storage_dtype`` / ``storage`` header keys read back with those
+    values as ``None``.
+
+    Payloads with an ``.arrays`` sidecar (mmap-backed indexes) unpickle
+    with the sidecar bound as the store directory, so the arrays are
+    served memory-mapped from the files next to the payload actually
+    being read — the pair can be moved or renamed wholesale.
 
     Raises
     ------
@@ -95,12 +140,13 @@ def load_index_payload(path) -> Dict[str, Any]:
         ``format_version`` than this build understands, or the payload is
         truncated (header frame without an index frame).
     """
-    with Path(path).open("rb") as handle:
+    path = Path(path)
+    with path.open("rb") as handle:
         obj = pickle.load(handle)
         if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
             _check_header(path, obj)
             try:
-                index = pickle.load(handle)
+                index = _load_index_frame(path, handle)
             except EOFError:
                 raise ValueError(
                     f"{path} is a {FORMAT_NAME} payload with no index"
@@ -109,9 +155,24 @@ def load_index_payload(path) -> Dict[str, Any]:
                 "index": index,
                 "spec": obj.get("spec"),
                 "storage_dtype": obj.get("storage_dtype"),
+                "storage": obj.get("storage"),
             }
     # Legacy raw pickle (pre-envelope): the object *is* the index.
-    return {"index": obj, "spec": None, "storage_dtype": None}
+    return {"index": obj, "spec": None, "storage_dtype": None, "storage": None}
+
+
+def _load_index_frame(path: Path, handle):
+    """Unpickle the index frame, binding any mmap stores to the sidecar."""
+    sidecar = _sidecar_for(path)
+    if not sidecar.is_dir():
+        return pickle.load(handle)
+    from repro.storage.mmap import SIDECAR_DIRECTORY
+
+    token = SIDECAR_DIRECTORY.set(str(sidecar))
+    try:
+        return pickle.load(handle)
+    finally:
+        SIDECAR_DIRECTORY.reset(token)
 
 
 def read_index_spec(path) -> Optional[Dict[str, Any]]:
@@ -143,6 +204,37 @@ def read_storage_dtype(path) -> Optional[str]:
     if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
         _check_header(path, obj)
         return obj.get("storage_dtype")
+    return None
+
+
+def read_storage_header(path) -> Optional[Dict[str, Any]]:
+    """The ``storage`` header key, without unpickling the index.
+
+    ``{"backend": ..., "dtype": ...}`` for payloads written by the
+    storage-layer library; None for older payloads and legacy raw
+    pickles; raises the same version-mismatch :class:`ValueError` as
+    :func:`load_index_payload`.
+    """
+    with Path(path).open("rb") as handle:
+        obj = pickle.load(handle)
+    if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
+        _check_header(path, obj)
+        return obj.get("storage")
+    return None
+
+
+def read_index_header(path) -> Optional[Dict[str, Any]]:
+    """The full header dict of a payload, without unpickling the index.
+
+    None for legacy raw pickles (which have no header frame); raises the
+    version-mismatch :class:`ValueError` for incompatible payloads.
+    Backs :func:`repro.api.describe_index`.
+    """
+    with Path(path).open("rb") as handle:
+        obj = pickle.load(handle)
+    if isinstance(obj, dict) and obj.get("format") == FORMAT_NAME:
+        _check_header(path, obj)
+        return dict(obj)
     return None
 
 

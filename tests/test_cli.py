@@ -141,3 +141,62 @@ class TestRunCommand:
         assert len(records) == 4  # one row per BC-Tree variant
         assert csv_path.exists()
         assert "Figure 8" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_describes_saved_index(self, tmp_path, capsys):
+        from repro import BCTree
+
+        rng = np.random.default_rng(0)
+        index = BCTree(leaf_size=32, random_state=0, storage="mmap").fit(
+            rng.normal(size=(200, 8))
+        )
+        path = tmp_path / "idx.bin"
+        index.save(path)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Saved index" in out
+        assert "mmap" in out
+        assert "float64" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "absent.bin")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_storage_flag_round_trips_through_search(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--k",
+                "5",
+                "--storage",
+                "mmap",
+            ]
+        )
+        assert code == 0
+        assert "bc-tree" in capsys.readouterr().out
+
+    def test_storage_flag_refused_for_non_tree_methods(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--method",
+                "linear",
+                "--storage",
+                "mmap",
+            ]
+        )
+        assert code == 2
+        assert "--storage applies to the tree" in capsys.readouterr().err
