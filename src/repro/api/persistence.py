@@ -15,7 +15,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.api.specs import IndexSpec
-from repro.storage import sidecar_path
+from repro.storage import sidecar_path, verify_sidecar
 from repro.utils.persistence import (
     dump_index_payload,
     load_index_payload,
@@ -126,7 +126,11 @@ def describe_index(path) -> IndexDescription:
     Raises
     ------
     ValueError
-        If the payload was written with an incompatible format version.
+        If the payload was written with an incompatible format version,
+        or its ``.arrays`` mmap sidecar is missing or holds truncated
+        arrays (the error names the offending sidecar path — a payload
+        copied without its sidecar is not a servable artifact, and
+        describing it as one would hide that).
     FileNotFoundError
         If ``path`` does not exist.
     """
@@ -134,6 +138,12 @@ def describe_index(path) -> IndexDescription:
     header = read_index_header(path)
     header = {} if header is None else header
     spec = header.get("spec")
+    storage = header.get("storage") or {}
+    # A header that says mmap promises a sidecar; verify it now so a
+    # half-copied artifact fails here, naming the sidecar, instead of as
+    # a raw numpy error inside the first search.  Non-mmap payloads skip
+    # the existence requirement but still reject truncated leftovers.
+    verify_sidecar(path, required=storage.get("backend") == "mmap")
     sidecar = sidecar_path(path)
     sidecar_bytes = 0
     if sidecar.is_dir():

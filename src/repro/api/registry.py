@@ -130,7 +130,11 @@ def index_family(kind: str) -> IndexFamily:
 
 
 def build_index(
-    spec: Union[str, IndexSpec, Mapping[str, Any]], /, **params
+    spec: Union[str, IndexSpec, Mapping[str, Any]],
+    /,
+    *,
+    memory_budget_mb: Optional[float] = None,
+    **params,
 ) -> Any:
     """Construct an unfitted index from a kind string, spec, or spec dict.
 
@@ -139,9 +143,15 @@ def build_index(
     equivalent; keyword ``params`` are only accepted with the string form
     (a spec already carries its parameters).  The built index is stamped
     with its spec dictionary for the persistence envelope.
+
+    ``memory_budget_mb`` (accepted with every form, overriding the spec's
+    own field when both are given) routes the index's ``fit`` through the
+    memory-bounded chunked build — tree families only; a budget on a
+    family without ``fit_chunked`` raises a :class:`ValueError` instead of
+    being silently dropped.
     """
     if isinstance(spec, str):
-        spec = IndexSpec(spec, params)
+        spec = IndexSpec(spec, params, memory_budget_mb=memory_budget_mb)
     else:
         if params:
             raise ValueError(
@@ -149,6 +159,10 @@ def build_index(
                 "an IndexSpec/dict already carries its parameters"
             )
         spec = IndexSpec.from_dict(spec)
+        if memory_budget_mb is not None:
+            spec = IndexSpec(
+                spec.kind, spec.params, memory_budget_mb=memory_budget_mb
+            )
     family = index_family(spec.kind)
     kwargs = dict(spec.params)
     nested = kwargs.get(NESTED_SPEC_KEY)
@@ -165,6 +179,17 @@ def build_index(
         # Re-raise with the registry context: a typo'd param name should
         # name the family, not an anonymous lambda/partial frame.
         raise TypeError(f"building index kind {spec.kind!r}: {exc}") from exc
+    if spec.memory_budget_mb is not None:
+        if not callable(getattr(index, "fit_chunked", None)):
+            raise ValueError(
+                f"index kind {spec.kind!r} does not support memory-budgeted "
+                "builds (no fit_chunked); memory_budget_mb applies to the "
+                "tree families only"
+            )
+        # fit() consults this attribute and delegates to fit_chunked, so
+        # spec-driven callers (CLI, Searcher factories, composites) get
+        # the out-of-core build without a second fit entry point.
+        index.memory_budget_mb = spec.memory_budget_mb
     # Stamped as a plain dict (not an IndexSpec) so pickled indexes never
     # drag the api layer into their payload.
     try:

@@ -130,10 +130,25 @@ class Searcher:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # The context manager tolerates an explicit close() inside the
+        # block; only a second *explicit* close() is a caller bug.
+        if not self._closed:
+            self.close()
 
     def close(self) -> None:
-        """Shut the session pool down (idempotent)."""
+        """Shut the session pool down.
+
+        Closing is final: a second explicit ``close()`` raises a
+        descriptive :class:`RuntimeError` (a double-close almost always
+        means two owners believe they hold the session), as does any
+        subsequent ``search``/``batch_search``/``stream`` call.  Exiting
+        the ``with`` block after an explicit close is still fine.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this Searcher session is already closed; close() is final "
+                "— open a new Searcher to keep searching"
+            )
         pool, self._pool = self._pool, None
         self._closed = True
         if pool is not None:
@@ -163,7 +178,11 @@ class Searcher:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("this Searcher session has been closed")
+            raise RuntimeError(
+                "this Searcher session has been closed; its worker pool is "
+                "gone — open a new Searcher (or use index.search directly) "
+                "to keep searching"
+            )
 
     def _ensure_pool(self):
         """The session pool, created lazily on the first parallel call.
@@ -297,10 +316,18 @@ class Searcher:
         Lazily yields one :class:`BatchSearchResult` per chunk, reusing
         the session pool throughout — the serving-loop shape (bounded
         memory, streaming producers) the per-call API could not express
-        without paying pool setup per chunk.
+        without paying pool setup per chunk.  The closed-session check
+        runs eagerly at the call (not at the first ``next()``), so a
+        closed session fails where the mistake was made; each chunk is
+        re-checked as it executes.
         """
-        for chunk in query_chunks:
-            yield self.batch_search(chunk, k=k, **overrides)
+        self._check_open()
+
+        def _generate():
+            for chunk in query_chunks:
+                yield self.batch_search(chunk, k=k, **overrides)
+
+        return _generate()
 
     def search(self, query: np.ndarray, *, k: Optional[int] = None, **overrides):
         """Single-query convenience: ``index.search`` with session defaults."""

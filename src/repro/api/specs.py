@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -67,6 +67,14 @@ class IndexSpec:
         families the ``index`` param may be a nested :class:`IndexSpec`
         (or its dictionary form), describing the sub-index each
         shard/rebuild constructs.
+    memory_budget_mb:
+        Optional build-time memory budget in MiB.  Indexes built from a
+        budgeted spec route ``fit`` through the memory-bounded chunked
+        build (:meth:`~repro.core.index_base.LeafStoredPointsMixin.fit_chunked`)
+        instead of the resident one — tree families only; building a
+        budgeted spec of any other family raises.  It is a *build* knob,
+        not a constructor parameter, so it lives next to ``params``
+        rather than inside them.
 
     Examples
     --------
@@ -79,9 +87,24 @@ class IndexSpec:
 
     kind: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    memory_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kind", normalize_kind(self.kind))
+        if self.memory_budget_mb is not None:
+            budget = self.memory_budget_mb
+            if isinstance(budget, np.generic):
+                budget = budget.item()
+            if (
+                isinstance(budget, bool)
+                or not isinstance(budget, (int, float))
+                or budget <= 0
+            ):
+                raise ValueError(
+                    f"memory_budget_mb must be a positive number, "
+                    f"got {self.memory_budget_mb!r}"
+                )
+            object.__setattr__(self, "memory_budget_mb", float(budget))
         params = dict(self.params or {})
         for name in params:
             if not isinstance(name, str):
@@ -111,18 +134,27 @@ class IndexSpec:
         # Derived from the same values __eq__ compares (dict equality, so
         # 64 and 64.0 stay interchangeable); unhashable param values raise
         # the standard TypeError, exactly like a tuple containing them.
-        return hash((self.kind, _freeze(dict(self.params))))
+        return hash(
+            (self.kind, _freeze(dict(self.params)), self.memory_budget_mb)
+        )
 
     # ----------------------------------------------------------- round trips
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dictionary form (nested specs become nested dicts)."""
+        """Plain-dictionary form (nested specs become nested dicts).
+
+        ``memory_budget_mb`` is included only when set, so pre-budget
+        round trips (and files written by older versions) are unchanged.
+        """
         params: Dict[str, Any] = {}
         for name, value in self.params.items():
             params[name] = (
                 value.to_dict() if isinstance(value, IndexSpec) else value
             )
-        return {"kind": self.kind, "params": params}
+        out: Dict[str, Any] = {"kind": self.kind, "params": params}
+        if self.memory_budget_mb is not None:
+            out["memory_budget_mb"] = self.memory_budget_mb
+        return out
 
     @classmethod
     def from_dict(cls, data: Union[Mapping[str, Any], "IndexSpec"]) -> "IndexSpec":
@@ -142,6 +174,7 @@ class IndexSpec:
             raise ValueError("an index spec requires a 'kind' key")
         data = dict(data)
         kind = data.pop("kind")
+        memory_budget_mb = data.pop("memory_budget_mb", None)
         params = data.pop("params", None)
         if params is None:
             params = data
@@ -150,7 +183,7 @@ class IndexSpec:
                 "pass parameters either under 'params' or inline, not both: "
                 + ", ".join(sorted(data))
             )
-        return cls(kind, params)
+        return cls(kind, params, memory_budget_mb=memory_budget_mb)
 
     def to_json(self, **dumps_kwargs) -> str:
         """Serialize to a JSON string."""

@@ -72,6 +72,11 @@ def method_spec(args) -> IndexSpec:
         "ball_tree", "bc_tree", "rp_tree", "kd_tree",
     ):
         params["storage"] = storage
+    budget = getattr(args, "memory_budget_mb", None)
+    if budget is not None and kind in (
+        "ball_tree", "bc_tree", "rp_tree", "kd_tree",
+    ):
+        return IndexSpec(kind, params, memory_budget_mb=budget)
     return IndexSpec(kind, params)
 
 
@@ -153,6 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     search_parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help=(
+            "build the index with the memory-bounded chunked path "
+            "(out-of-core fit_chunked) under this row-memory budget in MiB; "
+            "tree indexes only"
+        ),
+    )
+    search_parser.add_argument(
         "--n-jobs",
         type=int,
         default=None,
@@ -193,6 +208,62 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--json", default=None, help="write records to a JSON file")
     run_parser.add_argument("--csv", default=None, help="write records to a CSV file")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve a saved index over HTTP with query coalescing "
+            "(POST /search, GET /healthz, GET /stats)"
+        ),
+    )
+    serve_parser.add_argument("path", help="path to a saved index payload")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 asks the OS for an ephemeral port (default: 8080)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most queries per coalesced flush; 1 disables coalescing (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="most milliseconds a query waits for flush companions (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="most queries queued before arrivals get HTTP 429 (default: 1024)",
+    )
+    serve_parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=10_000.0,
+        help="per-request deadline before HTTP 504 (default: 10000)",
+    )
+    serve_parser.add_argument(
+        "--k", type=int, default=10,
+        help="default top-k when a request names none (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="worker-pool size of the serving session (default: inline)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker-pool flavor of the serving session (default: thread)",
+    )
 
     return parser
 
@@ -247,6 +318,16 @@ def _cmd_search(args) -> int:
         print(
             f"invalid search options: --candidate-fraction/--max-candidates "
             f"apply to the tree indexes only, not {args.method!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.memory_budget_mb is not None and spec.kind not in budget_kinds:
+        # Same refusal contract as --storage: only the tree families have
+        # a chunked build, and silently dropping the budget would mislabel
+        # the build path of everything the command prints.
+        print(
+            f"invalid search options: --memory-budget-mb applies to the "
+            f"tree indexes only, not {args.method!r}",
             file=sys.stderr,
         )
         return 2
@@ -364,6 +445,51 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here (not module top) so `repro search`/`repro run` never
+    # pay for the serving stack.
+    from repro.api import Searcher, load_index
+    from repro.serve import ServeConfig, run_server
+
+    try:
+        index = load_index(args.path)
+    except FileNotFoundError:
+        print(f"no such file: {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot load index: {exc}", file=sys.stderr)
+        return 2
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_depth=args.queue_depth,
+            request_timeout_ms=args.timeout_ms,
+        )
+        options = SearchOptions(k=args.k, n_jobs=args.n_jobs, executor=args.executor)
+    except (TypeError, ValueError) as exc:
+        print(f"invalid serve options: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(server) -> None:
+        mode = (
+            f"coalescing (max_batch={config.max_batch}, "
+            f"max_wait_ms={config.max_wait_ms:g})"
+            if config.coalescing else "per-query (coalescing off)"
+        )
+        print(
+            f"serving {type(index).__name__} from {args.path} on "
+            f"http://{config.host}:{server.port} [{mode}] — Ctrl-C to stop",
+            flush=True,
+        )
+
+    with Searcher(index, options) as searcher:
+        run_server(searcher, config, on_start=announce)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -379,6 +505,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

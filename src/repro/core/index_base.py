@@ -407,10 +407,26 @@ class LeafStoredPointsMixin:
     wins.
     """
 
+    #: Build-time memory budget in MiB; set by :func:`repro.api.build_index`
+    #: for specs carrying ``memory_budget_mb``.  ``fit`` honors it by
+    #: delegating to :meth:`fit_chunked`.
+    memory_budget_mb: Optional[float] = None
+
     def _store_points(self, pts: np.ndarray) -> None:
         self._store = self.storage.create_store()
         self._store.put("points_leaf", pts[self.tree.perm])
         self._points = None
+
+    def fit(self, points):
+        """Build the index; a set :attr:`memory_budget_mb` routes the build
+        through the memory-bounded chunked path (same fitted contract —
+        bit-identical to the resident build whenever the budget covers the
+        data)."""
+        if self.memory_budget_mb is not None:
+            return self.fit_chunked(
+                points, memory_budget_mb=self.memory_budget_mb
+            )
+        return super().fit(points)
 
     def fit_chunked(self, points, *, memory_budget_mb: float = 256.0):
         """Build this index under a row-memory budget (out-of-core path).

@@ -1,0 +1,44 @@
+"""Async serving front end: query coalescing over a warm Searcher session.
+
+The engine answers *blocks* of queries far faster than it answers the
+same queries one at a time (block kernels, cross-query GEMM, warm pools)
+— but live traffic arrives one query per request.  This package closes
+the gap with a stdlib-only asyncio HTTP server that owns a single
+:class:`~repro.api.Searcher` session and **coalesces** concurrent
+single-query requests into blocks: a request joins a queue and is
+flushed with its contemporaries (``max_batch`` gathered, or
+``max_wait_ms`` after the oldest arrival), executing through the
+session's ordinary ``batch_search`` — so every coalesced answer is
+bit-identical to the per-query answer, by the engine's own determinism
+contract.
+
+Entry points: :class:`ServeConfig` (the knobs), :class:`SearchServer` /
+:func:`run_server` (the server; also ``repro serve`` on the command
+line), :class:`BackgroundServer` (a server on its own thread, for tests
+and benchmarks), and :class:`ServeClient` (a keep-alive client).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import PendingRequest, QueryCoalescer, options_signature
+from repro.serve.config import ServeConfig
+from repro.serve.http import HttpError
+from repro.serve.server import (
+    BackgroundServer,
+    SearchServer,
+    run_server,
+    serve_forever,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "HttpError",
+    "PendingRequest",
+    "QueryCoalescer",
+    "SearchServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "options_signature",
+    "run_server",
+    "serve_forever",
+]

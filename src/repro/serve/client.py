@@ -1,0 +1,138 @@
+"""A minimal keep-alive client for the serving front end.
+
+Speaks the same :mod:`repro.serve.http` framing as the server over one
+persistent connection — the shape the parity tests and the open-loop
+benchmark need (many requests per connection, no per-request handshake),
+and a reference for talking to the server from anything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+
+class ServeError(Exception):
+    """A non-200 answer from the server, carrying its status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`~repro.serve.SearchServer`.
+
+    Use as an async context manager::
+
+        async with ServeClient("127.0.0.1", port) as client:
+            answer = await client.search(query, k=5)
+
+    A client is bound to the event loop it connected on and, like the
+    server's compute session, is not safe for concurrent use from
+    multiple tasks — open one client per concurrent task (connections
+    are cheap; the server multiplexes them into shared flushes anyway).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - racy close
+                pass
+        self._reader = None
+        self._writer = None
+
+    # ----------------------------------------------------------------- verbs
+
+    async def search(
+        self,
+        query: Sequence[float],
+        *,
+        k: Optional[int] = None,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        """``POST /search`` one query; returns the decoded answer payload.
+
+        ``options`` are per-request search overrides (``max_candidates``,
+        ``exact``, family kwargs, ...), exactly as ``Searcher.search``
+        accepts them.  Raises :class:`ServeError` on any non-200 status
+        (429 on backpressure, 504 on deadline, 400 on a bad request).
+        """
+        body: Dict[str, Any] = {"query": np.asarray(query, dtype=float).tolist()}
+        if k is not None:
+            body["k"] = int(k)
+        if options:
+            body["options"] = options
+        return await self._request("POST", "/search", body)
+
+    async def get(self, path: str) -> Dict[str, Any]:
+        """``GET`` a diagnostic route (``/healthz`` or ``/stats``)."""
+        return await self._request("GET", path, None)
+
+    # -------------------------------------------------------------- plumbing
+
+    async def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        if self._writer is None or self._reader is None:
+            raise RuntimeError("client is not connected; use 'async with' "
+                               "or call connect() first")
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status, answer = await self._read_response()
+        if status != 200:
+            raise ServeError(status, str(answer.get("message", answer)))
+        return answer
+
+    async def _read_response(self):
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection mid-headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(body) if body else {})

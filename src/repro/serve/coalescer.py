@@ -1,0 +1,289 @@
+"""Query coalescing: concurrent single queries become kernel-sized blocks.
+
+The engine work of PRs 1–6 made *blocks* fast — the block traversal
+kernel, cross-query GEMM fast mode, and warm :class:`~repro.api.Searcher`
+pools all amortize per-call overheads across many queries.  Live serving
+traffic arrives one query at a time, which is exactly the shape that work
+cannot help.  The :class:`QueryCoalescer` closes the gap: arriving
+requests append to a queue, and a flusher task cuts the queue into blocks
+(when ``max_batch`` queries have gathered, or ``max_wait_ms`` after the
+oldest arrival, whichever is first) that execute through the session's
+ordinary ``batch_search`` — so a coalesced answer is **bit-identical** to
+the per-query answer by the engine's own determinism contract.
+
+Requests carry their own ``k``/budget/``exact`` options.  A flush groups
+its requests by option signature and runs one ``batch_search`` per group;
+options therefore ride the existing per-task payloads of the warm pool,
+and mixed-option traffic coalesces within — never across — option groups.
+One deliberate exception: ``exact=False`` (fast mode) groups execute **per
+query**, because the fast kernel's cross-query GEMM bounds depend on the
+batch's shape — batching would change which candidates are verified and
+break the bit-identity contract.  Only the exact engine, whose batch
+results are pinned bit-identical to per-query results for every family,
+is allowed to answer a multi-query flush.
+
+Execution happens on a single dedicated compute thread (a
+:class:`~concurrent.futures.ThreadPoolExecutor` of one): the
+:class:`~repro.api.Searcher` session is not thread-safe, and one thread
+serializes it while keeping the event loop free to accept and parse the
+next wave of requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def options_signature(
+    k: Optional[int], overrides: Dict[str, Any], dim: int
+) -> Tuple:
+    """A hashable grouping key: requests coalesce iff their options match.
+
+    ``repr`` canonicalizes the values (floats round-trip exactly, bools
+    and ints are distinct), so two requests land in one block only when
+    their effective search options are literally identical — the
+    precondition for answering them with one ``batch_search`` call.  The
+    query dimension is part of the key: a wrong-dimension query then fails
+    alone in its own group (with the engine's own dimension error) instead
+    of poisoning the flush of its well-formed companions.
+    """
+    return (
+        k,
+        dim,
+        tuple(sorted((name, repr(value)) for name, value in overrides.items())),
+    )
+
+
+class PendingRequest:
+    """One enqueued query awaiting its coalesced flush."""
+
+    __slots__ = ("query", "k", "overrides", "signature", "future", "enqueued",
+                 "batch_size")
+
+    def __init__(
+        self,
+        query: np.ndarray,
+        *,
+        k: Optional[int],
+        overrides: Dict[str, Any],
+        future: "asyncio.Future",
+        enqueued: float,
+    ) -> None:
+        self.query = query
+        self.k = k
+        self.overrides = overrides
+        self.signature = options_signature(k, overrides, int(query.shape[0]))
+        self.future = future
+        self.enqueued = enqueued
+        #: Size of the flush this request rode in (stamped at execution;
+        #: surfaced in the response so clients/tests can see coalescing).
+        self.batch_size = 0
+
+
+class QueryCoalescer:
+    """The coalescing queue plus its flusher task.
+
+    Parameters
+    ----------
+    searcher:
+        A warm :class:`repro.api.Searcher` session.  The coalescer owns
+        *access* to it (all calls happen on the one compute thread) but
+        not its lifecycle — closing the session is the server's job.
+    max_batch:
+        Most queries per flush; 1 disables coalescing.
+    max_wait_ms:
+        Most milliseconds the oldest queued query waits for companions.
+    max_queue_depth:
+        Most queries queued awaiting flush; :meth:`submit` refuses beyond
+        it (the server answers 429).
+    """
+
+    def __init__(
+        self,
+        searcher,
+        *,
+        max_batch: int,
+        max_wait_ms: float,
+        max_queue_depth: int,
+    ) -> None:
+        self._searcher = searcher
+        self._max_batch = int(max_batch)
+        self._max_wait = float(max_wait_ms) / 1000.0
+        self._max_queue_depth = int(max_queue_depth)
+        self._pending: List[PendingRequest] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._compute = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+        self._draining = False
+        # Serving counters (read by the /stats endpoint).
+        self.requests_executed = 0
+        self.batches_executed = 0
+        self.largest_batch = 0
+        self.rejected_full = 0
+        self.dropped_timeout = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Spawn the flusher task on the running event loop."""
+        self._wakeup = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-serve-flusher"
+        )
+
+    async def drain(self, timeout: float) -> None:
+        """Flush everything queued, then stop the flusher task.
+
+        New submissions are refused from the moment drain begins; queued
+        requests get up to ``timeout`` seconds to finish executing, after
+        which they fail with :class:`asyncio.CancelledError` rather than
+        hanging their connections forever.
+        """
+        self._draining = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._task is not None:
+            try:
+                await asyncio.wait_for(self._task, timeout=timeout)
+            except asyncio.TimeoutError:
+                self._task.cancel()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
+            self._task = None
+        for request in self._pending:
+            if not request.future.done():
+                request.future.cancel()
+        self._pending.clear()
+        self._compute.shutdown(wait=True)
+
+    # ----------------------------------------------------------------- intake
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued awaiting execution."""
+        return len(self._pending)
+
+    def submit(self, request: PendingRequest) -> bool:
+        """Queue one request; False means the queue is full (answer 429)."""
+        if self._draining:
+            return False
+        if len(self._pending) >= self._max_queue_depth:
+            self.rejected_full += 1
+            return False
+        self._pending.append(request)
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return True
+
+    # ---------------------------------------------------------------- flusher
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._draining:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            # Coalescing window: the oldest queued request anchors the
+            # deadline, so no request waits longer than max_wait_ms for
+            # companions regardless of traffic shape.  Draining flushes
+            # immediately — there are no companions left to wait for.
+            if self._max_wait > 0 and not self._draining:
+                deadline = self._pending[0].enqueued + self._max_wait
+                while len(self._pending) < self._max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0 or self._draining:
+                        break
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._wakeup.wait(), timeout=remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            batch = self._cut_batch()
+            if not batch:
+                continue
+            await self._execute_batch(loop, batch)
+
+    def _cut_batch(self) -> List[PendingRequest]:
+        """Pop up to ``max_batch`` live requests off the queue head.
+
+        Requests whose future is already done (per-request timeout fired
+        and answered 504) are dropped here, before any compute is spent
+        on them.
+        """
+        batch: List[PendingRequest] = []
+        while self._pending and len(batch) < self._max_batch:
+            request = self._pending.pop(0)
+            if request.future.done():
+                self.dropped_timeout += 1
+                continue
+            batch.append(request)
+        return batch
+
+    async def _execute_batch(self, loop, batch: List[PendingRequest]) -> None:
+        """Run one flush: group by options, one ``batch_search`` per group."""
+        groups: Dict[Tuple, List[PendingRequest]] = {}
+        for request in batch:
+            groups.setdefault(request.signature, []).append(request)
+        for group in groups.values():
+            # Fast-mode groups execute per query (see _search_group), so
+            # their reported flush size is honestly 1.
+            coalesced = group[0].overrides.get("exact") is not False
+            for request in group:
+                request.batch_size = len(group) if coalesced else 1
+            try:
+                results = await loop.run_in_executor(
+                    self._compute, self._search_group, group
+                )
+            except Exception as exc:  # noqa: BLE001 - forwarded per request
+                # A bad option set fails its whole group (every request in
+                # the group shares the same options); other groups and the
+                # flusher itself are unaffected.
+                for request in group:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            self.batches_executed += 1
+            self.requests_executed += len(group)
+            self.largest_batch = max(self.largest_batch, len(group))
+            for request, result in zip(group, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+
+    def _search_group(self, group: List[PendingRequest]):
+        """Answer one option-group as a single block (compute thread).
+
+        Two cases go through the session's single-query ``search`` — the
+        very call the bit-identity contract is defined against — instead
+        of ``batch_search``: flushes of one query (there is nothing to
+        coalesce, so they take the per-query path a non-coalescing server
+        would), and fast-mode (``exact=False``) requests, whose kernel's
+        candidate selection depends on the batch shape, so only per-query
+        execution matches what a direct ``Searcher.search`` with the same
+        options returns.
+        """
+        head = group[0]
+        if len(group) == 1 or head.overrides.get("exact") is False:
+            return [
+                self._searcher.search(
+                    request.query, k=request.k, **request.overrides
+                )
+                for request in group
+            ]
+        matrix = np.stack([request.query for request in group])
+        batch = self._searcher.batch_search(
+            matrix, k=head.k, **head.overrides
+        )
+        return list(batch)

@@ -1,0 +1,156 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The serving layer deliberately avoids a web-framework dependency: its
+protocol needs are two verbs, JSON bodies, keep-alive, and honest status
+codes.  This module owns exactly that — request parsing off a
+:class:`asyncio.StreamReader` and response formatting — so the server and
+the client speak one implementation and nothing else in the library knows
+about wire bytes.
+
+The parser is strict where it matters for robustness (bounded line and
+body sizes, explicit ``Content-Length``) and tolerant where the spec says
+to be (header case, surplus whitespace).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Reason phrases for every status the serving layer emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Largest accepted request body (a 4096-dim float query in JSON is ~100 KB;
+#: this leaves two orders of headroom while bounding a hostile request).
+MAX_BODY_BYTES = 8 << 20
+
+#: Largest accepted request line / header line.
+MAX_LINE_BYTES = 64 << 10
+
+
+class HttpError(Exception):
+    """An error with an HTTP status, rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request; ``None`` on a cleanly closed connection.
+
+    Returns ``(method, path, headers, body)`` with header names folded to
+    lower case.  Malformed framing raises :class:`HttpError` (400/413),
+    which the connection handler renders and then closes the connection —
+    after a framing error the stream position is untrustworthy.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    if len(request_line) > MAX_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HttpError(400, "connection closed inside headers")
+        if len(line) > MAX_LINE_BYTES:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_header!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed inside request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return method.upper(), path, headers, body
+
+
+def json_body(body: bytes) -> Dict[str, Any]:
+    """Decode a JSON object body, raising a 400 :class:`HttpError` otherwise."""
+    if not body:
+        raise HttpError(400, "request body must be a JSON object, got none")
+    try:
+        payload = json.loads(body)
+    except ValueError as exc:
+        raise HttpError(400, f"request body is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise HttpError(
+            400,
+            f"request body must be a JSON object, got {type(payload).__name__}",
+        )
+    return payload
+
+
+def response_bytes(
+    status: int,
+    payload: Dict[str, Any],
+    *,
+    keep_alive: bool = True,
+) -> bytes:
+    """One complete JSON response, ready for ``writer.write``.
+
+    ``json.dumps`` uses ``repr``-exact float formatting, so ``float64``
+    distances round-trip bit-identically through the wire — the property
+    the coalescing parity suite pins.
+    """
+    reason = STATUS_REASONS.get(status, "Unknown")
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def error_payload(status: int, message: str) -> Dict[str, Any]:
+    """The JSON body every error response carries."""
+    return {
+        "error": STATUS_REASONS.get(status, "Unknown"),
+        "status": status,
+        "message": message,
+    }

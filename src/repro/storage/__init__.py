@@ -20,7 +20,9 @@ from repro.storage.mmap import (
     SIDECAR_DIRECTORY,
     SIDECAR_SUFFIX,
     MmapStore,
+    expected_npy_nbytes,
     sidecar_path,
+    verify_sidecar,
 )
 from repro.storage.npyio import ArrayRowSource, NpyRowReader, as_row_source
 from repro.storage.ram import RamStore
@@ -40,6 +42,8 @@ __all__ = [
     "as_row_source",
     "balanced_chunks",
     "combined_storage_header",
+    "expected_npy_nbytes",
     "rows_in_budget",
     "sidecar_path",
+    "verify_sidecar",
 ]

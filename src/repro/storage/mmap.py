@@ -58,6 +58,91 @@ def _filename(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9_.-]", "_", name) + ".npy"
 
 
+def expected_npy_nbytes(path) -> int:
+    """The on-disk size a complete ``.npy`` file must have.
+
+    Parses only the file's magic + header (a few hundred bytes) and
+    returns ``header_end + prod(shape) * itemsize`` — the exact length a
+    non-truncated file has.  Raises :class:`ValueError` when even the
+    header is unreadable (empty or corrupt file).
+    """
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            header = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            header = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported .npy format version {version}")
+        shape, _fortran, dtype = header
+        offset = handle.tell()
+    count = 1
+    for side in shape:
+        count *= int(side)
+    return offset + count * np.dtype(dtype).itemsize
+
+
+def verify_sidecar(payload_path, *, required: bool = True) -> None:
+    """Check a payload's ``.arrays`` sidecar is present and complete.
+
+    A payload whose header says the point arrays live in mmap storage is
+    only half an artifact — the ``.npy`` files in ``<payload>.arrays/``
+    are the other half.  A partial copy (missing directory, interrupted
+    transfer leaving short files) would otherwise surface as a raw
+    ``FileNotFoundError``/``ValueError`` from numpy deep inside the first
+    search; this check fails up front with an error **naming the sidecar
+    path** that is missing or truncated.
+
+    Parameters
+    ----------
+    payload_path:
+        The saved index payload file.
+    required:
+        True when the payload's storage header says mmap — a missing
+        sidecar directory is then an error.  With False (ram payloads,
+        or headers too old to say) a missing directory is fine, but a
+        sidecar that *does* exist must still hold complete arrays.
+
+    Raises
+    ------
+    ValueError
+        Naming the missing sidecar directory, the sidecar with no
+        arrays, or the first truncated/corrupt ``.npy`` file.
+    """
+    payload_path = Path(payload_path)
+    sidecar = sidecar_path(payload_path)
+    if not sidecar.is_dir():
+        if not required:
+            return
+        raise ValueError(
+            f"{payload_path} was saved with mmap storage but its sidecar "
+            f"directory {sidecar} is missing; the payload and its "
+            f"'{SIDECAR_SUFFIX}' directory are one artifact — move or copy "
+            "them together"
+        )
+    files = sorted(path for path in sidecar.rglob("*.npy") if path.is_file())
+    if not files and required:
+        raise ValueError(
+            f"sidecar directory {sidecar} contains no .npy arrays; "
+            f"the mmap-backed payload {payload_path} cannot be served "
+            "without them"
+        )
+    for file in files:
+        try:
+            expected = expected_npy_nbytes(file)
+        except (ValueError, OSError) as exc:
+            raise ValueError(
+                f"sidecar array {file} is corrupt (unreadable .npy "
+                f"header): {exc}"
+            ) from exc
+        actual = file.stat().st_size
+        if actual < expected:
+            raise ValueError(
+                f"sidecar array {file} is truncated: expected {expected} "
+                f"bytes, found {actual}"
+            )
+
+
 class _FileRowWriter(RowWriter):
     """Spill rows to a ``.npy`` file with plain ``seek``/``write`` calls.
 
@@ -252,6 +337,14 @@ class MmapStore(ArrayStore):
         return Path(self._directory) / file_name
 
     def _open_map(self, name: str) -> np.ndarray:
-        array = np.load(self._path_for(name), mmap_mode="r")
+        path = self._path_for(name)
+        try:
+            array = np.load(path, mmap_mode="r")
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"mmap-backed array {name!r} is missing its sidecar file "
+                f"{path}; the payload and its '{SIDECAR_SUFFIX}' directory "
+                "are one artifact — move or copy them together"
+            ) from None
         self._open[name] = array
         return array

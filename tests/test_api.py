@@ -279,3 +279,60 @@ class TestSearchOptionsValidation:
         assert clone == options
         with pytest.raises(ValueError, match="unknown"):
             SearchOptions.from_dict({"k": 2, "jobs": 3})
+
+
+class TestMemoryBudgetedBuilds:
+    """``memory_budget_mb`` on IndexSpec / build_index (the chunked wiring)."""
+
+    def test_spec_round_trips_budget(self):
+        spec = IndexSpec("ball_tree", {"leaf_size": 32}, memory_budget_mb=64)
+        assert spec.memory_budget_mb == 64.0
+        data = spec.to_dict()
+        assert data["memory_budget_mb"] == 64.0
+        clone = IndexSpec.from_dict(data)
+        assert clone == spec
+        assert clone.memory_budget_mb == 64.0
+
+    def test_unbudgeted_spec_dict_is_unchanged(self):
+        """No budget => no key, so pre-budget spec files read back equal."""
+        spec = IndexSpec("ball_tree", {"leaf_size": 32})
+        assert "memory_budget_mb" not in spec.to_dict()
+        assert IndexSpec.from_dict(spec.to_dict()) == spec
+
+    def test_budget_participates_in_equality_and_hash(self):
+        plain = IndexSpec("ball_tree", {"leaf_size": 32})
+        budgeted = IndexSpec("ball_tree", {"leaf_size": 32},
+                             memory_budget_mb=64.0)
+        assert plain != budgeted
+        assert hash(plain) != hash(budgeted)
+
+    @pytest.mark.parametrize("bad", [0, -1.5, "64", True])
+    def test_invalid_budget_rejected(self, bad):
+        with pytest.raises((TypeError, ValueError)):
+            IndexSpec("ball_tree", {}, memory_budget_mb=bad)
+
+    def test_budgeted_build_matches_resident_build(self):
+        resident = build_index(
+            "ball_tree", leaf_size=32, random_state=3
+        ).fit(POINTS)
+        budgeted = build_index(
+            "ball_tree", leaf_size=32, random_state=3, memory_budget_mb=64.0
+        ).fit(POINTS)
+        for query in QUERIES:
+            a = resident.search(query, k=5)
+            b = budgeted.search(query, k=5)
+            np.testing.assert_array_equal(a.indices, b.indices)
+            np.testing.assert_array_equal(a.distances, b.distances)
+
+    def test_kwarg_overrides_spec_budget(self):
+        spec = IndexSpec("bc_tree", {"leaf_size": 32, "random_state": 3},
+                         memory_budget_mb=128.0)
+        index = build_index(spec.to_dict(), memory_budget_mb=64.0)
+        assert index.memory_budget_mb == 64.0
+
+    def test_budget_refused_for_families_without_chunked_build(self):
+        with pytest.raises(ValueError, match="fit_chunked"):
+            build_index("linear_scan", memory_budget_mb=64.0)
+        with pytest.raises(ValueError, match="fit_chunked"):
+            build_index("nh", num_tables=8, random_state=3,
+                        memory_budget_mb=64.0)

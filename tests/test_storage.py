@@ -554,3 +554,80 @@ class TestDescribeIndex:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             describe_index(tmp_path / "absent.bin")
+
+
+class TestSidecarVerification:
+    """describe_index must refuse half-copied mmap artifacts, by name."""
+
+    def _saved_mmap_payload(self, tmp_path, data):
+        index = _tree(BCTree, leaf_size=32, storage="mmap").fit(data)
+        path = tmp_path / "idx.bin"
+        index.save(path)
+        return path
+
+    def test_missing_sidecar_directory_named(
+        self, tmp_path, small_clustered_data
+    ):
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        sidecar = sidecar_path(path)
+        shutil.rmtree(sidecar)
+        with pytest.raises(ValueError, match="missing") as err:
+            describe_index(path)
+        assert str(sidecar) in str(err.value)
+
+    def test_truncated_sidecar_array_named(
+        self, tmp_path, small_clustered_data
+    ):
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        victim = next(sidecar_path(path).rglob("*.npy"))
+        complete = victim.stat().st_size
+        with victim.open("rb+") as handle:
+            handle.truncate(complete - 64)
+        with pytest.raises(ValueError, match="truncated") as err:
+            describe_index(path)
+        assert str(victim) in str(err.value)
+        assert str(complete) in str(err.value)  # expected size is reported
+
+    def test_empty_sidecar_directory_rejected(
+        self, tmp_path, small_clustered_data
+    ):
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        sidecar = sidecar_path(path)
+        for file in sidecar.rglob("*.npy"):
+            file.unlink()
+        with pytest.raises(ValueError, match="no .npy arrays"):
+            describe_index(path)
+
+    def test_corrupt_npy_header_rejected(self, tmp_path, small_clustered_data):
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        victim = next(sidecar_path(path).rglob("*.npy"))
+        victim.write_bytes(b"not a numpy file")
+        with pytest.raises(ValueError, match="corrupt") as err:
+            describe_index(path)
+        assert str(victim) in str(err.value)
+
+    def test_ram_payload_needs_no_sidecar(self, tmp_path, small_clustered_data):
+        index = _tree(BCTree, leaf_size=32).fit(small_clustered_data)
+        path = tmp_path / "ram.bin"
+        index.save(path)
+        assert not sidecar_path(path).exists()
+        description = describe_index(path)
+        assert description.sidecar_bytes == 0
+
+    def test_intact_mmap_payload_still_describes(
+        self, tmp_path, small_clustered_data
+    ):
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        description = describe_index(path)
+        assert description.storage == {"backend": "mmap", "dtype": "float64"}
+
+    def test_missing_sidecar_file_named_on_first_access(
+        self, tmp_path, small_clustered_data, small_queries
+    ):
+        """The lazy mmap open names the lost file and the one-artifact rule."""
+        path = self._saved_mmap_payload(tmp_path, small_clustered_data)
+        loaded = load_index(path)
+        for file in sidecar_path(path).rglob("*.npy"):
+            file.unlink()
+        with pytest.raises(FileNotFoundError, match="one artifact"):
+            loaded.search(small_queries[0], k=5)
