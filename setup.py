@@ -1,5 +1,16 @@
-"""Setuptools entry point (kept for legacy editable installs without wheel)."""
+"""Setuptools entry point (kept for legacy editable installs without wheel).
 
-from setuptools import setup
+The repo is normally run straight from the tree (``PYTHONPATH=src``); this
+metadata exists so an install also ships the ``py.typed`` marker — the
+package exports inline type annotations (PEP 561) for ``repro.api``,
+``repro.storage`` and ``repro.serve``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+)

@@ -1,0 +1,46 @@
+"""Project-specific static analysis: AST rules encoding repro's invariants.
+
+The repo's load-bearing guarantees — exact-path bit-identity, batch ==
+sequential parity, the serve tier's never-block-the-event-loop rule, the
+additive persistence header — live in runtime tests that only catch a
+violation on a code path the parity suites happen to reach.  This package
+is the static layer next to them: a small visitor framework
+(:mod:`repro.analysis.framework`), one :class:`~repro.analysis.framework.Rule`
+class per invariant (:mod:`repro.analysis.rules`, stable ``REPxxx`` ids), a
+findings/baseline format (:mod:`repro.analysis.findings`,
+:mod:`repro.analysis.baseline`), and the ``repro check`` /
+``python -m repro.analysis`` CLI (:mod:`repro.analysis.cli`).
+
+A deliberate violation is silenced **at the line**, never globally, with an
+allow comment carrying a rationale::
+
+    from repro.engine.fast import FastTreeKernel  # repro: allow[REP101] lazy fast-mode entry point
+
+An allow comment without a rationale is itself a finding (``REP000``) — the
+point of the mechanism is that every exception documents *why* it is safe.
+Legacy hits a PR cannot fix ride in a checked-in baseline file instead
+(:mod:`repro.analysis.baseline`), which CI forbids from growing.
+"""
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.framework import (
+    ModuleContext,
+    Rule,
+    all_rules,
+    check_paths,
+    register_rule,
+    rule_table,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "check_paths",
+    "register_rule",
+    "rule_table",
+]

@@ -1,0 +1,111 @@
+"""Grandfathered-findings baseline.
+
+A baseline is a checked-in JSON file recording, per rule id and file, how
+many findings existed when the rule landed::
+
+    {"version": 1, "entries": {"REP401": {"src/repro/api/session.py": 2}}}
+
+:func:`apply_baseline` subtracts those allowances from a run's findings:
+up to the recorded count per (rule, file) is forgiven, anything beyond it
+fails.  Counts only shrink — when the grandfathered code is fixed,
+``repro check --update-baseline`` rewrites the file with the (smaller)
+reality, and CI runs against the checked-in copy so a PR that *adds* a
+hit fails even in a file with existing allowances.
+
+The repo's own baseline is empty: every deliberate violation carries an
+inline allow comment instead, which keeps the justification next to the
+code.  The mechanism exists for future rules that land with legacy hits
+too numerous to annotate in the same PR.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+
+_BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Per-(rule, file) allowance counts for grandfathered findings."""
+
+    entries: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; reject unknown versions loudly."""
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline file {path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != _BASELINE_VERSION:
+            raise ValueError(
+                f"baseline file {path} is not a version-{_BASELINE_VERSION} baseline"
+            )
+        entries_raw = raw.get("entries", {})
+        entries: Dict[str, Dict[str, int]] = {}
+        for rule_id, files in entries_raw.items():
+            if not isinstance(files, dict):
+                raise ValueError(f"baseline entry for {rule_id!r} is not a mapping")
+            entries[str(rule_id)] = {
+                str(file): int(count) for file, count in files.items()
+            }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """The baseline that exactly forgives ``findings`` (for --update-baseline)."""
+        entries: Dict[str, Dict[str, int]] = {}
+        for finding in findings:
+            files = entries.setdefault(finding.rule_id, {})
+            files[finding.path] = files.get(finding.path, 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": {
+                rule_id: dict(sorted(files.items()))
+                for rule_id, files in sorted(self.entries.items())
+                if files
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def allowance(self, rule_id: str, path: str) -> int:
+        """How many findings of ``rule_id`` in ``path`` are grandfathered."""
+        return self.entries.get(rule_id, {}).get(path, 0)
+
+    def total(self) -> int:
+        """Total number of grandfathered findings."""
+        return sum(
+            count for files in self.entries.values() for count in files.values()
+        )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> List[Finding]:
+    """Findings that exceed the baseline's per-(rule, file) allowances.
+
+    Within one (rule, file) bucket the *first* ``allowance`` findings in
+    location order are forgiven — which findings are forgiven is
+    immaterial since CI only gates on the surviving count.
+    """
+    used: Dict[tuple, int] = {}
+    surviving: List[Finding] = []
+    for finding in sorted(findings):
+        bucket = (finding.rule_id, finding.path)
+        if used.get(bucket, 0) < baseline.allowance(finding.rule_id, finding.path):
+            used[bucket] = used.get(bucket, 0) + 1
+            continue
+        surviving.append(finding)
+    return surviving

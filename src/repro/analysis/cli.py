@@ -1,0 +1,133 @@
+"""Command-line front end: ``repro check`` / ``python -m repro.analysis``.
+
+Exit codes follow the compiler convention the rest of the CLI uses:
+
+* ``0`` — scan ran, no findings beyond the baseline;
+* ``1`` — findings (printed one per line as ``path:line:col: RULE msg``);
+* ``2`` — usage error (unknown rule id, unreadable baseline, no paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.framework import Rule, all_rules, check_paths, rule_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Run repro's project-invariant static analysis.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE_ID",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> List[Rule]:
+    rules = all_rules()
+    if not rule_ids:
+        return rules
+    by_id = {rule.rule_id: rule for rule in rules}
+    selected = []
+    for rule_id in rule_ids:
+        if rule_id not in by_id:
+            known = ", ".join(sorted(by_id))
+            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+        selected.append(by_id[rule_id])
+    return selected
+
+
+def _default_paths() -> List[Path]:
+    src = Path("src")
+    return [src] if src.is_dir() else [Path(".")]
+
+
+def main(argv: Optional[Sequence[str]] = None, out: IO[str] = sys.stdout) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name, description in rule_table():
+            print(f"{rule_id}  {name:28s} {description}", file=out)
+        return 0
+
+    try:
+        rules = _select_rules(args.rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline and args.baseline is None:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    paths = list(args.paths) or _default_paths()
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        names = ", ".join(str(path) for path in missing)
+        print(f"error: no such path: {names}", file=sys.stderr)
+        return 2
+
+    findings = check_paths(paths, rules)
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{args.baseline}",
+            file=out,
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, baseline)
+
+    for finding in findings:
+        print(finding.render(), file=out)
+    if findings:
+        plural = "s" if len(findings) != 1 else ""
+        print(f"{len(findings)} finding{plural}", file=out)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

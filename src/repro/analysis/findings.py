@@ -1,0 +1,41 @@
+"""The findings format shared by the rules, the baseline, and the CLI.
+
+One :class:`Finding` is one rule violation at one source location.  The
+rendered form is the classic compiler shape — ``path:line:col: RULE
+message`` — so editors, CI log scrapers, and humans all parse it the same
+way.  Findings order by location (then rule id), which makes reports
+stable across runs and diffs of reports meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as scanned (posix separators, relative
+        to the invocation directory when possible — the form baselines
+        key on, so a baseline written on one machine applies on another).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Stable rule identifier (``"REP101"``, ...).
+    message:
+        Human-readable description of this specific violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the CLI's output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

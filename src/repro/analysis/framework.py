@@ -1,0 +1,358 @@
+"""Visitor infrastructure of the static-analysis layer.
+
+The moving parts:
+
+* :class:`ModuleContext` — one parsed source file: its AST, the project
+  scope it belongs to (exact path?  kernel?  serve?), its docstring nodes
+  (so string-literal rules skip prose), and its per-line allow comments.
+* :class:`Rule` — one invariant.  Subclasses set a stable ``rule_id`` and
+  implement :meth:`Rule.check`, yielding findings for one module.  Rules
+  are registered with :func:`register_rule` and enumerated via
+  :func:`all_rules` (what ``repro check --list-rules`` prints).
+* :func:`check_paths` — the runner: collect ``.py`` files, parse each
+  once, run every rule over every module, drop findings covered by an
+  allow comment, and return the rest sorted.
+
+Scope classification is **path-based**, anchored at the last ``repro``
+directory in a file's path (falling back to the scan root).  Anchoring at
+``repro`` rather than at the repository root means fixture trees — a
+``tmp/repro/engine/bad.py`` written by a test, or the checked-in seeded
+violations under ``tests/fixtures/analysis/repro/`` — classify exactly
+like the real sources, so every rule is testable against tiny snippets.
+
+Allow comments (``# repro: allow[REP101] rationale``) silence one rule on
+one line — the comment's own line, or the following statement line when
+the comment stands alone.  A missing rationale turns the allow into a
+``REP000`` finding instead of a suppression: deliberate exceptions must
+say why they are safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+#: Rule id of the meta-finding for a rationale-less allow comment.
+ALLOW_WITHOUT_RATIONALE = "REP000"
+
+#: Rule id reported for files that fail to parse.
+PARSE_ERROR = "REP001"
+
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Z0-9*,\s]+)\]\s*(?P<rationale>.*)"
+)
+
+
+@dataclass
+class AllowComment:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    rationale: str
+    #: True when the comment is alone on its line (it then covers the
+    #: next statement line as well as its own).
+    standalone: bool
+
+
+@dataclass
+class ModuleContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    path: Path
+    display_path: str
+    tree: ast.Module
+    source: str
+    allows: List[AllowComment] = field(default_factory=list)
+    #: ``id()`` of every docstring Constant node (module/class/function
+    #: leading strings) — string-literal rules must skip prose.
+    docstring_nodes: Set[int] = field(default_factory=set)
+    #: Path parts after the last ``repro`` directory (or relative to the
+    #: scan root); the basis of scope classification.
+    module_parts: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------ scopes
+
+    @property
+    def is_exact_path(self) -> bool:
+        """Modules bound by the exact-path bit-identity contract."""
+        parts = self.module_parts
+        return parts[:1] == ("core",) or parts in (
+            ("engine", "traversal.py"),
+            ("engine", "block.py"),
+        )
+
+    @property
+    def is_kernel_scope(self) -> bool:
+        """Engine/kernel modules bound by the determinism contract."""
+        return self.module_parts[:1] in (("engine",), ("core",), ("hashing",))
+
+    @property
+    def is_serve_scope(self) -> bool:
+        """The asyncio serving tier (never-block-the-event-loop rule)."""
+        return self.module_parts[:1] == ("serve",)
+
+    @property
+    def is_public_api(self) -> bool:
+        """Public entry-point modules (error-contract rule REP401)."""
+        parts = self.module_parts
+        return (
+            parts[:1] in (("api",), ("serve",))
+            or parts == ("cli.py",)
+            or parts == ("__main__.py",)
+        )
+
+    # ----------------------------------------------------------- helpers
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` at ``node``'s location in this module."""
+        return Finding(
+            path=self.display_path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def allowed_lines(self, rule_id: str) -> Set[int]:
+        """Source lines on which ``rule_id`` findings are suppressed."""
+        lines: Set[int] = set()
+        for allow in self.allows:
+            if not allow.rationale:
+                continue
+            if rule_id not in allow.rule_ids and "*" not in allow.rule_ids:
+                continue
+            lines.add(allow.line)
+            if allow.standalone:
+                lines.add(self._next_code_line(allow.line))
+        return lines
+
+    def _next_code_line(self, after: int) -> int:
+        """The first line past ``after`` holding code (for standalone allows)."""
+        raw_lines = self.source.splitlines()
+        for offset in range(after, len(raw_lines)):
+            text = raw_lines[offset].strip()
+            if text and not text.startswith("#"):
+                return offset + 1
+        return after
+
+
+class Rule:
+    """Base class of one project invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rule_id`` values are stable and documented (README "Correctness
+    tooling"); retiring a rule retires its id — ids are never reused.
+    """
+
+    #: Stable identifier, e.g. ``"REP101"``.
+    rule_id: str = ""
+    #: Short kebab-case name shown by ``--list-rules``.
+    name: str = ""
+    #: One-line contract statement.
+    description: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``context``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this an (empty) generator
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a :class:`Rule` to the global registry."""
+    if not cls.rule_id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define rule_id and name")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, sorted by id."""
+    import repro.analysis.rules  # noqa: F401 - registers on import
+
+    return [_RULES[rule_id]() for rule_id in sorted(_RULES)]
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """``(rule_id, name, description)`` rows for listings and docs."""
+    return [
+        (rule.rule_id, rule.name, rule.description) for rule in all_rules()
+    ]
+
+
+# ------------------------------------------------------------------ parsing
+
+
+def _parse_allows(source: str) -> List[AllowComment]:
+    """Extract every allow comment with its line and standalone-ness."""
+    allows: List[AllowComment] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return allows
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PATTERN.match(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        line = token.start[0]
+        prefix = source.splitlines()[line - 1][: token.start[1]]
+        allows.append(
+            AllowComment(
+                line=line,
+                rule_ids=rule_ids,
+                rationale=match.group("rationale").strip(),
+                standalone=not prefix.strip(),
+            )
+        )
+    return allows
+
+
+def _collect_docstrings(tree: ast.Module) -> Set[int]:
+    """``id()`` of every docstring Constant node in ``tree``."""
+    nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            nodes.add(id(body[0].value))
+    return nodes
+
+
+def _module_parts(path: Path, root: Path) -> Tuple[str, ...]:
+    """Path parts after the last ``repro`` directory (or after ``root``).
+
+    Anchoring at ``repro`` makes fixture trees classify like the real
+    sources; files outside any ``repro`` directory fall back to their
+    path relative to the scan root (and typically match no scope).
+    """
+    parts = path.parts
+    for position in range(len(parts) - 1, -1, -1):
+        if parts[position] == "repro":
+            return tuple(parts[position + 1:])
+    try:
+        return path.relative_to(root).parts
+    except ValueError:
+        return (path.name,)
+
+
+def load_module(path: Path, root: Path, display_path: str) -> ModuleContext:
+    """Parse one source file into a :class:`ModuleContext`.
+
+    Raises :class:`SyntaxError` for unparseable sources — the runner
+    turns that into a ``REP001`` finding rather than crashing the scan.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(
+        path=path,
+        display_path=display_path,
+        tree=tree,
+        source=source,
+        allows=_parse_allows(source),
+        docstring_nodes=_collect_docstrings(tree),
+        module_parts=_module_parts(path, root),
+    )
+
+
+# ------------------------------------------------------------------- runner
+
+#: Directory names never descended into while collecting sources.
+_SKIPPED_DIRECTORIES = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Tuple[Path, Path]]:
+    """Yield ``(file, scan_root)`` for every ``.py`` file under ``paths``."""
+    for path in paths:
+        if path.is_file():
+            yield path, path.parent
+            continue
+        for file in sorted(path.rglob("*.py")):
+            if any(part in _SKIPPED_DIRECTORIES for part in file.parts):
+                continue
+            yield file, path
+
+
+def _display_path(path: Path) -> str:
+    """Posix-style path relative to the CWD when possible (baseline keys)."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    on_module: Optional[Callable[[ModuleContext], None]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over every source under ``paths``.
+
+    Returns the surviving findings, sorted by location: rule findings on
+    lines covered by a rationale-carrying allow comment are dropped, and
+    every rationale-less allow comment is reported as ``REP000``.
+    """
+    active = list(all_rules() if rules is None else rules)
+    findings: List[Finding] = []
+    for file, root in iter_source_files(paths):
+        display = _display_path(file)
+        try:
+            context = load_module(file, root, display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=int(exc.lineno or 1),
+                    col=int(exc.offset or 0),
+                    rule_id=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        if on_module is not None:
+            on_module(context)
+        for rule in active:
+            allowed = context.allowed_lines(rule.rule_id)
+            for finding in rule.check(context):
+                if finding.line not in allowed:
+                    findings.append(finding)
+        for allow in context.allows:
+            if not allow.rationale:
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=allow.line,
+                        col=0,
+                        rule_id=ALLOW_WITHOUT_RATIONALE,
+                        message=(
+                            "allow comment without a rationale; write "
+                            "'# repro: allow[RULE] why this is safe'"
+                        ),
+                    )
+                )
+    return sorted(findings)

@@ -1,0 +1,23 @@
+"""The rule catalogue.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.analysis.framework.all_rules` does so lazily).  One module
+per invariant family; ids are grouped by hundreds:
+
+* ``REP1xx`` — exact-path purity (:mod:`repro.analysis.rules.exact_path`)
+* ``REP2xx`` — determinism (:mod:`repro.analysis.rules.determinism`)
+* ``REP3xx`` — concurrency safety (:mod:`repro.analysis.rules.concurrency`)
+* ``REP4xx`` — error contracts (:mod:`repro.analysis.rules.contracts`)
+* ``REP5xx`` — persistence discipline (:mod:`repro.analysis.rules.persistence`)
+
+``REP000`` (allow comment without rationale) and ``REP001`` (parse error)
+are emitted by the runner itself, not by a rule class.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    concurrency,
+    contracts,
+    determinism,
+    exact_path,
+    persistence,
+)

@@ -1,0 +1,139 @@
+"""Error-contract rules (REP4xx) for public entry points.
+
+Public scope is ``api/``, ``serve/``, ``cli.py`` and ``__main__.py`` —
+the surfaces a user hits directly.  Their error contract: invalid input
+raises a descriptive ``ValueError``/``RuntimeError``; failures are never
+swallowed silently.
+
+* **REP401** — no ``assert`` statements.  Asserts vanish under ``-O``
+  and raise the wrong exception type with no message for the caller.
+* **REP402** — no silent broad handlers: ``except``/``except Exception``
+  whose entire body is ``pass``.  (A *narrow* silent handler such as
+  ``except (ConnectionError, OSError): pass`` during teardown is a
+  deliberate pattern and stays legal.)
+* **REP403** — any broad handler (bare / ``Exception`` /
+  ``BaseException``) that does not re-raise must carry an allow comment
+  explaining why catching everything is correct there.  This is the rule
+  the serve tier's two last-resort handlers satisfy explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleContext, Rule, register_rule
+
+
+@register_rule
+class PublicAssert(Rule):
+    """REP401: no assert statements in public entry-point modules."""
+
+    rule_id = "REP401"
+    name = "public-assert"
+    description = (
+        "public modules (api/, serve/, cli.py) must validate with "
+        "descriptive ValueError/RuntimeError, not assert"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_public_api:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assert):
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    "assert used for validation; raise ValueError/RuntimeError",
+                )
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception`` and ``except BaseException``."""
+    exc_type = handler.type
+    if exc_type is None:
+        return True
+    if isinstance(exc_type, ast.Name):
+        return exc_type.id in ("Exception", "BaseException")
+    if isinstance(exc_type, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name)
+            and element.id in ("Exception", "BaseException")
+            for element in exc_type.elts
+        )
+    return False
+
+
+def _is_silent_body(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_rule
+class SilentExcept(Rule):
+    """REP402: no silent broad exception handlers."""
+
+    rule_id = "REP402"
+    name = "silent-except"
+    description = (
+        "broad handlers (bare except / except Exception) must not have a "
+        "body of only pass; at minimum log or narrow the exception types"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_public_api:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and _is_broad_handler(node)
+                and _is_silent_body(node)
+            ):
+                yield context.finding(
+                    self.rule_id, node, "broad exception handler silently passes"
+                )
+
+
+@register_rule
+class BroadExcept(Rule):
+    """REP403: broad handlers that swallow must justify themselves."""
+
+    rule_id = "REP403"
+    name = "broad-except"
+    description = (
+        "except Exception without a bare re-raise needs an allow comment "
+        "stating why a catch-all is correct at that site"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_public_api:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and _is_broad_handler(node)
+                and not _reraises(node)
+            ):
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    "broad exception handler does not re-raise; justify with "
+                    "an allow comment or narrow the types",
+                )

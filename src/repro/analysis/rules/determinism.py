@@ -1,0 +1,204 @@
+"""Determinism rules (REP2xx) for kernel-scope modules.
+
+Kernel scope is everything under ``engine/``, ``core/`` and ``hashing/``:
+the code whose outputs become search results.  Those outputs must be a
+pure function of (data, query, seed) — the batch==sequential parity suite
+and the saved-index format both depend on it.  Three things break that
+silently:
+
+* wall-clock reads (``time.time`` & friends) feeding values into results
+  — REP201.  ``time.perf_counter`` is deliberately *not* flagged: it
+  feeds SearchStats timing, which is reporting, not results.
+* unseeded RNG — module-level ``random``/``np.random`` functions and
+  zero-argument ``np.random.default_rng()`` draw from process-global or
+  OS-entropy state — REP202.  Seeded generators (``default_rng(seed)``,
+  ``RandomState(seed)``) are the sanctioned pattern.
+* iterating a ``set``/``frozenset`` into an ordered result — set order
+  varies with hash randomization across runs — REP203.  Sort first or
+  keep a list/dict (insertion-ordered) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleContext, Rule, register_rule
+
+
+def _attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``("np", "random", "rand")`` for ``np.random.rand``, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: Module-level numpy.random functions drawing from the global state.
+_GLOBAL_NP_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "seed",
+}
+
+#: Module-level ``random`` functions drawing from the global state.
+_GLOBAL_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "seed",
+}
+
+
+@register_rule
+class KernelWallClock(Rule):
+    """REP201: no wall-clock reads inside kernel-scope modules."""
+
+    rule_id = "REP201"
+    name = "kernel-wall-clock"
+    description = (
+        "kernel modules (engine/, core/, hashing/) must not read the wall "
+        "clock (time.time, datetime.now); perf_counter for stats is fine"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_kernel_scope:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            # Match on the trailing (module, function) pair so both
+            # ``time.time()`` and ``datetime.datetime.now()`` hit.
+            if len(chain) >= 2 and chain[-2:] in _WALL_CLOCK_CALLS:
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    f"wall-clock call {'.'.join(chain)}() in kernel scope",
+                )
+
+
+@register_rule
+class KernelUnseededRandom(Rule):
+    """REP202: no unseeded RNG inside kernel-scope modules."""
+
+    rule_id = "REP202"
+    name = "kernel-unseeded-random"
+    description = (
+        "kernel modules must not draw from global RNG state (random.*, "
+        "np.random.*) or call default_rng() without a seed"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_kernel_scope:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attribute_chain(node.func)
+            if chain is None:
+                continue
+            if chain[-1] == "default_rng" and not node.args and not node.keywords:
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    "default_rng() without a seed draws from OS entropy",
+                )
+            elif chain[:1] == ("random",) and len(chain) == 2 and chain[1] in _GLOBAL_RANDOM:
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    f"global-state RNG call {'.'.join(chain)}() in kernel scope",
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-2] == "random"
+                and chain[0] in ("np", "numpy")
+                and chain[-1] in _GLOBAL_NP_RANDOM
+            ):
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    f"global-state RNG call {'.'.join(chain)}() in kernel scope",
+                )
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that are definitely sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule
+class KernelSetIteration(Rule):
+    """REP203: no set-iteration ordering feeding results in kernel scope."""
+
+    rule_id = "REP203"
+    name = "kernel-set-iteration"
+    description = (
+        "kernel modules must not iterate sets into ordered results "
+        "(for-in set, list(set(...))); sort first or use dict/list"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_kernel_scope:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(
+                node.iter
+            ):
+                yield context.finding(
+                    self.rule_id, node, "iteration over a set literal/constructor"
+                )
+            elif isinstance(node, ast.comprehension) and _is_set_expression(node.iter):
+                yield context.finding(
+                    self.rule_id,
+                    node.iter,
+                    "comprehension over a set literal/constructor",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple", "sorted")
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                if node.func.id == "sorted":
+                    continue  # sorted(set(...)) is the sanctioned pattern
+                yield context.finding(
+                    self.rule_id,
+                    node,
+                    f"{node.func.id}(set(...)) materializes hash order",
+                )

@@ -1,0 +1,97 @@
+"""Exact-path purity rules (REP1xx).
+
+The exact search path — ``engine/traversal.py``, ``engine/block.py`` and
+everything under ``core/`` — is the reference implementation whose
+results define correctness for the whole repo: fast mode, batching and
+the serve tier are all validated by parity against it.  Two properties
+keep that reference trustworthy:
+
+* it never routes through the fast kernels (``engine/fast.py``,
+  ``engine/kernels.py``), whose GEMM reductions reassociate floating
+  point — REP101;
+* it computes in float64 end to end; a float32 dtype on the exact path
+  silently changes results for every consumer — REP102.
+
+Deliberate crossings (the lazy fast-mode entry points on the tree
+classes) carry allow comments naming the rule and the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleContext, Rule, register_rule
+
+#: Module suffixes of the fast tier, banned as import sources on the exact path.
+_FAST_MODULES = ("engine.fast", "engine.kernels")
+
+
+def _is_fast_module(module_name: str) -> bool:
+    return any(
+        module_name == banned or module_name.endswith("." + banned)
+        for banned in _FAST_MODULES
+    )
+
+
+@register_rule
+class ExactPathFastImport(Rule):
+    """REP101: exact-path modules must not import the fast tier."""
+
+    rule_id = "REP101"
+    name = "exact-path-fast-import"
+    description = (
+        "exact-path modules (engine/traversal.py, engine/block.py, core/*) "
+        "must not import engine.fast or engine.kernels"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_exact_path:
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_fast_module(alias.name):
+                        yield context.finding(
+                            self.rule_id,
+                            node,
+                            f"import of fast-tier module {alias.name!r} on the exact path",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if _is_fast_module(module):
+                    yield context.finding(
+                        self.rule_id,
+                        node,
+                        f"import from fast-tier module {module!r} on the exact path",
+                    )
+
+
+@register_rule
+class ExactPathFloat32(Rule):
+    """REP102: exact-path modules must not introduce float32 dtypes."""
+
+    rule_id = "REP102"
+    name = "exact-path-float32"
+    description = (
+        "exact-path modules must not use float32 dtypes or 'float32' "
+        "literals; the exact path is float64 end to end"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_exact_path:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and node.value == "float32"
+                and id(node) not in context.docstring_nodes
+            ):
+                yield context.finding(
+                    self.rule_id, node, "'float32' literal on the exact path"
+                )
+            elif isinstance(node, ast.Attribute) and node.attr == "float32":
+                yield context.finding(
+                    self.rule_id, node, "float32 dtype attribute on the exact path"
+                )

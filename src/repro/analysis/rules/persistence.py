@@ -1,0 +1,154 @@
+"""Persistence-discipline rule (REP5xx).
+
+The saved-index header is additive-only: readers back to format_version 1
+must keep loading newer files, so every header key is registered — with
+the format version that introduced it — in the ``HEADER_KEY_VERSIONS``
+table in ``api/persistence.py``.  REP501 statically cross-checks the
+writer against that table: any dict literal that contains the
+``"format_version"`` key (i.e. builds a header payload) and any
+``header["..."] = ...`` subscript store may only use registered keys.
+
+Adding a header key is therefore a two-line change — the write site and
+the table row — and forgetting the row is a build failure rather than a
+format drift discovered by a failed load months later.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ModuleContext, Rule, register_rule
+
+#: Name of the registry table looked up in ``api/persistence.py``.
+_TABLE_NAME = "HEADER_KEY_VERSIONS"
+
+#: Variable names treated as header payloads for subscript stores.
+_HEADER_VARIABLE_NAMES = ("header", "payload_header")
+
+
+def _parse_table(path: Path) -> Optional[Dict[str, int]]:
+    """The ``HEADER_KEY_VERSIONS`` dict literal in ``path``, if present."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == _TABLE_NAME
+            for target in targets
+        ):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        table: Dict[str, int] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                table[key.value] = value.value
+        return table
+    return None
+
+
+def _find_table_for(context: ModuleContext) -> Optional[Dict[str, int]]:
+    """Locate the key table for the tree ``context`` belongs to.
+
+    The table lives next to the module under scan: walk up from the file
+    to the enclosing ``repro`` directory and read ``api/persistence.py``
+    there.  Fixture trees ship their own table; when the scanned tree has
+    none, fall back to the installed package's table so scanning a lone
+    file still checks against the real registry.
+    """
+    parts = context.path.parts
+    for position in range(len(parts) - 1, -1, -1):
+        if parts[position] == "repro":
+            candidate = Path(*parts[: position + 1]) / "api" / "persistence.py"
+            table = _parse_table(candidate)
+            if table is not None:
+                return table
+            break
+    installed = Path(__file__).resolve().parent.parent.parent / "api" / "persistence.py"
+    return _parse_table(installed)
+
+
+@register_rule
+class UnregisteredHeaderKey(Rule):
+    """REP501: header payload keys must be registered in the version table."""
+
+    rule_id = "REP501"
+    name = "persistence-unregistered-key"
+    description = (
+        "keys written into save-payload headers must appear in the "
+        "HEADER_KEY_VERSIONS table in api/persistence.py"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        table: Optional[Dict[str, int]] = None
+
+        def lookup() -> Optional[Dict[str, int]]:
+            nonlocal table
+            if table is None:
+                table = _find_table_for(context)
+            return table
+
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Dict):
+                keys = [
+                    key.value
+                    for key in node.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ]
+                if "format_version" not in keys:
+                    continue
+                registry = lookup()
+                if registry is None:
+                    yield context.finding(
+                        self.rule_id,
+                        node,
+                        "header payload built but no HEADER_KEY_VERSIONS table "
+                        "found in api/persistence.py",
+                    )
+                    continue
+                for key in keys:
+                    if key not in registry:
+                        yield context.finding(
+                            self.rule_id,
+                            node,
+                            f"header key {key!r} is not registered in "
+                            f"{_TABLE_NAME}; add it with its format version",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in _HEADER_VARIABLE_NAMES
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        continue
+                    registry = lookup()
+                    if registry is None:
+                        continue
+                    if target.slice.value not in registry:
+                        yield context.finding(
+                            self.rule_id,
+                            target,
+                            f"header key {target.slice.value!r} is not registered "
+                            f"in {_TABLE_NAME}; add it with its format version",
+                        )

@@ -179,7 +179,7 @@ class SearchOptions:
     @classmethod
     def from_kwargs(cls, *, k: int = 1, n_jobs: Optional[int] = None,
                     executor: str = "thread", block: bool = True,
-                    **search_kwargs) -> "SearchOptions":
+                    **search_kwargs: Any) -> "SearchOptions":
         """Build options from a flat kwarg dict (the legacy calling style).
 
         Knobs with a dedicated field (``candidate_fraction``,
@@ -199,7 +199,7 @@ class SearchOptions:
             **fields,
         )
 
-    def replace(self, **changes) -> "SearchOptions":
+    def replace(self, **changes: Any) -> "SearchOptions":
         """A copy with ``changes`` applied (re-validated on construction)."""
         return dataclasses.replace(self, **changes)
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple, Union
+
+from os import PathLike
 
 from repro.api.specs import IndexSpec
 from repro.storage import sidecar_path, verify_sidecar
@@ -24,8 +26,24 @@ from repro.utils.persistence import (
     read_storage_dtype,
 )
 
+#: Registry of every key the payload header may carry, mapped to the
+#: format version that introduced it.  The header is additive-only —
+#: readers back to version 1 must keep loading newer files — so a new
+#: key is a two-line change: the write site in
+#: :func:`repro.utils.persistence.dump_index_payload` and a row here.
+#: The static-analysis rule REP501 cross-checks write sites against this
+#: table, so forgetting the row fails ``repro check`` instead of
+#: surfacing as format drift in a reader months later.
+HEADER_KEY_VERSIONS: Dict[str, int] = {
+    "format": 1,
+    "format_version": 1,
+    "spec": 1,
+    "storage_dtype": 1,
+    "storage": 1,
+}
 
-def save_index(index: Any, path) -> None:
+
+def save_index(index: Any, path: Union[str, PathLike]) -> None:
     """Persist any index to ``path`` in the versioned payload format.
 
     Indexes exposing their own ``save`` (every family in the library)
@@ -39,7 +57,9 @@ def save_index(index: Any, path) -> None:
     dump_index_payload(path, index, spec=getattr(index, "_api_spec", None))
 
 
-def load_index(path, *, with_spec: bool = False):
+def load_index(
+    path: Union[str, PathLike], *, with_spec: bool = False
+) -> Union[Any, Tuple[Any, Optional[IndexSpec]]]:
     """Load an index saved by any family's ``save`` (or :func:`save_index`).
 
     The class is reconstructed from the payload itself — callers never
@@ -60,7 +80,7 @@ def load_index(path, *, with_spec: bool = False):
     return payload["index"], (None if spec is None else IndexSpec.from_dict(spec))
 
 
-def saved_spec(path) -> Optional[IndexSpec]:
+def saved_spec(path: Union[str, PathLike]) -> Optional[IndexSpec]:
     """The spec stamped into a saved index file.
 
     Reads only the payload's small header frame — inspecting how a
@@ -70,7 +90,7 @@ def saved_spec(path) -> Optional[IndexSpec]:
     return None if spec is None else IndexSpec.from_dict(spec)
 
 
-def saved_storage_dtype(path) -> Optional[str]:
+def saved_storage_dtype(path: Union[str, PathLike]) -> Optional[str]:
     """The storage dtype stamped into a saved index file.
 
     The dtype the persisted point/geometry arrays are stored in (e.g.
@@ -102,6 +122,8 @@ class IndexDescription:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able form (for the ``repro info`` CLI output)."""
+        # repro: allow[REP501] report dict for `repro info`, never written
+        # into a payload header; its extra keys are output fields.
         return {
             "path": self.path,
             "format_version": self.format_version,
@@ -114,7 +136,7 @@ class IndexDescription:
         }
 
 
-def describe_index(path) -> IndexDescription:
+def describe_index(path: Union[str, PathLike]) -> IndexDescription:
     """Describe a saved index from its header frame alone.
 
     Reads a few hundred bytes — the versioned header plus filesystem

@@ -60,7 +60,7 @@ def register_index(
     description: str = "",
     composite: bool = False,
     overwrite: bool = False,
-):
+) -> Any:
     """Register an index family under ``name`` (also usable as a decorator).
 
     Parameters
@@ -91,7 +91,7 @@ def register_index(
     """
     key = normalize_kind(name)
 
-    def _register(build_callable):
+    def _register(build_callable: Callable[..., Any]) -> Callable[..., Any]:
         if not callable(build_callable):
             raise TypeError(f"builder for {key!r} must be callable")
         if key in _REGISTRY and not overwrite:
@@ -134,7 +134,7 @@ def build_index(
     /,
     *,
     memory_budget_mb: Optional[float] = None,
-    **params,
+    **params: Any,
 ) -> Any:
     """Construct an unfitted index from a kind string, spec, or spec dict.
 
@@ -245,13 +245,13 @@ def _register_builtins() -> None:
         "fh", FHIndex, description="Furthest-hyperplane hashing baseline (FH)"
     )
 
-    def _multilinear(scheme):
-        def build(**params):
+    def _multilinear(scheme: str) -> Callable[..., Any]:
+        def build(**params: Any) -> Any:
             return MultilinearHyperplaneHash(scheme, **params)
         return build
 
-    def _angular(scheme):
-        def build(**params):
+    def _angular(scheme: str) -> Callable[..., Any]:
+        def build(**params: Any) -> Any:
             return AngularHyperplaneHash(scheme, **params)
         return build
 
@@ -272,8 +272,8 @@ def _register_builtins() -> None:
         description="Embedding hyperplane hashing baseline (EH)",
     )
 
-    def _composite(cls):
-        def build(index=None, **params):
+    def _composite(cls: Callable[..., Any]) -> Callable[..., Any]:
+        def build(index: Any = None, **params: Any) -> Any:
             if index is not None:
                 params["index_factory"] = SpecIndexFactory(index)
             return cls(**params)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
@@ -89,9 +89,9 @@ class Searcher:
 
     def __init__(
         self,
-        index,
+        index: Any,
         options: Optional[SearchOptions] = None,
-        **option_overrides,
+        **option_overrides: Any,
     ) -> None:
         if not hasattr(index, "search"):
             raise TypeError(
@@ -120,8 +120,8 @@ class Searcher:
         #: Effective pool size (the request capped at the CPU count), the
         #: same cap ``execute_batch`` applies per call.
         self.workers = min(requested, os.cpu_count() or 1)
-        self._pool = None
-        self._pool_index_version = None
+        self._pool: Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]] = None
+        self._pool_index_version: Optional[int] = None
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -129,7 +129,7 @@ class Searcher:
     def __enter__(self) -> "Searcher":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         # The context manager tolerates an explicit close() inside the
         # block; only a second *explicit* close() is a caller bug.
         if not self._closed:
@@ -158,7 +158,7 @@ class Searcher:
     def closed(self) -> bool:
         return self._closed
 
-    def _index_version(self):
+    def _index_version(self) -> Optional[int]:
         """Mutation counter of the session's index (None for foreign types).
 
         Process workers hold a pickled *snapshot* of the index.  Every
@@ -184,7 +184,7 @@ class Searcher:
                 "to keep searching"
             )
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Optional[Union[ThreadPoolExecutor, ProcessPoolExecutor]]:
         """The session pool, created lazily on the first parallel call.
 
         Process workers receive the fitted index through the engine's own
@@ -220,9 +220,11 @@ class Searcher:
 
     # ----------------------------------------------------------------- calls
 
-    def _call_options(self, k, overrides) -> SearchOptions:
+    def _call_options(
+        self, k: Optional[int], overrides: Mapping[str, Any]
+    ) -> SearchOptions:
         options = self.options
-        changes = dict(overrides)
+        changes: Dict[str, Any] = dict(overrides)
         if k is not None:
             changes["k"] = k
         for fixed in ("n_jobs", "executor", "storage"):
@@ -257,7 +259,7 @@ class Searcher:
         return options
 
     def batch_search(
-        self, queries: np.ndarray, *, k: Optional[int] = None, **overrides
+        self, queries: np.ndarray, *, k: Optional[int] = None, **overrides: Any
     ) -> BatchSearchResult:
         """Answer every row of ``queries`` on the session's warm pool.
 
@@ -309,7 +311,7 @@ class Searcher:
         query_chunks: Iterable[np.ndarray],
         *,
         k: Optional[int] = None,
-        **overrides,
+        **overrides: Any,
     ) -> Iterator[BatchSearchResult]:
         """Answer an iterable of query chunks, one warm batch per chunk.
 
@@ -323,13 +325,15 @@ class Searcher:
         """
         self._check_open()
 
-        def _generate():
+        def _generate() -> Iterator[BatchSearchResult]:
             for chunk in query_chunks:
                 yield self.batch_search(chunk, k=k, **overrides)
 
         return _generate()
 
-    def search(self, query: np.ndarray, *, k: Optional[int] = None, **overrides):
+    def search(
+        self, query: np.ndarray, *, k: Optional[int] = None, **overrides: Any
+    ) -> Any:
         """Single-query convenience: ``index.search`` with session defaults."""
         self._check_open()
         options = self._call_options(k, overrides)

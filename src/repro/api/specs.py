@@ -34,7 +34,7 @@ def normalize_kind(kind: str) -> str:
     return kind.strip().lower().replace("-", "_")
 
 
-def _coerce_param(value):
+def _coerce_param(value: Any) -> Any:
     """Fold numpy scalars (the natural output of sweeps) to native types.
 
     Keeps the spec's "hashable, JSON round-trippable" contract honest for
@@ -127,7 +127,7 @@ class IndexSpec:
 
     # Frozen dataclasses with a MappingProxy field need explicit pickle
     # support (proxies are not picklable); rebuild from the dict form.
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (_spec_from_dict, (self.to_dict(),))
 
     def __hash__(self) -> int:
@@ -185,7 +185,7 @@ class IndexSpec:
             )
         return cls(kind, params, memory_budget_mb=memory_budget_mb)
 
-    def to_json(self, **dumps_kwargs) -> str:
+    def to_json(self, **dumps_kwargs: Any) -> str:
         """Serialize to a JSON string."""
         return json.dumps(self.to_dict(), **dumps_kwargs)
 
@@ -196,19 +196,19 @@ class IndexSpec:
 
     # ---------------------------------------------------------------- build
 
-    def build(self):
+    def build(self) -> Any:
         """Construct the (unfitted) index this spec describes."""
         from repro.api.registry import build_index
 
         return build_index(self)
 
 
-def _spec_from_dict(data):
+def _spec_from_dict(data: Mapping[str, Any]) -> "IndexSpec":
     """Module-level unpickling hook for :class:`IndexSpec`."""
     return IndexSpec.from_dict(data)
 
 
-def _freeze(value):
+def _freeze(value: Any) -> Any:
     """A hashable mirror of ``value`` that preserves equality semantics.
 
     Mappings become frozensets of frozen items and sequences become
@@ -238,10 +238,10 @@ class SpecIndexFactory:
             spec = IndexSpec(spec)
         self.spec = IndexSpec.from_dict(spec)
 
-    def __call__(self):
+    def __call__(self) -> Any:
         return self.spec.build()
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, SpecIndexFactory) and self.spec == other.spec
 
     def __hash__(self) -> int:

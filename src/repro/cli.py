@@ -265,6 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool flavor of the serving session (default: thread)",
     )
 
+    # Listed here only so `repro --help` mentions it; the real option
+    # surface lives in repro.analysis.cli and main() dispatches to it
+    # before this parser ever sees the command line.
+    subparsers.add_parser(
+        "check",
+        help="run the project's static-analysis rules (repro check --help)",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -492,8 +501,15 @@ def _cmd_serve(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["check"]:
+        # Static analysis owns its own option surface; hand the rest of
+        # the command line straight to repro.analysis.
+        from repro.analysis.cli import main as check_main
+
+        return check_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.command is None:
         parser.print_help()
         return 2

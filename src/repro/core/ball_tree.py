@@ -165,6 +165,8 @@ class BallTree(LeafStoredPointsMixin, P2HIndex):
                 raise ValueError(
                     "profile=True requires the exact path (exact=True)"
                 )
+            # repro: allow[REP102] exact=False hand-off to the fast tier;
+            # the literal names its default storage dtype.
             return self._engine().fast_kernel(dtype or "float32").search_block(
                 query[None, :], k, preference=preference, budget=budget
             )[0]
@@ -253,6 +255,8 @@ class BallTree(LeafStoredPointsMixin, P2HIndex):
                 )
             kernel = self._engine().block_kernel()
         else:
+            # repro: allow[REP102] exact=False hand-off to the fast tier;
+            # the literal names its default storage dtype.
             kernel = self._engine().fast_kernel(dtype or "float32")
         results = kernel.search_block(
             matrix, k, preference=branch_preference, budget=budget

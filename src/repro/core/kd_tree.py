@@ -184,6 +184,8 @@ class KDTree(LeafStoredPointsMixin, P2HIndex):
             raise TypeError(f"KDTree.search got unexpected options: {unexpected}")
         budget = resolve_budget(candidate_fraction, max_candidates, self.num_points)
         if not exact:
+            # repro: allow[REP102] exact=False hand-off to the fast tier;
+            # the literal names its default storage dtype.
             return self._engine().fast_kernel(dtype or "float32").search_block(
                 query[None, :], k, budget=budget
             )[0]
@@ -254,6 +256,8 @@ class KDTree(LeafStoredPointsMixin, P2HIndex):
                 )
             kernel = self._engine().block_kernel()
         else:
+            # repro: allow[REP102] exact=False hand-off to the fast tier;
+            # the literal names its default storage dtype.
             kernel = self._engine().fast_kernel(dtype or "float32")
         results = kernel.search_block(matrix, k, budget=budget)
         attach_block_timing(results, time.perf_counter() - wall_tic)

@@ -46,7 +46,10 @@ under ``candidate_fraction`` / ``max_candidates`` budgets.  For per-query
 dispatch this holds because each worker runs exactly the per-query code
 path of ``search``; for kernel dispatch it holds because the sequential
 ``search`` of those indexes delegates to the same kernel with a block of
-one query, and every kernel step is per-row independent.
+one query, and every kernel step is per-row independent.  Worker purity —
+a dispatched task callable never mutates ``self`` or globals (pool
+``initializer=`` excepted: planting per-process state is its job) — is
+enforced statically by ``repro check`` rule REP301.
 
 The batch-level seed matmul deliberately does *not* feed inner products
 into traversal: BLAS GEMM results are not bit-reproducible against the

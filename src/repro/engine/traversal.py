@@ -35,6 +35,12 @@ floating-point operations regardless of how the query was submitted
 parallel batch path bit-identical to sequential search — see
 :mod:`repro.engine.batch` for why batched GEMM results must *not* leak into
 traversal decisions.
+
+This module is on the **exact path**: ``repro check`` statically enforces
+that it never imports the fast tier (rule REP101) and never introduces a
+float32 dtype (REP102) — the reference traversal computes in float64 end
+to end, and every other execution mode is validated by parity against it
+(see README, "Correctness tooling").
 """
 
 from __future__ import annotations
@@ -274,6 +280,8 @@ class TraversalEngine:
             kernel = self._block_kernel = BlockTraversalKernel(self)
         return kernel
 
+    # repro: allow[REP102] default names the fast tier's storage dtype; the
+    # exact search path never calls this entry point.
     def fast_arrays(self, dtype="float32") -> FastArrays:
         """Reduced-precision tree geometry, built once per storage dtype.
 
@@ -321,6 +329,8 @@ class TraversalEngine:
             self._fast_arrays[dtype.str] = arrays
         return arrays
 
+    # repro: allow[REP102] default names the fast tier's storage dtype; the
+    # exact search path never calls this entry point.
     def fast_kernel(self, dtype="float32"):
         """The cached approximate fast-mode kernel over this engine.
 
@@ -329,6 +339,8 @@ class TraversalEngine:
         storage dtype with cross-query GEMMs — see
         :mod:`repro.engine.fast` for the approximation contract.
         """
+        # repro: allow[REP101] lazy import inside the opt-in fast-mode entry
+        # point; no exact-path code reaches it.
         from repro.engine.fast import FastTreeKernel
 
         key = np.dtype(dtype).str

@@ -10,7 +10,10 @@ flushed with its contemporaries (``max_batch`` gathered, or
 ``max_wait_ms`` after the oldest arrival), executing through the
 session's ordinary ``batch_search`` — so every coalesced answer is
 bit-identical to the per-query answer, by the engine's own determinism
-contract.
+contract.  The event loop must never block on compute — searches run on
+the coalescer's executor — and ``repro check`` rule REP302 enforces this
+statically, alongside the public error contracts REP401-REP403
+(descriptive exceptions, no silent broad handlers).
 
 Entry points: :class:`ServeConfig` (the knobs), :class:`SearchServer` /
 :func:`run_server` (the server; also ``repro serve`` on the command

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +48,7 @@ class ServeClient:
         await self.connect()
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         await self.close()
 
     async def connect(self) -> None:
@@ -116,8 +116,12 @@ class ServeClient:
             raise ServeError(status, str(answer.get("message", answer)))
         return answer
 
-    async def _read_response(self):
-        status_line = await self._reader.readline()
+    async def _read_response(self) -> Tuple[int, Dict[str, Any]]:
+        reader = self._reader
+        if reader is None:
+            raise RuntimeError("client is not connected; use 'async with' "
+                               "or call connect() first")
+        status_line = await reader.readline()
         if not status_line:
             raise ConnectionError("server closed the connection")
         parts = status_line.decode("latin-1").split(None, 2)
@@ -126,7 +130,7 @@ class ServeClient:
         status = int(parts[1])
         headers: Dict[str, str] = {}
         while True:
-            line = await self._reader.readline()
+            line = await reader.readline()
             if not line:
                 raise ConnectionError("server closed the connection mid-headers")
             if line in (b"\r\n", b"\n"):
@@ -134,5 +138,5 @@ class ServeClient:
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
-        body = await self._reader.readexactly(length) if length else b""
+        body = await reader.readexactly(length) if length else b""
         return status, (json.loads(body) if body else {})

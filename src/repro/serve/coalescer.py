@@ -70,7 +70,7 @@ class PendingRequest:
         *,
         k: Optional[int],
         overrides: Dict[str, Any],
-        future: "asyncio.Future",
+        future: "asyncio.Future[Any]",
         enqueued: float,
     ) -> None:
         self.query = query
@@ -104,7 +104,7 @@ class QueryCoalescer:
 
     def __init__(
         self,
-        searcher,
+        searcher: Any,
         *,
         max_batch: int,
         max_wait_ms: float,
@@ -116,7 +116,7 @@ class QueryCoalescer:
         self._max_queue_depth = int(max_queue_depth)
         self._pending: List[PendingRequest] = []
         self._wakeup: Optional[asyncio.Event] = None
-        self._task: Optional[asyncio.Task] = None
+        self._task: Optional["asyncio.Task[None]"] = None
         self._compute = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve-compute"
         )
@@ -187,12 +187,15 @@ class QueryCoalescer:
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
+        wakeup = self._wakeup
+        if wakeup is None:
+            raise RuntimeError("flusher running before start() created its event")
         while True:
             if not self._pending:
                 if self._draining:
                     return
-                self._wakeup.clear()
-                await self._wakeup.wait()
+                wakeup.clear()
+                await wakeup.wait()
                 continue
             # Coalescing window: the oldest queued request anchors the
             # deadline, so no request waits longer than max_wait_ms for
@@ -204,10 +207,10 @@ class QueryCoalescer:
                     remaining = deadline - loop.time()
                     if remaining <= 0 or self._draining:
                         break
-                    self._wakeup.clear()
+                    wakeup.clear()
                     try:
                         await asyncio.wait_for(
-                            self._wakeup.wait(), timeout=remaining
+                            wakeup.wait(), timeout=remaining
                         )
                     except asyncio.TimeoutError:
                         break
@@ -232,7 +235,9 @@ class QueryCoalescer:
             batch.append(request)
         return batch
 
-    async def _execute_batch(self, loop, batch: List[PendingRequest]) -> None:
+    async def _execute_batch(
+        self, loop: asyncio.AbstractEventLoop, batch: List[PendingRequest]
+    ) -> None:
         """Run one flush: group by options, one ``batch_search`` per group."""
         groups: Dict[Tuple, List[PendingRequest]] = {}
         for request in batch:
@@ -247,7 +252,11 @@ class QueryCoalescer:
                 results = await loop.run_in_executor(
                     self._compute, self._search_group, group
                 )
-            except Exception as exc:  # noqa: BLE001 - forwarded per request
+            # repro: allow[REP403] not swallowed: the exception is forwarded
+            # into every waiting request future, so each caller re-raises it;
+            # narrowing here would instead kill the flusher task and hang
+            # every queued request behind this group.
+            except Exception as exc:
                 # A bad option set fails its whole group (every request in
                 # the group shares the same options); other groups and the
                 # flusher itself are unaffected.
@@ -262,7 +271,7 @@ class QueryCoalescer:
                 if not request.future.done():
                     request.future.set_result(result)
 
-    def _search_group(self, group: List[PendingRequest]):
+    def _search_group(self, group: List[PendingRequest]) -> List[Any]:
         """Answer one option-group as a single block (compute thread).
 
         Two cases go through the session's single-query ``search`` — the

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Dict, Optional, Set
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -55,7 +55,9 @@ class SearchServer:
     it, after :meth:`stop` returns.
     """
 
-    def __init__(self, searcher, config: Optional[ServeConfig] = None) -> None:
+    def __init__(
+        self, searcher: Any, config: Optional[ServeConfig] = None
+    ) -> None:
         if getattr(searcher, "closed", False):
             raise RuntimeError(
                 "cannot serve a closed Searcher session; open a fresh "
@@ -69,8 +71,8 @@ class SearchServer:
             max_wait_ms=self.config.max_wait_ms,
             max_queue_depth=self.config.max_queue_depth,
         )
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._connections: Set[asyncio.Task] = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set["asyncio.Task[None]"] = set()
         self._draining = False
         #: The bound port (resolves ``port=0`` after :meth:`start`).
         self.port: Optional[int] = None
@@ -87,7 +89,8 @@ class SearchServer:
         self._server = await asyncio.start_server(
             self._on_connection, host=self.config.host, port=self.config.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        sockets = self._server.sockets
+        self.port = int(sockets[0].getsockname()[1]) if sockets else None
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain the queue, hang up.
@@ -124,7 +127,9 @@ class SearchServer:
 
     # ----------------------------------------------------------- connections
 
-    async def _on_connection(self, reader, writer) -> None:
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
@@ -138,7 +143,9 @@ class SearchServer:
             except (ConnectionError, OSError):  # pragma: no cover - racy close
                 pass
 
-    async def _serve_connection(self, reader, writer) -> None:
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         while True:
             try:
                 request = await read_request(reader)
@@ -169,7 +176,9 @@ class SearchServer:
 
     # ---------------------------------------------------------------- routes
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
         try:
             if path == "/search":
                 if method != "POST":
@@ -188,7 +197,10 @@ class SearchServer:
             )
         except HttpError as exc:
             return exc.status, error_payload(exc.status, exc.message)
-        except Exception as exc:  # noqa: BLE001 - last-resort answer
+        # repro: allow[REP403] last-resort handler of the HTTP route: any
+        # unanticipated failure must become a 500 response naming the error,
+        # because the alternative is a dropped connection with no answer.
+        except Exception as exc:
             return 500, error_payload(500, f"{type(exc).__name__}: {exc}")
 
     async def _handle_search(self, body: bytes) -> Dict[str, Any]:
@@ -272,7 +284,9 @@ class SearchServer:
         }
 
 
-def _parse_search_payload(payload: Dict[str, Any]):
+def _parse_search_payload(
+    payload: Dict[str, Any],
+) -> Tuple[np.ndarray, Optional[int], Dict[str, Any]]:
     """Validate one ``POST /search`` body into ``(query, k, overrides)``."""
     unknown = set(payload) - {"query", "k", "options"}
     if unknown:
@@ -311,7 +325,7 @@ def _parse_search_payload(payload: Dict[str, Any]):
     return query, k, dict(options)
 
 
-async def _safe_drain(writer) -> None:
+async def _safe_drain(writer: asyncio.StreamWriter) -> None:
     try:
         await writer.drain()
     except (ConnectionError, OSError):  # pragma: no cover - peer hung up
@@ -322,12 +336,12 @@ async def _safe_drain(writer) -> None:
 
 
 async def serve_forever(
-    searcher,
+    searcher: Any,
     config: Optional[ServeConfig] = None,
     *,
     ready: Optional[threading.Event] = None,
     stop_event: Optional[asyncio.Event] = None,
-    on_start=None,
+    on_start: Optional[Callable[["SearchServer"], None]] = None,
 ) -> None:
     """Start a server and run until ``stop_event`` (or cancellation).
 
@@ -351,7 +365,12 @@ async def serve_forever(
         await server.stop()
 
 
-def run_server(searcher, config: Optional[ServeConfig] = None, *, on_start=None) -> None:
+def run_server(
+    searcher: Any,
+    config: Optional[ServeConfig] = None,
+    *,
+    on_start: Optional[Callable[["SearchServer"], None]] = None,
+) -> None:
     """Blocking entry point (the ``repro serve`` CLI): serve until Ctrl-C."""
     try:
         asyncio.run(serve_forever(searcher, config, on_start=on_start))
@@ -370,7 +389,9 @@ class BackgroundServer:
     ...     port = server.port
     """
 
-    def __init__(self, searcher, config: Optional[ServeConfig] = None) -> None:
+    def __init__(
+        self, searcher: Any, config: Optional[ServeConfig] = None
+    ) -> None:
         self._searcher = searcher
         self._config = config or ServeConfig()
         self._thread: Optional[threading.Thread] = None
@@ -425,7 +446,7 @@ class BackgroundServer:
             raise RuntimeError("server is not running")
         return self._server._handle_stats()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         if self._loop is not None and self._stop is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:

@@ -30,7 +30,7 @@ path (:mod:`repro.core.chunked`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class StorageSpec:
             )
 
     @classmethod
-    def coerce(cls, value) -> "StorageSpec":
+    def coerce(cls, value: Any) -> "StorageSpec":
         """Coerce a user-facing storage knob to a validated spec.
 
         Accepts ``None`` (the default spec), an existing spec, a string
@@ -138,7 +138,9 @@ class StorageSpec:
         return RamStore(dtype=self.dtype)
 
 
-def combined_storage_header(stores) -> Optional[Dict[str, str]]:
+def combined_storage_header(
+    stores: Iterable["ArrayStore"],
+) -> Optional[Dict[str, str]]:
     """One ``{"backend", "dtype"}`` header describing several stores.
 
     Composite indexes (dynamic, partitioned) hold one store per sub-index;
@@ -221,7 +223,7 @@ class ArrayStore:
         raise NotImplementedError
 
     def create(
-        self, name: str, shape: Tuple[int, ...], dtype=None
+        self, name: str, shape: Tuple[int, ...], dtype: Any = None
     ) -> np.ndarray:
         """Allocate a writable destination array (for chunked spills).
 
@@ -254,7 +256,7 @@ class ArrayStore:
     def to_header(self) -> Dict[str, str]:
         return self.spec.to_header()
 
-    def derive(self, name: str, dtype) -> np.ndarray:
+    def derive(self, name: str, dtype: Any) -> np.ndarray:
         """A cached cast of ``name`` to ``dtype`` (the fast mode's copies).
 
         Stored under ``"<name>.<dtype.str>"`` so mmap backends keep the
@@ -269,7 +271,7 @@ class ArrayStore:
             return self.get(derived_name)
         return self._put_cast(derived_name, source, dtype)
 
-    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+    def _put_cast(self, name: str, source: np.ndarray, dtype: Any) -> np.ndarray:
         """Store a cast copy of ``source`` under ``name`` (backend hook)."""
         raise NotImplementedError
 

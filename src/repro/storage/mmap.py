@@ -30,7 +30,8 @@ import tempfile
 import weakref
 from contextvars import ContextVar
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from os import PathLike
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +48,7 @@ SIDECAR_DIRECTORY: ContextVar[Optional[str]] = ContextVar(
 SIDECAR_SUFFIX = ".arrays"
 
 
-def sidecar_path(payload_path) -> Path:
+def sidecar_path(payload_path: Union[str, PathLike]) -> Path:
     """The sidecar directory belonging to a payload file."""
     payload_path = Path(payload_path)
     return payload_path.with_name(payload_path.name + SIDECAR_SUFFIX)
@@ -58,7 +59,7 @@ def _filename(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9_.-]", "_", name) + ".npy"
 
 
-def expected_npy_nbytes(path) -> int:
+def expected_npy_nbytes(path: Union[str, PathLike]) -> int:
     """The on-disk size a complete ``.npy`` file must have.
 
     Parses only the file's magic + header (a few hundred bytes) and
@@ -82,7 +83,9 @@ def expected_npy_nbytes(path) -> int:
     return offset + count * np.dtype(dtype).itemsize
 
 
-def verify_sidecar(payload_path, *, required: bool = True) -> None:
+def verify_sidecar(
+    payload_path: Union[str, PathLike], *, required: bool = True
+) -> None:
     """Check a payload's ``.arrays`` sidecar is present and complete.
 
     A payload whose header says the point arrays live in mmap storage is
@@ -153,7 +156,14 @@ class _FileRowWriter(RowWriter):
     instead, so spilling an ``(n, d)`` matrix costs one chunk of RSS.
     """
 
-    def __init__(self, store: "MmapStore", name: str, path, shape, dtype) -> None:
+    def __init__(
+        self,
+        store: "MmapStore",
+        name: str,
+        path: Union[str, PathLike],
+        shape: Tuple[int, ...],
+        dtype: Any,
+    ) -> None:
         # open_memmap writes the header and sizes the file; drop the
         # mapping immediately (only the header page was ever touched).
         seed = np.lib.format.open_memmap(
@@ -196,6 +206,7 @@ class MmapStore(ArrayStore):
         self, dtype: str = "float64", directory: Optional[str] = None
     ) -> None:
         super().__init__(dtype)
+        self._cleanup: Optional[weakref.finalize] = None
         if directory is None:
             directory = tempfile.mkdtemp(prefix="repro-mmap-")
             # Private scratch directory: reclaim it with the store unless
@@ -205,7 +216,6 @@ class MmapStore(ArrayStore):
             )
         else:
             Path(directory).mkdir(parents=True, exist_ok=True)
-            self._cleanup = None
         self._directory = str(directory)
         self._names: Dict[str, str] = {}  # name -> .npy file name
         self._open: Dict[str, np.ndarray] = {}
@@ -234,7 +244,9 @@ class MmapStore(ArrayStore):
     def names(self) -> Tuple[str, ...]:
         return tuple(self._names)
 
-    def create(self, name: str, shape, dtype=None) -> np.ndarray:
+    def create(
+        self, name: str, shape: Tuple[int, ...], dtype: Any = None
+    ) -> np.ndarray:
         path = self._path_for(name, register=True)
         writable = np.lib.format.open_memmap(
             path,
@@ -251,11 +263,11 @@ class MmapStore(ArrayStore):
             writable.flush()
         return self._open_map(name)
 
-    def writer(self, name: str, shape) -> _FileRowWriter:
+    def writer(self, name: str, shape: Tuple[int, ...]) -> _FileRowWriter:
         path = self._path_for(name, register=True)
         return _FileRowWriter(self, name, path, shape, np.dtype(self.dtype))
 
-    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+    def _put_cast(self, name: str, source: np.ndarray, dtype: Any) -> np.ndarray:
         # Stream the cast in row blocks so deriving a float32 copy of an
         # out-of-core matrix never materializes either dtype in full.
         dtype = np.dtype(dtype)
@@ -271,7 +283,7 @@ class MmapStore(ArrayStore):
 
     # ------------------------------------------------------------ lifecycle
 
-    def persist(self, sidecar_dir, name: str) -> None:
+    def persist(self, sidecar_dir: Union[str, PathLike], name: str) -> None:
         """Re-home the files into ``<sidecar_dir>/<name>`` (at ``save``).
 
         The store keeps serving from the new location; the original
@@ -294,7 +306,7 @@ class MmapStore(ArrayStore):
 
     # -------------------------------------------------------------- pickling
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # Paths and names only — never array bytes.  Process-pool workers
         # and load_index re-open the maps on first access.
         return {
@@ -304,7 +316,7 @@ class MmapStore(ArrayStore):
             "sidecar_name": self._sidecar_name,
         }
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self.dtype = state["dtype"]
         self._names = dict(state["names"])
         self._open = {}

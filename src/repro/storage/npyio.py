@@ -18,7 +18,8 @@ is wrapped with the same two-method interface.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Tuple
+from os import PathLike
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +41,7 @@ class NpyRowReader:
     millions of tiny syscalls.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: Union[str, PathLike]) -> None:
         self._path = Path(path)
         self._handle = open(self._path, "rb")
         version = np.lib.format.read_magic(self._handle)
@@ -79,7 +80,9 @@ class NpyRowReader:
         block = np.frombuffer(data, dtype=self.dtype)
         return block.reshape(count, self.shape[1]).copy()
 
-    def gather(self, indices, *, max_span: Optional[int] = None) -> np.ndarray:
+    def gather(
+        self, indices: np.ndarray, *, max_span: Optional[int] = None
+    ) -> np.ndarray:
         """The given rows, in the given order, via span-bounded reads.
 
         ``max_span`` caps how many *file* rows one read may cover; within a
@@ -115,7 +118,7 @@ class NpyRowReader:
     def __enter__(self) -> "NpyRowReader":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
 
@@ -127,7 +130,7 @@ class ArrayRowSource:
     build treat every source uniformly.
     """
 
-    def __init__(self, array) -> None:
+    def __init__(self, array: np.ndarray) -> None:
         if array.ndim != 2:
             raise ValueError(
                 f"row source must be 2-D, got {array.ndim}-D"
@@ -139,14 +142,16 @@ class ArrayRowSource:
     def read(self, lo: int, hi: int) -> np.ndarray:
         return np.asarray(self._array[int(lo): int(hi)])
 
-    def gather(self, indices, *, max_span: Optional[int] = None) -> np.ndarray:
+    def gather(
+        self, indices: np.ndarray, *, max_span: Optional[int] = None
+    ) -> np.ndarray:
         return np.asarray(self._array[np.asarray(indices, dtype=np.int64)])
 
     def close(self) -> None:
         pass
 
 
-def as_row_source(source):
+def as_row_source(source: Any) -> Any:
     """Coerce a build-input description to a row source.
 
     Accepts a path to a ``.npy`` file (read via plain file I/O, keeping

@@ -13,7 +13,7 @@ deduplicates arrays also referenced directly by the index object).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -43,7 +43,9 @@ class RamStore(ArrayStore):
     def names(self) -> Tuple[str, ...]:
         return tuple(self._arrays)
 
-    def create(self, name: str, shape, dtype=None) -> np.ndarray:
+    def create(
+        self, name: str, shape: Tuple[int, ...], dtype: Any = None
+    ) -> np.ndarray:
         array = np.empty(shape, dtype=self.dtype if dtype is None else dtype)
         self._arrays[name] = array
         return array
@@ -51,7 +53,7 @@ class RamStore(ArrayStore):
     def finalize(self, name: str) -> np.ndarray:
         return self._arrays[name]
 
-    def _put_cast(self, name: str, source, dtype) -> np.ndarray:
+    def _put_cast(self, name: str, source: np.ndarray, dtype: Any) -> np.ndarray:
         cast = np.ascontiguousarray(source, dtype=dtype)
         self._arrays[name] = cast
         return cast

@@ -38,6 +38,11 @@ This module is deliberately a leaf (stdlib-only apart from the
 numpy-backed :mod:`repro.storage` sidecar hooks, imported lazily) so both
 the core layer and the public API layer can share the format without an
 import cycle.
+
+The header is additive-only: every key it may carry is registered, with
+the format version that introduced it, in ``HEADER_KEY_VERSIONS`` in
+:mod:`repro.api.persistence`, and ``repro check`` rule REP501 statically
+cross-checks write sites against that table.
 """
 
 from __future__ import annotations

@@ -1,0 +1,28 @@
+"""Deliberately violating fixture for the static-analysis CI smoke.
+
+This file MUST fail ``repro check``: CI scans ``tests/fixtures/analysis``
+and asserts a *nonzero* exit, proving the checker still detects
+violations — a checker that waved everything through would otherwise
+look identical to a clean tree.  Do not "fix" this file, and do not add
+allow comments to it.
+
+It sits in a miniature ``repro/core/`` tree so the path-based scope
+classification treats it as an exact-path kernel module (see
+``repro.analysis.framework``).  Nothing imports it; pytest does not
+collect it.
+"""
+
+import time
+
+from repro.engine.fast import FastTreeKernel  # noqa: F401  (REP101 seed)
+
+
+def centers_in_reduced_precision(points):
+    # REP102 seed: float32 on the exact path.
+    return points.astype("float32")
+
+
+def stamp_result(result):
+    # REP201 seed: wall-clock read in kernel scope.
+    result["computed_at"] = time.time()
+    return result
