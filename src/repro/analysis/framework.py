@@ -100,6 +100,11 @@ class ModuleContext:
         return self.module_parts[:1] == ("serve",)
 
     @property
+    def is_cluster_scope(self) -> bool:
+        """The distributed scatter-gather tier (same event-loop rule)."""
+        return self.module_parts[:1] == ("cluster",)
+
+    @property
     def is_public_api(self) -> bool:
         """Public entry-point modules (error-contract rule REP401)."""
         parts = self.module_parts

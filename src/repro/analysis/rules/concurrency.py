@@ -17,6 +17,10 @@ Two contracts from the batching and serving layers:
   ``run_in_executor``/coalescer), and ``subprocess``/``requests`` calls.
   Code inside a nested ``def`` is not flagged — that is the standard way
   to package blocking work for an executor.
+* **Non-blocking cluster coroutines (REP303).**  The same contract as
+  REP302, scoped to the distributed tier (``repro/cluster/``): the
+  router's event loop multiplexes every shard connection, so one
+  blocking call degrades the whole cluster.
 """
 
 from __future__ import annotations
@@ -177,6 +181,22 @@ class _AsyncBodyVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _blocking_async_findings(
+    rule: Rule, context: ModuleContext
+) -> Iterator[Finding]:
+    """Shared body of REP302/REP303: flag blocking calls in async defs."""
+    visitor = _AsyncBodyVisitor()
+    visitor.visit(context.tree)
+    for call in visitor.blocking:
+        chain = _attribute_chain(call.func)
+        label = ".".join(chain) if chain else "call"
+        yield context.finding(
+            rule.rule_id,
+            call,
+            f"blocking call {label}() inside an async def body",
+        )
+
+
 @register_rule
 class BlockingCallInCoroutine(Rule):
     """REP302: serve-tier coroutines must not make blocking calls."""
@@ -191,13 +211,27 @@ class BlockingCallInCoroutine(Rule):
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         if not context.is_serve_scope:
             return
-        visitor = _AsyncBodyVisitor()
-        visitor.visit(context.tree)
-        for call in visitor.blocking:
-            chain = _attribute_chain(call.func)
-            label = ".".join(chain) if chain else "call"
-            yield context.finding(
-                self.rule_id,
-                call,
-                f"blocking call {label}() inside an async def body",
-            )
+        yield from _blocking_async_findings(self, context)
+
+
+@register_rule
+class BlockingCallInClusterCoroutine(Rule):
+    """REP303: cluster-tier coroutines must not make blocking calls.
+
+    The router and manager coroutines multiplex every shard connection on
+    one event loop; a single blocking call there stalls the whole
+    cluster's front door — the same contract REP302 pins for the serve
+    tier, scoped to ``repro/cluster/``.
+    """
+
+    rule_id = "REP303"
+    name = "cluster-blocking-in-async"
+    description = (
+        "async def bodies in cluster/ must not call time.sleep, synchronous "
+        "searcher searches, subprocess or requests; use the compute executor"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_cluster_scope:
+            return
+        yield from _blocking_async_findings(self, context)

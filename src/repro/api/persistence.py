@@ -40,6 +40,7 @@ HEADER_KEY_VERSIONS: Dict[str, int] = {
     "spec": 1,
     "storage_dtype": 1,
     "storage": 1,
+    "shards": 1,
 }
 
 
@@ -114,11 +115,30 @@ class IndexDescription:
     storage_dtype: Optional[str]
     payload_bytes: int
     sidecar_bytes: int
+    #: Shard layout of a partitioned payload (``{"count", "sizes"}``);
+    #: None for single-index payloads and files saved before the key.
+    shards: Optional[Dict[str, Any]] = None
 
     @property
     def kind(self) -> Optional[str]:
         """The registry kind the index was built as, when spec-stamped."""
         return None if self.spec is None else self.spec.kind
+
+    @property
+    def num_shards(self) -> Optional[int]:
+        """Partition count of a partitioned payload (None otherwise)."""
+        if not self.shards:
+            return None
+        count = self.shards.get("count")
+        return None if count is None else int(count)
+
+    @property
+    def shard_sizes(self) -> Optional[list]:
+        """Per-shard point counts of a partitioned payload (None otherwise)."""
+        if not self.shards:
+            return None
+        sizes = self.shards.get("sizes")
+        return None if sizes is None else [int(size) for size in sizes]
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able form (for the ``repro info`` CLI output)."""
@@ -133,6 +153,8 @@ class IndexDescription:
             "storage_dtype": self.storage_dtype,
             "payload_bytes": self.payload_bytes,
             "sidecar_bytes": self.sidecar_bytes,
+            "num_shards": self.num_shards,
+            "shard_sizes": self.shard_sizes,
         }
 
 
@@ -180,4 +202,5 @@ def describe_index(path: Union[str, PathLike]) -> IndexDescription:
         storage_dtype=header.get("storage_dtype"),
         payload_bytes=path.stat().st_size,
         sidecar_bytes=sidecar_bytes,
+        shards=header.get("shards"),
     )

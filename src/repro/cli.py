@@ -13,6 +13,11 @@ writing code:
   library-only), printing recall and timing against the exact linear scan.
   ``--fast`` opts the tree indexes into the approximate fast mode
   (``exact=False``: float32 storage plus cross-query GEMM kernels).
+* ``python -m repro cluster`` — serve a cluster directory (or split a
+  saved partitioned payload into one with ``--out``) as a multi-process
+  scatter-gather deployment: one shard server per manifest entry plus
+  the router front end, whose gathered answers are bit-identical to the
+  single-process partitioned index.
 * ``python -m repro run <experiment>`` — regenerate one of the paper's
   tables or figures (``table2``, ``table3``, ``fig5`` ... ``fig11``,
   ``partitioned``, ``batch``) at a configurable scale, printing the same
@@ -265,6 +270,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool flavor of the serving session (default: thread)",
     )
 
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help=(
+            "serve a cluster directory (or split a partitioned payload "
+            "into one) behind a scatter-gather router"
+        ),
+    )
+    cluster_parser.add_argument(
+        "path",
+        help=(
+            "a cluster directory (holding manifest.json) to serve, or a "
+            "saved PartitionedP2HIndex payload to split first"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "destination directory when splitting a payload "
+            "(default: <payload>.cluster)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "expected shard count; refused if it disagrees with the "
+            "payload/manifest (shard count is data-defined, not a resize)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--ports",
+        default=None,
+        help="comma-separated shard ports, one per shard (default: ephemeral)",
+    )
+    cluster_parser.add_argument(
+        "--router-port",
+        type=int,
+        default=None,
+        help="router bind port; 0 asks the OS for an ephemeral port",
+    )
+    cluster_parser.add_argument(
+        "--host",
+        default=None,
+        help="interface the shard and router sockets bind (default: spec's)",
+    )
+    cluster_parser.add_argument(
+        "--mode",
+        default="process",
+        choices=("process", "thread"),
+        help=(
+            "shard isolation: one spawned process per shard, or threads "
+            "in this process for cheap smoke runs (default: process)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--split-only",
+        action="store_true",
+        help="split the payload into a cluster directory and exit",
+    )
+
     # Listed here only so `repro --help` mentions it; the real option
     # surface lives in repro.analysis.cli and main() dispatches to it
     # before this parser ever sees the command line.
@@ -419,6 +486,7 @@ def _cmd_info(args) -> int:
         "format_version",
         "kind",
         "params",
+        "num_shards",
         "storage_backend",
         "storage_dtype",
         "payload_bytes",
@@ -499,6 +567,106 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    # Imported here (not module top) so the other commands never pay for
+    # the cluster stack.
+    import dataclasses
+    import threading
+    from pathlib import Path
+
+    from repro.cluster import (
+        ClusterManager,
+        read_manifest,
+        split_partitioned_payload,
+        write_manifest,
+    )
+    from repro.cluster.manifest import MANIFEST_NAME
+
+    path = Path(args.path)
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.router_port is not None:
+        overrides["router_port"] = args.router_port
+    if args.ports is not None:
+        try:
+            overrides["shard_ports"] = tuple(
+                int(part) for part in args.ports.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"invalid --ports value: {args.ports!r}", file=sys.stderr)
+            return 2
+
+    split = not (path.is_dir() or path.name == MANIFEST_NAME)
+    try:
+        if split:
+            out_dir = Path(args.out) if args.out else Path(f"{path}.cluster")
+            manifest = split_partitioned_payload(path, out_dir)
+            print(
+                f"split {path} into {manifest.spec.num_shards} shard "
+                f"payload(s) under {manifest.directory}"
+            )
+        else:
+            manifest = read_manifest(path)
+    except FileNotFoundError as exc:
+        message = str(exc) if exc.filename is None else f"no such file: {path}"
+        print(message, file=sys.stderr)
+        return 2
+    except (TypeError, ValueError) as exc:
+        print(f"cannot open cluster: {exc}", file=sys.stderr)
+        return 2
+
+    if args.shards is not None and args.shards != manifest.spec.num_shards:
+        print(
+            f"--shards {args.shards} disagrees with {manifest.directory} "
+            f"(num_shards={manifest.spec.num_shards}); the shard count is "
+            "fixed by the data — rebuild the cluster directory to change it",
+            file=sys.stderr,
+        )
+        return 2
+
+    if overrides:
+        try:
+            spec = dataclasses.replace(manifest.spec, **overrides)
+        except (TypeError, ValueError) as exc:
+            print(f"invalid cluster options: {exc}", file=sys.stderr)
+            return 2
+        manifest = dataclasses.replace(manifest, spec=spec)
+        if split:
+            # A directory this run created records the requested topology,
+            # so a later `repro cluster <dir>` reuses it flag-free.  An
+            # existing directory is never rewritten: the overrides apply
+            # to this serve only.
+            write_manifest(
+                manifest.directory,
+                spec,
+                [entry.load_point_ids() for entry in manifest.shards],
+            )
+
+    if args.split_only:
+        print(f"cluster directory ready: {manifest.directory}")
+        return 0
+
+    spec = manifest.spec
+    try:
+        with ClusterManager(manifest, mode=args.mode) as cluster:
+            print(
+                f"cluster of {spec.num_shards} shard(s) "
+                f"[{spec.index.kind}, mode={args.mode}] from "
+                f"{manifest.directory} routing on "
+                f"http://{spec.host}:{cluster.router_port} — Ctrl-C to stop",
+                flush=True,
+            )
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("shutting down", flush=True)
+    except RuntimeError as exc:
+        print(f"cluster failed to start: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -523,6 +691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

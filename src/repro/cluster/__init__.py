@@ -1,0 +1,77 @@
+"""Distributed scatter-gather serving over sharded indexes.
+
+Section III-A of the paper motivates the Ball-Tree family partly as a
+substrate for "scalable and distributed P2HNNS"; the in-process
+:class:`~repro.core.partitioned.PartitionedP2HIndex` (one sub-index per
+partition, merged top-k) is the single-machine half of that promise.
+This package is the other half: the same sharded search, with each shard
+owned by its **own server process** behind a scatter-gather router.
+
+* :class:`ClusterSpec` (:mod:`repro.cluster.spec`) — the declarative
+  topology: shard count, per-shard index spec, placement strategy,
+  ports, and serving knobs; JSON round-trippable like
+  :class:`~repro.api.IndexSpec`.
+* :mod:`repro.cluster.manifest` — cluster directories on disk: one saved
+  payload + global-id map per shard, tied together by ``manifest.json``.
+  Built by splitting a partitioned payload
+  (:func:`split_partitioned_payload` — keeps its exact placement) or by
+  partitioning raw points (:func:`build_cluster_dir`).
+* :class:`ShardServer` (:mod:`repro.cluster.shard`) — one warm
+  :class:`~repro.api.Searcher` per shard behind the ordinary serving
+  front end, extended with the block route (``/search_batch``) and the
+  snapshot-versioned update route (``/update``).
+* :class:`ScatterGatherBackend` / :class:`RouterServer`
+  (:mod:`repro.cluster.router`) — the front door: coalesced flushes
+  scatter to every shard concurrently, gathered top-k lists merge with
+  the partitioned index's **own** block merge, so routed answers are
+  bit-identical to single-process ``batch_search``.  Routed updates bump
+  a uniform snapshot version so concurrent queries never observe a
+  half-applied batch; a dead shard yields descriptive 503s until
+  restarted.
+* :class:`ClusterManager` (:mod:`repro.cluster.manager`) — lifecycle:
+  spawn/health/drain/restart, process- or thread-backed shards, and the
+  ``repro cluster`` CLI's engine room.
+
+The cluster tier is held to the same static contracts as the
+single-process front end: ``repro check`` rule REP303 forbids blocking
+calls inside this package's coroutines (the counterpart of the serve
+tier's REP302).
+"""
+
+from repro.cluster.manager import ClusterManager, ProcessShard, ThreadShard
+from repro.cluster.manifest import (
+    ClusterManifest,
+    ShardEntry,
+    build_cluster_dir,
+    read_manifest,
+    split_partitioned_payload,
+    write_manifest,
+)
+from repro.cluster.router import (
+    RouterServer,
+    ScatterGatherBackend,
+    ShardDownError,
+    ShardLink,
+)
+from repro.cluster.shard import ShardServer, shard_process_main
+from repro.cluster.spec import ClusterSpec, resolve_cluster_spec
+
+__all__ = [
+    "ClusterManager",
+    "ClusterManifest",
+    "ClusterSpec",
+    "ProcessShard",
+    "RouterServer",
+    "ScatterGatherBackend",
+    "ShardDownError",
+    "ShardEntry",
+    "ShardLink",
+    "ShardServer",
+    "ThreadShard",
+    "build_cluster_dir",
+    "read_manifest",
+    "resolve_cluster_spec",
+    "shard_process_main",
+    "split_partitioned_payload",
+    "write_manifest",
+]

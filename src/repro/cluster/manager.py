@@ -1,0 +1,364 @@
+"""Cluster lifecycle: spawn shards, run the router, restart the fallen.
+
+:class:`ClusterManager` turns a cluster directory
+(:mod:`repro.cluster.manifest`) into a live deployment: one shard server
+per manifest entry — a real ``spawn``-ed process
+(:class:`ProcessShard`) or, for cheap tests on small machines, a thread
+inside this process (:class:`ThreadShard`) — plus the router front end
+on its own background thread.  The manager owns health checks, draining,
+and :meth:`restart_shard` for crashed shards; while a shard is down the
+router answers descriptive 503s naming it, and service resumes as soon
+as the restart lands.
+
+A restarted shard serves its **on-disk snapshot**: routed inserts and
+deletes applied since the directory was built live only in the shard
+processes, so a crash loses them (the restart re-joins at the current
+snapshot version, keeping reads consistent).  Durable updates are a
+checkpointing concern out of scope here — re-save the shard payloads to
+persist a mutated cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from typing import Any, Dict, List, Optional, Union
+
+from os import PathLike
+
+import numpy as np
+
+from repro.cluster.manifest import ClusterManifest, read_manifest
+from repro.cluster.router import RouterServer, ScatterGatherBackend, ShardLink
+from repro.cluster.shard import ShardServer, shard_process_main
+from repro.serve.client import ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.server import BackgroundServer, SearchServer
+
+#: Seconds a spawning shard process gets to report its port.
+SPAWN_TIMEOUT_S = 60.0
+
+
+class ProcessShard:
+    """One shard server in its own ``spawn``-ed process."""
+
+    def __init__(
+        self,
+        payload_path: str,
+        config: ServeConfig,
+        shard_id: int,
+        initial_version: int,
+    ) -> None:
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe()
+        self.shard_id = int(shard_id)
+        self.process = context.Process(
+            target=shard_process_main,
+            args=(payload_path, config, shard_id, initial_version, child_conn),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        if not parent_conn.poll(SPAWN_TIMEOUT_S):
+            self.process.kill()
+            raise RuntimeError(
+                f"shard {shard_id} did not report a port within "
+                f"{SPAWN_TIMEOUT_S:g}s"
+            )
+        message = parent_conn.recv()
+        parent_conn.close()
+        if "error" in message:
+            self.process.join(timeout=10)
+            raise RuntimeError(
+                f"shard {shard_id} failed to start: {message['error']}"
+            )
+        self.port = int(message["port"])
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        """Graceful shutdown: SIGTERM triggers the server's drain."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=30)
+        if self.process.is_alive():  # pragma: no cover - hung shard
+            self.process.kill()
+            self.process.join(timeout=10)
+
+    def kill(self) -> None:
+        """Hard kill (the failure the degraded-serving tests inject)."""
+        self.process.kill()
+        self.process.join(timeout=10)
+
+
+class ThreadShard:
+    """One shard server on a thread in this process (for cheap tests).
+
+    Same server class and HTTP surface as :class:`ProcessShard`, without
+    process isolation — the shape small-machine tests and the in-repo CI
+    smoke use to exercise routing without paying per-process interpreter
+    startup.  Owns the shard's index and session lifecycle.
+    """
+
+    def __init__(
+        self,
+        payload_path: str,
+        config: ServeConfig,
+        shard_id: int,
+        initial_version: int,
+    ) -> None:
+        from repro.api import Searcher, load_index
+
+        self.shard_id = int(shard_id)
+        self._searcher = Searcher(load_index(payload_path))
+
+        def factory(searcher: Any, cfg: Optional[ServeConfig]) -> SearchServer:
+            return ShardServer(
+                searcher,
+                cfg,
+                shard_id=shard_id,
+                initial_version=initial_version,
+            )
+
+        self._server = BackgroundServer(
+            self._searcher, config, server_factory=factory
+        )
+        try:
+            self._server.__enter__()
+        except BaseException:
+            self._searcher.close()
+            raise
+        self.port = int(self._server.port or 0)
+        self._stopped = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self._server.__exit__(None, None, None)
+        finally:
+            if not self._searcher.closed:
+                self._searcher.close()
+
+    def kill(self) -> None:
+        # No process to kill; stopping the server severs the sockets,
+        # which is the failure the router observes either way.
+        self.stop()
+
+
+class ClusterManager:
+    """Run one cluster: shard fleet + scatter-gather router.
+
+    Use as a context manager::
+
+        with ClusterManager(cluster_dir) as cluster:
+            answer = cluster.search(query, k=5)   # or talk HTTP to
+            port = cluster.router_port            # the router directly
+
+    Parameters
+    ----------
+    manifest:
+        A cluster directory path, manifest path, or parsed
+        :class:`~repro.cluster.manifest.ClusterManifest`.
+    mode:
+        ``"process"`` (default) spawns one process per shard;
+        ``"thread"`` runs shard servers on threads in this process.
+    """
+
+    def __init__(
+        self,
+        manifest: Union[str, PathLike, ClusterManifest],
+        *,
+        mode: str = "process",
+    ) -> None:
+        if mode not in ("process", "thread"):
+            raise ValueError(
+                f"unknown cluster mode {mode!r}; use 'process' or 'thread'"
+            )
+        if not isinstance(manifest, ClusterManifest):
+            manifest = read_manifest(manifest)
+        self.manifest = manifest
+        self.spec = manifest.spec
+        self.mode = mode
+        self.shards: List[Union[ProcessShard, ThreadShard]] = []
+        self.backend: Optional[ScatterGatherBackend] = None
+        self._router: Optional[BackgroundServer] = None
+        self.router_port: Optional[int] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "ClusterManager":
+        try:
+            self.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Spawn every shard, then the router over their live addresses."""
+        spec = self.spec
+        links: List[ShardLink] = []
+        for entry in self.manifest.shards:
+            shard = self._spawn_shard(entry.shard_id, initial_version=0)
+            self.shards.append(shard)
+            links.append(
+                ShardLink(
+                    entry.shard_id,
+                    spec.host,
+                    shard.port,
+                    entry.load_point_ids(),
+                )
+            )
+        backend = ScatterGatherBackend(links, default_k=spec.default_k)
+        self.backend = backend
+
+        def factory(searcher: Any, cfg: Optional[ServeConfig]) -> SearchServer:
+            return RouterServer(searcher, cfg, backend=backend)
+
+        self._router = BackgroundServer(
+            None, self._router_config(), server_factory=factory
+        )
+        self._router.__enter__()
+        self.router_port = self._router.port
+
+    def stop(self) -> None:
+        """Drain the router, then stop every shard."""
+        router, self._router = self._router, None
+        if router is not None:
+            router.__exit__(None, None, None)
+        self.router_port = None
+        shards, self.shards = self.shards, []
+        for shard in shards:
+            shard.stop()
+
+    def _shard_config(self, shard_id: int) -> ServeConfig:
+        spec = self.spec
+        return ServeConfig(
+            host=spec.host,
+            port=spec.shard_port(shard_id),
+            request_timeout_ms=spec.request_timeout_ms,
+        )
+
+    def _router_config(self) -> ServeConfig:
+        spec = self.spec
+        return ServeConfig(
+            host=spec.host,
+            port=spec.router_port,
+            max_batch=spec.max_batch,
+            max_wait_ms=spec.max_wait_ms,
+            max_queue_depth=spec.max_queue_depth,
+            request_timeout_ms=spec.request_timeout_ms,
+        )
+
+    def _spawn_shard(
+        self, shard_id: int, *, initial_version: int
+    ) -> Union[ProcessShard, ThreadShard]:
+        entry = self.manifest.shards[shard_id]
+        shard_cls = ProcessShard if self.mode == "process" else ThreadShard
+        return shard_cls(
+            str(entry.payload_path),
+            self._shard_config(shard_id),
+            shard_id,
+            initial_version,
+        )
+
+    # ------------------------------------------------------------- operations
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one shard (the degraded-serving failure injection)."""
+        self.shards[shard_id].kill()
+
+    def restart_shard(self, shard_id: int) -> None:
+        """Replace a dead shard with a fresh one over its on-disk payload.
+
+        The replacement joins at the **current** cluster snapshot version
+        (so version-uniformity checks pass immediately) but serves the
+        directory's payload: updates routed since the directory was built
+        are not replayed — see the module docstring.
+        """
+        backend = self.backend
+        router = self._router
+        if backend is None or router is None or router._loop is None:
+            raise RuntimeError("the cluster is not running")
+        shard = self._spawn_shard(
+            shard_id, initial_version=backend.version
+        )
+        old, self.shards[shard_id] = self.shards[shard_id], shard
+        if old.alive:
+            old.stop()
+        link = backend.links[shard_id]
+        # The link is only touched from the router's event loop.
+        done = threading.Event()
+
+        def swap() -> None:
+            link.set_address(shard.port)
+            done.set()
+
+        router._loop.call_soon_threadsafe(swap)
+        if not done.wait(timeout=10):  # pragma: no cover - hung loop
+            raise RuntimeError("router loop did not acknowledge the restart")
+
+    def health(self) -> Dict[str, Any]:
+        """The router's ``/healthz`` payload (a synchronous convenience)."""
+        return self._sync_get("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The router's ``/stats`` payload (a synchronous convenience)."""
+        return self._sync_get("/stats")
+
+    def search(
+        self, query: Any, *, k: Optional[int] = None, **options: Any
+    ) -> Dict[str, Any]:
+        """One routed query via the router's public ``/search`` route."""
+
+        async def call() -> Dict[str, Any]:
+            async with ServeClient(self.spec.host, self._live_port()) as client:
+                return await client.search(query, k=k, **options)
+
+        return asyncio.run(call())
+
+    def update(
+        self,
+        *,
+        inserts: Optional[np.ndarray] = None,
+        deletes: Optional[List[int]] = None,
+    ) -> Dict[str, Any]:
+        """Route one insert/delete batch via the router's ``/update``."""
+        payload: Dict[str, Any] = {
+            "inserts": (
+                [] if inserts is None
+                else np.asarray(inserts, dtype=np.float64).tolist()
+            ),
+            "deletes": [int(i) for i in (deletes or [])],
+        }
+
+        async def call() -> Dict[str, Any]:
+            async with ServeClient(self.spec.host, self._live_port()) as client:
+                return await client.post("/update", payload)
+
+        return asyncio.run(call())
+
+    def _sync_get(self, path: str) -> Dict[str, Any]:
+        async def call() -> Dict[str, Any]:
+            async with ServeClient(self.spec.host, self._live_port()) as client:
+                return await client.get(path)
+
+        return asyncio.run(call())
+
+    def _live_port(self) -> int:
+        if self.router_port is None:
+            raise RuntimeError("the cluster is not running")
+        return int(self.router_port)

@@ -81,6 +81,122 @@ def merge_shard_row(
     return collector
 
 
+def merge_shard_batches(
+    shard_batches: Sequence[BatchSearchResult],
+    shard_point_ids: Sequence[np.ndarray],
+    k: int,
+    num_queries: int,
+    stats_list: Optional[List[SearchStats]] = None,
+) -> List[SearchResult]:
+    """Vectorized per-query merge of per-shard top-k batches.
+
+    The block counterpart of :func:`merge_shard_row`: given one
+    :class:`BatchSearchResult` per shard (every shard answered the same
+    ``num_queries`` queries) and the shard-local→global id maps, produce
+    the merged global top-``k`` row per query — **bit-identical** to
+    offering each shard's row to a :class:`TopKCollector` in shard order.
+    Exposed at module level so the distributed scatter-gather router
+    (:mod:`repro.cluster`) merges gathered shard responses with the exact
+    computation :meth:`PartitionedP2HIndex.batch_search` runs in process.
+
+    Replaces the per-row ``TopKCollector``-over-all-shards loop (which
+    dominated wall time for large batches with many shards) with block
+    operations over the shard-concatenated distance matrix:
+
+    * each shard row is already sorted ascending by ``(distance, id)``
+      and holds at most ``k`` entries, so the collector's arrival order
+      equals concatenation order — one *stable* argsort by distance
+      over the concatenated row reproduces it exactly;
+    * when the k-th and (k+1)-th sorted distances differ, the kept set
+      is exactly "every entry at or below the k-th distance" for both
+      the collector and the stable selection, and the final ascending
+      ``(distance, id)`` order is what ``TopKCollector.to_result``
+      emits;
+    * only rows with an exact distance tie *at the boundary* can
+      diverge (the collector's heap evicts the smallest-id tied entry,
+      not the latest-arrived); those rare rows fall back to the
+      reference collector merge.
+
+    ``stats_list`` carries one pre-merged :class:`SearchStats` per query;
+    when None (the router's case — gathered responses carry no work
+    counters), fresh empty stats are attached instead.
+    """
+    if stats_list is None:
+        # Per-row pooled stats: same shard-order merge the per-query
+        # loop performs.
+        stats_list = []
+        for row in range(num_queries):
+            stats = SearchStats()
+            for batch in shard_batches:
+                stats.merge(batch[row].stats)
+            stats_list.append(stats)
+
+    dist_blocks = []
+    id_blocks = []
+    for batch, ids in zip(shard_batches, shard_point_ids):
+        distances = batch.distances_matrix(fill=np.inf)
+        if distances.shape[1] == 0:
+            continue
+        # Pad with local id 0 (the shard is non-empty); padded slots
+        # carry an infinite distance and are dropped after selection.
+        local = batch.indices_matrix(fill=0)
+        dist_blocks.append(distances)
+        id_blocks.append(ids[local])
+    if not dist_blocks:
+        return [
+            SearchResult(
+                indices=np.empty(0, dtype=np.int64),
+                distances=np.empty(0, dtype=np.float64),
+                stats=stats,
+            )
+            for stats in stats_list
+        ]
+
+    dist_cat = np.concatenate(dist_blocks, axis=1)
+    id_cat = np.concatenate(id_blocks, axis=1)
+    width = dist_cat.shape[1]
+    order = np.argsort(dist_cat, axis=1, kind="stable")
+    dist_sorted = np.take_along_axis(dist_cat, order, axis=1)
+    id_sorted = np.take_along_axis(id_cat, order, axis=1)
+    kk = min(k, width)
+    if width > kk:
+        boundary_tie = dist_sorted[:, kk - 1] == dist_sorted[:, kk]
+        boundary_tie &= np.isfinite(dist_sorted[:, kk - 1])
+    else:
+        boundary_tie = np.zeros(num_queries, dtype=bool)
+    top_d = dist_sorted[:, :kk]
+    top_i = id_sorted[:, :kk]
+    # Final output order is ascending (distance, id): two stable
+    # argsorts (id first, then distance) are a per-row lexsort.
+    id_order = np.argsort(top_i, axis=1, kind="stable")
+    top_d = np.take_along_axis(top_d, id_order, axis=1)
+    top_i = np.take_along_axis(top_i, id_order, axis=1)
+    d_order = np.argsort(top_d, axis=1, kind="stable")
+    top_d = np.take_along_axis(top_d, d_order, axis=1)
+    top_i = np.take_along_axis(top_i, d_order, axis=1)
+    lengths = np.isfinite(top_d).sum(axis=1).tolist()
+
+    results: List[SearchResult] = []
+    for row in range(num_queries):
+        if boundary_tie[row]:
+            collector = merge_shard_row(
+                [batch[row] for batch in shard_batches],
+                shard_point_ids,
+                k,
+            )
+            results.append(collector.to_result(stats_list[row]))
+            continue
+        length = lengths[row]
+        results.append(
+            SearchResult(
+                indices=np.ascontiguousarray(top_i[row, :length]),
+                distances=np.ascontiguousarray(top_d[row, :length]),
+                stats=stats_list[row],
+            )
+        )
+    return results
+
+
 def partition_indices(
     points: np.ndarray,
     num_partitions: int,
@@ -297,99 +413,15 @@ class PartitionedP2HIndex:
         k: int,
         num_queries: int,
     ) -> List[SearchResult]:
-        """Vectorized per-query merge of the per-shard top-k lists.
+        """Delegate to the module-level :func:`merge_shard_batches`.
 
-        Replaces the per-row ``TopKCollector``-over-all-shards loop (which
-        dominated wall time for large batches with many shards) with block
-        operations over the shard-concatenated distance matrix, while
-        staying bit-identical to :func:`merge_shard_row`:
-
-        * each shard row is already sorted ascending by ``(distance, id)``
-          and holds at most ``k`` entries, so the collector's arrival order
-          equals concatenation order — one *stable* argsort by distance
-          over the concatenated row reproduces it exactly;
-        * when the k-th and (k+1)-th sorted distances differ, the kept set
-          is exactly "every entry at or below the k-th distance" for both
-          the collector and the stable selection, and the final ascending
-          ``(distance, id)`` order is what ``TopKCollector.to_result``
-          emits;
-        * only rows with an exact distance tie *at the boundary* can
-          diverge (the collector's heap evicts the smallest-id tied entry,
-          not the latest-arrived); those rare rows fall back to the
-          reference collector merge.
+        Kept as a method so the class reads top-to-bottom; the body lives
+        at module level because the scatter-gather router must run the
+        *same* merge over gathered shard responses.
         """
-        # Per-row pooled stats: same shard-order merge the loop performed.
-        stats_list = []
-        for row in range(num_queries):
-            stats = SearchStats()
-            for batch in shard_batches:
-                stats.merge(batch[row].stats)
-            stats_list.append(stats)
-
-        dist_blocks = []
-        id_blocks = []
-        for batch, ids in zip(shard_batches, self.shard_point_ids):
-            distances = batch.distances_matrix(fill=np.inf)
-            if distances.shape[1] == 0:
-                continue
-            # Pad with local id 0 (the shard is non-empty); padded slots
-            # carry an infinite distance and are dropped after selection.
-            local = batch.indices_matrix(fill=0)
-            dist_blocks.append(distances)
-            id_blocks.append(ids[local])
-        if not dist_blocks:
-            return [
-                SearchResult(
-                    indices=np.empty(0, dtype=np.int64),
-                    distances=np.empty(0, dtype=np.float64),
-                    stats=stats,
-                )
-                for stats in stats_list
-            ]
-
-        dist_cat = np.concatenate(dist_blocks, axis=1)
-        id_cat = np.concatenate(id_blocks, axis=1)
-        width = dist_cat.shape[1]
-        order = np.argsort(dist_cat, axis=1, kind="stable")
-        dist_sorted = np.take_along_axis(dist_cat, order, axis=1)
-        id_sorted = np.take_along_axis(id_cat, order, axis=1)
-        kk = min(k, width)
-        if width > kk:
-            boundary_tie = dist_sorted[:, kk - 1] == dist_sorted[:, kk]
-            boundary_tie &= np.isfinite(dist_sorted[:, kk - 1])
-        else:
-            boundary_tie = np.zeros(num_queries, dtype=bool)
-        top_d = dist_sorted[:, :kk]
-        top_i = id_sorted[:, :kk]
-        # Final output order is ascending (distance, id): two stable
-        # argsorts (id first, then distance) are a per-row lexsort.
-        id_order = np.argsort(top_i, axis=1, kind="stable")
-        top_d = np.take_along_axis(top_d, id_order, axis=1)
-        top_i = np.take_along_axis(top_i, id_order, axis=1)
-        d_order = np.argsort(top_d, axis=1, kind="stable")
-        top_d = np.take_along_axis(top_d, d_order, axis=1)
-        top_i = np.take_along_axis(top_i, d_order, axis=1)
-        lengths = np.isfinite(top_d).sum(axis=1).tolist()
-
-        results: List[SearchResult] = []
-        for row in range(num_queries):
-            if boundary_tie[row]:
-                collector = merge_shard_row(
-                    [batch[row] for batch in shard_batches],
-                    self.shard_point_ids,
-                    k,
-                )
-                results.append(collector.to_result(stats_list[row]))
-                continue
-            length = lengths[row]
-            results.append(
-                SearchResult(
-                    indices=np.ascontiguousarray(top_i[row, :length]),
-                    distances=np.ascontiguousarray(top_d[row, :length]),
-                    stats=stats_list[row],
-                )
-            )
-        return results
+        return merge_shard_batches(
+            shard_batches, self.shard_point_ids, k, num_queries
+        )
 
     # ------------------------------------------------------------ persistence
 
@@ -411,6 +443,10 @@ class PartitionedP2HIndex:
             storage_dtype=header["dtype"] if header else "float64",
             storage=header,
             stores=stores,
+            # Shard layout in the header frame: `describe_index` / `repro
+            # info` and the cluster payload splitter read the partition
+            # count and per-shard sizes without unpickling the index.
+            shards={"count": len(self.shards), "sizes": self.shard_sizes()},
         )
 
     def _array_stores(self):

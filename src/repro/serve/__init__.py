@@ -19,10 +19,22 @@ Entry points: :class:`ServeConfig` (the knobs), :class:`SearchServer` /
 :func:`run_server` (the server; also ``repro serve`` on the command
 line), :class:`BackgroundServer` (a server on its own thread, for tests
 and benchmarks), and :class:`ServeClient` (a keep-alive client).
+
+Execution is pluggable: the coalescer flushes through a *backend* —
+:class:`SearcherBackend` (one local session on a compute thread) by
+default, or the cluster tier's scatter-gather backend
+(:mod:`repro.cluster`), which fans each flush out to shard processes and
+reports outages as :class:`BackendUnavailable` (HTTP 503).
 """
 
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.coalescer import PendingRequest, QueryCoalescer, options_signature
+from repro.serve.coalescer import (
+    BackendUnavailable,
+    PendingRequest,
+    QueryCoalescer,
+    SearcherBackend,
+    options_signature,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.http import HttpError
 from repro.serve.server import (
@@ -33,11 +45,13 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "BackendUnavailable",
     "BackgroundServer",
     "HttpError",
     "PendingRequest",
     "QueryCoalescer",
     "SearchServer",
+    "SearcherBackend",
     "ServeClient",
     "ServeConfig",
     "ServeError",

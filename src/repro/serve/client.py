@@ -93,6 +93,15 @@ class ServeClient:
         """``GET`` a diagnostic route (``/healthz`` or ``/stats``)."""
         return await self._request("GET", path, None)
 
+    async def post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST`` an arbitrary JSON payload to ``path``.
+
+        The generic verb the cluster router uses for the shard-only
+        routes (``/search_batch``, ``/update``); :meth:`search` stays the
+        ergonomic front door for the public ``/search`` route.
+        """
+        return await self._request("POST", path, payload)
+
     # -------------------------------------------------------------- plumbing
 
     async def _request(

@@ -22,20 +22,31 @@ break the bit-identity contract.  Only the exact engine, whose batch
 results are pinned bit-identical to per-query results for every family,
 is allowed to answer a multi-query flush.
 
-Execution happens on a single dedicated compute thread (a
-:class:`~concurrent.futures.ThreadPoolExecutor` of one): the
+Execution happens through a pluggable **backend**.  The default
+:class:`SearcherBackend` runs option-groups on a single dedicated compute
+thread (a :class:`~concurrent.futures.ThreadPoolExecutor` of one): the
 :class:`~repro.api.Searcher` session is not thread-safe, and one thread
 serializes it while keeping the event loop free to accept and parse the
-next wave of requests.
+next wave of requests.  The distributed tier (:mod:`repro.cluster`)
+plugs in an async scatter-gather backend instead — same queue, same
+flush policy, different execution substrate.
 """
 
 from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+
+class BackendUnavailable(RuntimeError):
+    """The execution backend cannot answer right now (the server maps it
+    to a descriptive HTTP 503).  Raised by distributed backends when a
+    shard is unreachable or the cluster cannot reach a consistent
+    snapshot; the single-process :class:`SearcherBackend` never raises
+    it."""
 
 
 def options_signature(
@@ -84,15 +95,92 @@ class PendingRequest:
         self.batch_size = 0
 
 
+class SearcherBackend:
+    """Default execution backend: one warm session, one compute thread.
+
+    Owns *access* to the :class:`~repro.api.Searcher` (every call happens
+    on the single compute thread, which serializes the non-thread-safe
+    session) but not its lifecycle — closing the session is the server's
+    job.  :meth:`run_serialized` exposes the same thread to subclasses of
+    the server that must execute arbitrary work (shard updates, explicit
+    batch requests) atomically with respect to in-flight searches.
+    """
+
+    def __init__(self, searcher: Any) -> None:
+        if getattr(searcher, "closed", False):
+            raise RuntimeError(
+                "cannot serve a closed Searcher session; open a fresh "
+                "session for the server"
+            )
+        self.searcher = searcher
+        self._compute = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+
+    def start(self) -> None:
+        """Called on the event loop before the first group executes."""
+
+    async def aclose(self) -> None:
+        """Release execution resources (after the final drain flush)."""
+        self._compute.shutdown(wait=True)
+
+    def describe(self) -> Dict[str, Any]:
+        """Identity payload for the ``/healthz`` route."""
+        index = self.searcher.index
+        return {
+            "index": type(index).__name__,
+            "num_points": int(getattr(index, "num_points", 0) or 0),
+        }
+
+    async def run_group(self, group: List[PendingRequest]) -> List[Any]:
+        """Answer one option-group; returns one result per request."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._compute, self._search_group, group
+        )
+
+    async def run_serialized(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on the compute thread (serialized with searches)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._compute, fn
+        )
+
+    def _search_group(self, group: List[PendingRequest]) -> List[Any]:
+        """Answer one option-group as a single block (compute thread).
+
+        Two cases go through the session's single-query ``search`` — the
+        very call the bit-identity contract is defined against — instead
+        of ``batch_search``: flushes of one query (there is nothing to
+        coalesce, so they take the per-query path a non-coalescing server
+        would), and fast-mode (``exact=False``) requests, whose kernel's
+        candidate selection depends on the batch shape, so only per-query
+        execution matches what a direct ``Searcher.search`` with the same
+        options returns.
+        """
+        head = group[0]
+        if len(group) == 1 or head.overrides.get("exact") is False:
+            return [
+                self.searcher.search(
+                    request.query, k=request.k, **request.overrides
+                )
+                for request in group
+            ]
+        matrix = np.stack([request.query for request in group])
+        batch = self.searcher.batch_search(
+            matrix, k=head.k, **head.overrides
+        )
+        return list(batch)
+
+
 class QueryCoalescer:
     """The coalescing queue plus its flusher task.
 
     Parameters
     ----------
-    searcher:
-        A warm :class:`repro.api.Searcher` session.  The coalescer owns
-        *access* to it (all calls happen on the one compute thread) but
-        not its lifecycle — closing the session is the server's job.
+    backend:
+        Either an execution backend (anything with the
+        :class:`SearcherBackend` surface: ``start`` / ``run_group`` /
+        ``aclose`` / ``describe``) or a warm :class:`repro.api.Searcher`
+        session, which is wrapped in a :class:`SearcherBackend`.
     max_batch:
         Most queries per flush; 1 disables coalescing.
     max_wait_ms:
@@ -104,22 +192,21 @@ class QueryCoalescer:
 
     def __init__(
         self,
-        searcher: Any,
+        backend: Any,
         *,
         max_batch: int,
         max_wait_ms: float,
         max_queue_depth: int,
     ) -> None:
-        self._searcher = searcher
+        if not hasattr(backend, "run_group"):
+            backend = SearcherBackend(backend)
+        self.backend = backend
         self._max_batch = int(max_batch)
         self._max_wait = float(max_wait_ms) / 1000.0
         self._max_queue_depth = int(max_queue_depth)
         self._pending: List[PendingRequest] = []
         self._wakeup: Optional[asyncio.Event] = None
         self._task: Optional["asyncio.Task[None]"] = None
-        self._compute = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-compute"
-        )
         self._draining = False
         # Serving counters (read by the /stats endpoint).
         self.requests_executed = 0
@@ -127,11 +214,18 @@ class QueryCoalescer:
         self.largest_batch = 0
         self.rejected_full = 0
         self.dropped_timeout = 0
+        #: Flush cycles that cut a non-empty batch off the queue.
+        self.flushes = 0
+        #: Executed group size -> count (the batches-by-size histogram
+        #: surfaced by ``/stats``; distinct from ``largest_batch``, which
+        #: only keeps the peak).
+        self.batch_size_counts: Dict[int, int] = {}
 
     # -------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
         """Spawn the flusher task on the running event loop."""
+        self.backend.start()
         self._wakeup = asyncio.Event()
         self._task = asyncio.get_running_loop().create_task(
             self._run(), name="repro-serve-flusher"
@@ -162,7 +256,7 @@ class QueryCoalescer:
             if not request.future.done():
                 request.future.cancel()
         self._pending.clear()
-        self._compute.shutdown(wait=True)
+        await self.backend.aclose()
 
     # ----------------------------------------------------------------- intake
 
@@ -217,7 +311,8 @@ class QueryCoalescer:
             batch = self._cut_batch()
             if not batch:
                 continue
-            await self._execute_batch(loop, batch)
+            self.flushes += 1
+            await self._execute_batch(batch)
 
     def _cut_batch(self) -> List[PendingRequest]:
         """Pop up to ``max_batch`` live requests off the queue head.
@@ -235,23 +330,21 @@ class QueryCoalescer:
             batch.append(request)
         return batch
 
-    async def _execute_batch(
-        self, loop: asyncio.AbstractEventLoop, batch: List[PendingRequest]
-    ) -> None:
-        """Run one flush: group by options, one ``batch_search`` per group."""
+    async def _execute_batch(self, batch: List[PendingRequest]) -> None:
+        """Run one flush: group by options, one backend call per group."""
         groups: Dict[Tuple, List[PendingRequest]] = {}
         for request in batch:
             groups.setdefault(request.signature, []).append(request)
         for group in groups.values():
-            # Fast-mode groups execute per query (see _search_group), so
-            # their reported flush size is honestly 1.
+            # Fast-mode groups execute per query (see
+            # SearcherBackend._search_group — the distributed backend
+            # honors the same rule), so their reported flush size is
+            # honestly 1.
             coalesced = group[0].overrides.get("exact") is not False
             for request in group:
                 request.batch_size = len(group) if coalesced else 1
             try:
-                results = await loop.run_in_executor(
-                    self._compute, self._search_group, group
-                )
+                results = await self.backend.run_group(group)
             # repro: allow[REP403] not swallowed: the exception is forwarded
             # into every waiting request future, so each caller re-raises it;
             # narrowing here would instead kill the flusher task and hang
@@ -267,32 +360,10 @@ class QueryCoalescer:
             self.batches_executed += 1
             self.requests_executed += len(group)
             self.largest_batch = max(self.largest_batch, len(group))
+            size = len(group)
+            self.batch_size_counts[size] = (
+                self.batch_size_counts.get(size, 0) + 1
+            )
             for request, result in zip(group, results):
                 if not request.future.done():
                     request.future.set_result(result)
-
-    def _search_group(self, group: List[PendingRequest]) -> List[Any]:
-        """Answer one option-group as a single block (compute thread).
-
-        Two cases go through the session's single-query ``search`` — the
-        very call the bit-identity contract is defined against — instead
-        of ``batch_search``: flushes of one query (there is nothing to
-        coalesce, so they take the per-query path a non-coalescing server
-        would), and fast-mode (``exact=False``) requests, whose kernel's
-        candidate selection depends on the batch shape, so only per-query
-        execution matches what a direct ``Searcher.search`` with the same
-        options returns.
-        """
-        head = group[0]
-        if len(group) == 1 or head.overrides.get("exact") is False:
-            return [
-                self._searcher.search(
-                    request.query, k=request.k, **request.overrides
-                )
-                for request in group
-            ]
-        matrix = np.stack([request.query for request in group])
-        batch = self._searcher.batch_search(
-            matrix, k=head.k, **head.overrides
-        )
-        return list(batch)

@@ -25,11 +25,16 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Awaitable, Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.serve.coalescer import PendingRequest, QueryCoalescer
+from repro.serve.coalescer import (
+    BackendUnavailable,
+    PendingRequest,
+    QueryCoalescer,
+    SearcherBackend,
+)
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
     HttpError,
@@ -56,17 +61,21 @@ class SearchServer:
     """
 
     def __init__(
-        self, searcher: Any, config: Optional[ServeConfig] = None
+        self,
+        searcher: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        backend: Any = None,
     ) -> None:
-        if getattr(searcher, "closed", False):
-            raise RuntimeError(
-                "cannot serve a closed Searcher session; open a fresh "
-                "session for the server"
-            )
+        if backend is None:
+            # The closed-session check lives in SearcherBackend; custom
+            # backends (the cluster router) own no session at all.
+            backend = SearcherBackend(searcher)
         self.searcher = searcher
+        self.backend = backend
         self.config = config or ServeConfig()
         self.coalescer = QueryCoalescer(
-            searcher,
+            backend,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
             max_queue_depth=self.config.max_queue_depth,
@@ -176,25 +185,37 @@ class SearchServer:
 
     # ---------------------------------------------------------------- routes
 
+    def _routes(
+        self,
+    ) -> Dict[str, Tuple[str, Callable[[bytes], Awaitable[Dict[str, Any]]]]]:
+        """Route table: path -> (method, async handler).
+
+        Subclasses (the cluster tier's shard and router servers) extend
+        the dictionary instead of re-implementing the dispatch/framing
+        machinery.
+        """
+        return {
+            "/search": ("POST", self._handle_search),
+            "/healthz": ("GET", self._handle_healthz),
+            "/stats": ("GET", self._handle_stats),
+        }
+
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
         try:
-            if path == "/search":
-                if method != "POST":
-                    raise HttpError(405, "use POST for /search")
-                return 200, await self._handle_search(body)
-            if path == "/healthz":
-                if method != "GET":
-                    raise HttpError(405, "use GET for /healthz")
-                return 200, self._handle_healthz()
-            if path == "/stats":
-                if method != "GET":
-                    raise HttpError(405, "use GET for /stats")
-                return 200, self._handle_stats()
-            raise HttpError(
-                404, f"unknown path {path!r}; routes are /search, /healthz, /stats"
-            )
+            routes = self._routes()
+            entry = routes.get(path)
+            if entry is None:
+                raise HttpError(
+                    404,
+                    f"unknown path {path!r}; routes are "
+                    + ", ".join(routes),
+                )
+            expected_method, handler = entry
+            if method != expected_method:
+                raise HttpError(405, f"use {expected_method} for {path}")
+            return 200, await handler(body)
         except HttpError as exc:
             return exc.status, error_payload(exc.status, exc.message)
         # repro: allow[REP403] last-resort handler of the HTTP route: any
@@ -245,6 +266,10 @@ class SearchServer:
             raise HttpError(
                 503, "server shut down before this query could execute"
             )
+        except BackendUnavailable as exc:
+            # The backend (a cluster with a dead shard, typically) cannot
+            # answer right now; the message names what is down and why.
+            raise HttpError(503, str(exc))
         except (TypeError, ValueError) as exc:
             # The engine rejected the query/options (wrong dimension, a
             # kwarg this family does not accept, ...): the client's fault,
@@ -257,18 +282,24 @@ class SearchServer:
             "batch_size": request.batch_size,
         }
 
-    def _handle_healthz(self) -> Dict[str, Any]:
-        index = self.searcher.index
+    async def _handle_healthz(self, body: bytes) -> Dict[str, Any]:
+        return self._healthz_payload()
+
+    async def _handle_stats(self, body: bytes) -> Dict[str, Any]:
+        return self._stats_payload()
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        described = self.backend.describe()
         config = dict(self.config.to_dict(), port=self.port)
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
-            "index": type(index).__name__,
-            "num_points": int(getattr(index, "num_points", 0) or 0),
             "coalescing": self.config.coalescing,
             "config": config,
         }
+        payload.update(described)
+        return payload
 
-    def _handle_stats(self) -> Dict[str, Any]:
+    def _stats_payload(self) -> Dict[str, Any]:
         coalescer = self.coalescer
         executed = coalescer.requests_executed
         batches = coalescer.batches_executed
@@ -278,8 +309,13 @@ class SearchServer:
             "rejected_429": self.rejected,
             "timeouts_504": self.timeouts,
             "batches_executed": batches,
+            "flushes": coalescer.flushes,
             "mean_batch_size": (executed / batches) if batches else 0.0,
             "largest_batch": coalescer.largest_batch,
+            "batches_by_size": {
+                str(size): count
+                for size, count in sorted(coalescer.batch_size_counts.items())
+            },
             "queue_depth": coalescer.depth,
         }
 
@@ -342,14 +378,17 @@ async def serve_forever(
     ready: Optional[threading.Event] = None,
     stop_event: Optional[asyncio.Event] = None,
     on_start: Optional[Callable[["SearchServer"], None]] = None,
+    server_factory: Optional[Callable[..., "SearchServer"]] = None,
 ) -> None:
     """Start a server and run until ``stop_event`` (or cancellation).
 
     ``ready`` (a *threading* event) is set once the socket is bound —
     the handshake :class:`BackgroundServer` and the CLI use to know the
     port is live.  ``on_start`` is called with the server once started.
+    ``server_factory`` swaps in a :class:`SearchServer` subclass (the
+    cluster tier's shard/router servers ride the same lifecycle).
     """
-    server = SearchServer(searcher, config)
+    server = (server_factory or SearchServer)(searcher, config)
     await server.start()
     try:
         if on_start is not None:
@@ -390,10 +429,15 @@ class BackgroundServer:
     """
 
     def __init__(
-        self, searcher: Any, config: Optional[ServeConfig] = None
+        self,
+        searcher: Any,
+        config: Optional[ServeConfig] = None,
+        *,
+        server_factory: Optional[Callable[..., SearchServer]] = None,
     ) -> None:
         self._searcher = searcher
         self._config = config or ServeConfig()
+        self._server_factory = server_factory
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -415,6 +459,7 @@ class BackgroundServer:
                         ready=ready,
                         stop_event=self._stop,
                         on_start=self._capture,
+                        server_factory=self._server_factory,
                     )
                 except BaseException as exc:  # noqa: BLE001 - report to starter
                     self._startup_error = exc
@@ -444,7 +489,7 @@ class BackgroundServer:
         """A snapshot of the live server's counters (for assertions)."""
         if self._server is None:
             raise RuntimeError("server is not running")
-        return self._server._handle_stats()
+        return self._server._stats_payload()
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         if self._loop is not None and self._stop is not None:

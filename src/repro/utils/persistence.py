@@ -64,6 +64,7 @@ def dump_index_payload(
     storage_dtype: Optional[str] = None,
     storage: Optional[Dict] = None,
     stores: Sequence[Any] = (),
+    shards: Optional[Dict] = None,
 ) -> None:
     """Write ``index`` (plus its optional spec dict) as a versioned payload.
 
@@ -79,6 +80,12 @@ def dump_index_payload(
     the index (composites pass one per sub-index).  Mmap stores are
     persisted into the ``<path>.arrays/`` sidecar *before* the index is
     pickled, so the pickle frame records the sidecar location.
+
+    ``shards`` records the shard layout of a partitioned composite as
+    ``{"count": int, "sizes": [int, ...]}`` — additive like the storage
+    keys (absent for single-index payloads and older files), so
+    ``describe_index`` and the cluster payload splitter learn the
+    partition geometry from the header frame alone.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -99,6 +106,10 @@ def dump_index_payload(
         "storage_dtype": storage_dtype,
         "storage": storage,
     }
+    if shards is not None:
+        # Only partitioned payloads carry the key, keeping every other
+        # family's header bytes unchanged.
+        header["shards"] = shards
     with path.open("wb") as handle:
         pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
         pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)

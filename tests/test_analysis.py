@@ -43,7 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 PROJECT_RULE_IDS = (
     "REP101", "REP102",           # exact-path purity
     "REP201", "REP202", "REP203",  # kernel determinism
-    "REP301", "REP302",           # concurrency safety
+    "REP301", "REP302", "REP303",  # concurrency safety
     "REP401", "REP402", "REP403",  # public error contracts
     "REP501",                     # persistence discipline
 )
@@ -296,6 +296,42 @@ def test_rep302_ignores_blocking_calls_outside_serve(tmp_path):
             return searcher.search(query)
     """)
     assert "REP302" not in rule_ids(tmp_path)
+
+
+def test_rep303_flags_blocking_calls_in_cluster_coroutine(tmp_path):
+    write_module(tmp_path, "cluster/router.py", """\
+        import time
+
+        async def scatter(searcher, query):
+            time.sleep(0.01)
+            return searcher.search(query)
+    """)
+    ids = rule_ids(tmp_path)
+    assert ids.count("REP303") == 2
+    # Cluster modules are REP303's scope, not REP302's.
+    assert "REP302" not in ids
+
+
+def test_rep303_clean_executor_pattern(tmp_path):
+    write_module(tmp_path, "cluster/router.py", """\
+        async def scatter(loop, searcher, query):
+            def work():
+                return searcher.search(query)
+            return await loop.run_in_executor(None, work)
+    """)
+    # The blocking search lives in a sync island handed to the executor.
+    assert "REP303" not in rule_ids(tmp_path)
+
+
+def test_rep303_ignores_blocking_calls_outside_cluster(tmp_path):
+    write_module(tmp_path, "eval/runner.py", """\
+        import time
+
+        async def gather(searcher, query):
+            time.sleep(0.01)
+            return searcher.search(query)
+    """)
+    assert "REP303" not in rule_ids(tmp_path)
 
 
 # --------------------------------------------------------------------------

@@ -399,6 +399,27 @@ def test_healthz_and_stats_shape(fitted_index, hyperplanes):
     assert stats["rejected_429"] == 0
     assert stats["timeouts_504"] == 0
     assert stats["queue_depth"] == 0
+    assert stats["flushes"] == 1
+    assert stats["batches_by_size"] == {"1": 1}
+
+
+def test_stats_batch_histogram_accounts_for_every_query(fitted_index, hyperplanes):
+    """``flushes``/``batches_by_size`` reconcile exactly with the load served."""
+    with Searcher(fitted_index, SearchOptions(k=5)) as searcher:
+        config = ServeConfig(max_batch=32, max_wait_ms=20.0)
+        with BackgroundServer(searcher, config) as server:
+            async def drive():
+                async def one(q):
+                    async with ServeClient("127.0.0.1", server.port) as client:
+                        return await client.search(q)
+                return await asyncio.gather(*[one(q) for q in hyperplanes])
+
+            _run(drive())
+            stats = server.stats
+    histogram = {int(size): count for size, count in stats["batches_by_size"].items()}
+    assert stats["flushes"] == sum(histogram.values()) == stats["batches_executed"]
+    assert sum(size * count for size, count in histogram.items()) == len(hyperplanes)
+    assert max(histogram) == stats["largest_batch"]
 
 
 def test_float_distances_round_trip_exactly(fitted_index, hyperplanes):
